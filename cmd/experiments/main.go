@@ -1,0 +1,115 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. 4).
+//
+// Usage:
+//
+//	experiments [-size small|full] [-only table1,fig6,...]
+//
+// Without -only it runs everything in paper order. Results are printed as
+// text tables with the paper's reported numbers alongside for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"strider/internal/harness"
+	"strider/internal/workloads"
+)
+
+func main() {
+	sizeFlag := flag.String("size", "full", "problem size: small or full")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig6,fig7,fig8,fig9,fig10,fig11")
+	chart := flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+	flag.Parse()
+
+	size := workloads.SizeFull
+	if *sizeFlag == "small" {
+		size = workloads.SizeSmall
+	} else if *sizeFlag != "full" {
+		fmt.Fprintf(os.Stderr, "experiments: bad -size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	if sel("table1") {
+		s, err := harness.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+	}
+	if sel("table2") {
+		fmt.Println(harness.Table2())
+	}
+	if sel("table3") {
+		rows, err := harness.Table3(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatTable3(rows))
+	}
+	speedupOut := harness.FormatSpeedups
+	if *chart {
+		speedupOut = harness.SpeedupChart
+	}
+	mpiOut := harness.FormatMPI
+	if *chart {
+		mpiOut = harness.MPIChart
+	}
+	if sel("fig6") {
+		rows, err := harness.Figure6(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(speedupOut("Figure 6: speedup ratios on the Pentium 4", rows))
+	}
+	if sel("fig7") {
+		rows, err := harness.Figure7(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(speedupOut("Figure 7: speedup ratios on the Athlon MP", rows))
+	}
+	if sel("fig8") {
+		rows, err := harness.Figure8(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(mpiOut("Figure 8: L1 cache load MPIs", rows))
+	}
+	if sel("fig9") {
+		rows, err := harness.Figure9(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(mpiOut("Figure 9: L2 cache load MPIs", rows))
+	}
+	if sel("fig10") {
+		rows, err := harness.Figure10(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(mpiOut("Figure 10: DTLB load MPIs", rows))
+	}
+	if sel("fig11") {
+		rows, err := harness.Figure11(size)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatCompile(rows))
+	}
+}

@@ -1,0 +1,134 @@
+// Command striderun executes one benchmark analog on a simulated machine
+// under a prefetching configuration and reports the paper's metrics.
+//
+// Usage:
+//
+//	striderun -workload db -machine Pentium4 -mode inter+intra -size full
+//	striderun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/harness"
+	"strider/internal/heap"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "jess", "benchmark analog to run (-list to enumerate)")
+	machine := flag.String("machine", "Pentium4", "Pentium4 or AthlonMP")
+	modeFlag := flag.String("mode", "inter+intra", "baseline, inter, or inter+intra")
+	sizeFlag := flag.String("size", "small", "small or full")
+	gcFlag := flag.String("gc", "compact", "compact (sliding compaction) or freelist")
+	list := flag.Bool("list", false, "list workloads and exit")
+	dot := flag.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-10s %s\n", "name", "suite", "description")
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s %-10s %s\n", w.Name, w.Suite, w.Description)
+		}
+		return
+	}
+
+	var mode jit.Mode
+	switch *modeFlag {
+	case "baseline":
+		mode = jit.Baseline
+	case "inter":
+		mode = jit.Inter
+	case "inter+intra":
+		mode = jit.InterIntra
+	default:
+		fmt.Fprintf(os.Stderr, "striderun: bad -mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	size := workloads.SizeSmall
+	if *sizeFlag == "full" {
+		size = workloads.SizeFull
+	}
+	gc := heap.GCSlidingCompact
+	if *gcFlag == "freelist" {
+		gc = heap.GCMarkSweepFreeList
+	}
+
+	if *dot != "" {
+		if err := dumpDot(*workload, *machine, mode, size, gc, *dot); err != nil {
+			fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s, err := harness.Run(harness.Spec{
+		Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload     %s (%s, %s, %s)\n", *workload, *machine, mode, size)
+	fmt.Printf("cycles       %d\n", s.Cycles)
+	fmt.Printf("instructions %d\n", s.Instructions)
+	fmt.Printf("checksum     %016x\n", s.Checksum)
+	fmt.Printf("compiled     %.1f%% of cycles (%d methods)\n", 100*s.CompiledFraction(), s.CompiledMethods)
+	fmt.Printf("GCs          %d (%d cycles)\n", s.GCs, s.GCCycles)
+	fmt.Printf("L1 load MPI  %.5f\n", s.L1LoadMPI())
+	fmt.Printf("L2 load MPI  %.5f\n", s.L2LoadMPI())
+	fmt.Printf("DTLB MPI     %.5f\n", s.DTLBLoadMPI())
+	fmt.Printf("prefetches   issued=%d guarded=%d dropped=%d useless=%d hw=%d\n",
+		s.Mem.PrefetchesIssued, s.Mem.PrefetchesGuarded, s.Mem.PrefetchesDropped,
+		s.Mem.PrefetchesUseless, s.Mem.HWPrefetches)
+	fmt.Printf("codegen      inter=%d specload=%d deref=%d intra=%d (filtered: line=%d dup=%d use=%d)\n",
+		s.Prefetch.InterPrefetches, s.Prefetch.SpecLoads, s.Prefetch.DerefPrefetches,
+		s.Prefetch.IntraPrefetches, s.Prefetch.FilteredLine, s.Prefetch.FilteredDup, s.Prefetch.FilteredUse)
+	fmt.Printf("JIT ledger   total=%d units, prefetch phase=%d units (%.2f%%), inspection steps=%d\n",
+		s.JITUnits, s.PrefetchUnits, 100*float64(s.PrefetchUnits)/float64(max64(s.JITUnits, 1)), s.InspectSteps)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dumpDot runs the workload once and prints the requested method's
+// annotated load dependence graphs in Graphviz format.
+func dumpDot(workload, machine string, mode jit.Mode, size workloads.Size, gc heap.GCMode, qname string) error {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	m := arch.ByName(machine)
+	if m == nil {
+		return fmt.Errorf("unknown machine %q", machine)
+	}
+	prog := w.Build(size)
+	v := vm.New(prog, vm.Config{Machine: m, Mode: mode, HeapBytes: w.HeapBytes, GC: gc})
+	if _, err := v.Measure(nil, 1); err != nil {
+		return err
+	}
+	method := prog.MethodByName(qname)
+	if method == nil {
+		return fmt.Errorf("no method %q in %s", qname, workload)
+	}
+	c := v.CompiledFor(method)
+	if c == nil {
+		return fmt.Errorf("method %q was never JIT-compiled", qname)
+	}
+	if len(c.Graphs) == 0 {
+		return fmt.Errorf("method %q has no instrumented loops", qname)
+	}
+	for _, g := range c.Graphs {
+		fmt.Print(g.Dot())
+	}
+	return nil
+}

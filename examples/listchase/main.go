@@ -1,0 +1,139 @@
+// listchase demonstrates the core observation behind stride prefetching
+// (Sec. 1): "If the program constructs the list by allocating and
+// appending equal-sized elements without other intervening allocations,
+// the load instruction for retrieving the next element in the loop
+// probably has constant strides."
+//
+// The example builds two linked lists with the IR builder — one allocated
+// contiguously (constant stride between nodes) and one with intervening
+// garbage allocations of varying size (no stride) — and shows that object
+// inspection discovers the pattern only for the first, with the speedup to
+// match.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"strider"
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// buildList returns a program whose main() builds an n-node list and sums
+// it m times. With interleave, varying-size garbage arrays are allocated
+// between nodes, destroying the stride.
+func buildList(n, m int32, interleave bool) *ir.Program {
+	u := classfile.NewUniverse()
+	// 40-byte nodes: the stride must exceed half a cache line for the
+	// profitability analysis to keep the prefetch (Sec. 3.3).
+	nodeClass := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "pad0", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "pad1", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "pad2", Kind: value.KindInt},
+	)
+	fVal := nodeClass.FieldByName("val")
+	fNext := nodeClass.FieldByName("next")
+	p := ir.NewProgram(u)
+
+	// ::sum(head) -> int — the pointer-chasing loop.
+	sum := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "sum", value.KindInt, value.KindRef)
+		cur := b.NewReg()
+		b.MoveTo(cur, b.Param(0))
+		acc := b.ConstInt(0)
+		null := b.ConstNull()
+		loop := b.Here()
+		done := b.NewLabel()
+		b.Br(value.KindRef, ir.CondEQ, cur, null, done)
+		v := b.GetField(cur, fVal)
+		b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+		nx := b.GetField(cur, fNext) // the recurrent load: strided or not
+		b.MoveTo(cur, nx)
+		b.Goto(loop)
+		b.Bind(done)
+		b.Return(acc)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	head := b.ConstNull()
+	nn := b.ConstInt(n)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	node := b.New(nodeClass)
+	b.PutField(node, fVal, i)
+	b.PutField(node, fNext, head)
+	b.MoveTo(head, node)
+	if interleave {
+		// Intervening allocation of varying size.
+		seven := b.ConstInt(7)
+		r := b.Arith(ir.OpAnd, value.KindInt, i, seven)
+		one := b.ConstInt(1)
+		sz0 := b.Arith(ir.OpAdd, value.KindInt, r, one)
+		three := b.ConstInt(3)
+		sz := b.Arith(ir.OpMul, value.KindInt, sz0, three)
+		garbage := b.NewArray(value.KindInt, sz)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, garbage, zero, i)
+	}
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, nn, body)
+
+	total := b.ConstInt(0)
+	mm := b.ConstInt(m)
+	q := b.ConstInt(0)
+	qc := b.NewLabel()
+	qb := b.NewLabel()
+	b.Goto(qc)
+	b.Bind(qb)
+	s := b.Call(sum, head)
+	b.ArithTo(total, ir.OpXor, value.KindInt, total, s)
+	b.IncInt(q, 1)
+	b.Bind(qc)
+	b.Br(value.KindInt, ir.CondLT, q, mm, qb)
+	b.Sink(total)
+	b.Return(total)
+	p.Entry = b.Finish()
+	return p
+}
+
+func run(label string, interleave bool) {
+	machine := strider.AthlonMP()
+	var cycles [3]uint64
+	var prefetches uint64
+	for mode := strider.Baseline; mode <= strider.InterIntra; mode++ {
+		prog := buildList(60000, 8, interleave)
+		v := strider.NewVM(prog, strider.VMConfig{Machine: machine, Mode: mode})
+		stats, err := v.Measure(nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles[mode] = stats.Cycles
+		if mode == strider.InterIntra {
+			prefetches = stats.Mem.PrefetchesIssued
+			m := prog.MethodByName("::sum")
+			if c := v.CompiledFor(m); c != nil && len(c.Graphs) > 0 {
+				fmt.Println(c.Graphs[0].String())
+			}
+		}
+	}
+	sp := 100 * (float64(cycles[strider.Baseline])/float64(cycles[strider.InterIntra]) - 1)
+	fmt.Printf("%s: baseline=%d cycles, inter+intra=%d cycles (%+.1f%%), %d prefetches\n\n",
+		label, cycles[strider.Baseline], cycles[strider.InterIntra], sp, prefetches)
+}
+
+func main() {
+	fmt.Println("list chase: stride discovery on linked lists (Athlon MP)")
+	fmt.Println()
+	run("contiguous list (constant node stride)", false)
+	run("interleaved allocations (no stride)", true)
+}

@@ -1,0 +1,3 @@
+module strider
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package arch describes the simulated machines the experiments run on.
+//
+// The two machine descriptions reproduce Table 2 of the paper (cache and
+// DTLB parameters of the Pentium 4 and the Athlon MP) plus the behavioural
+// differences Sec. 4 calls out:
+//
+//   - software prefetch targets the L2 cache on the Pentium 4 and the L1
+//     cache on the Athlon MP;
+//   - the Pentium 4 has far fewer DTLB entries (64 vs 256), so the paper
+//     uses a guarded load for intra-iteration prefetching there in order to
+//     prime missing DTLB entries.
+//
+// The timing-model fields are simulator knobs, not vendor specifications;
+// they are chosen so that relative effects (L1 vs L2 vs memory vs DTLB
+// costs) have realistic proportions for ~2 GHz-era machines.
+package arch
+
+import "fmt"
+
+// CacheLevel identifies a cache level prefetches can target.
+type CacheLevel uint8
+
+// Cache levels.
+const (
+	L1 CacheLevel = iota
+	L2
+)
+
+// String returns "L1" or "L2".
+func (l CacheLevel) String() string {
+	if l == L1 {
+		return "L1"
+	}
+	return "L2"
+}
+
+// CacheParams describes one cache level.
+type CacheParams struct {
+	SizeBytes uint32 // total capacity
+	LineBytes uint32 // line size
+	Assoc     uint32 // associativity (ways)
+}
+
+// Sets returns the number of sets.
+func (c CacheParams) Sets() uint32 { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Machine is a full machine description: Table 2 parameters, the timing
+// model, and the prefetch mapping policy.
+type Machine struct {
+	Name string
+
+	L1D  CacheParams
+	L2U  CacheParams
+	DTLB struct {
+		Entries  uint32
+		PageSize uint32
+		Assoc    uint32
+	}
+
+	// PrefetchTarget is the cache level a software prefetch instruction
+	// fills (paper Sec. 4: L2 on the Pentium 4, L1 on the Athlon MP).
+	PrefetchTarget CacheLevel
+
+	// GuardedIntraPrefetch selects a guarded load (which also primes the
+	// DTLB) instead of the hardware prefetch instruction for
+	// intra-iteration stride prefetching (paper Sec. 4: used on the
+	// Pentium 4 because of its small DTLB).
+	GuardedIntraPrefetch bool
+
+	// Timing model (cycles).
+	L1HitCycles    uint64 // access time charged on an L1 hit
+	L2HitCycles    uint64 // additional stall on an L1 miss that hits L2
+	MemCycles      uint64 // additional stall on an L2 miss
+	DTLBMissCycles uint64 // page-walk stall on a DTLB miss
+	IssueCycles    uint64 // base cost of one compiled IR instruction
+	InterpPenalty  uint64 // extra cycles per instruction when interpreted
+	StoreFactor    uint64 // store stalls are charged 1/StoreFactor of loads
+
+	// PrefetchQueue is the number of in-flight prefetches the memory
+	// system tracks; further prefetches are dropped (prefetching is not
+	// free: Sec. 1, "issued only when memory bandwidth is not fully used").
+	PrefetchQueue int
+}
+
+// Validate checks that the description is internally consistent.
+func (m *Machine) Validate() error {
+	for _, c := range []struct {
+		name string
+		p    CacheParams
+	}{{"L1D", m.L1D}, {"L2U", m.L2U}} {
+		p := c.p
+		if p.LineBytes == 0 || p.LineBytes&(p.LineBytes-1) != 0 {
+			return fmt.Errorf("arch %s: %s line size %d not a power of two", m.Name, c.name, p.LineBytes)
+		}
+		if p.Assoc == 0 || p.SizeBytes%(p.LineBytes*p.Assoc) != 0 {
+			return fmt.Errorf("arch %s: %s geometry %d/%d/%d inconsistent", m.Name, c.name, p.SizeBytes, p.LineBytes, p.Assoc)
+		}
+		if s := p.Sets(); s&(s-1) != 0 {
+			return fmt.Errorf("arch %s: %s set count %d not a power of two", m.Name, c.name, s)
+		}
+	}
+	if m.DTLB.Entries == 0 || m.DTLB.PageSize == 0 {
+		return fmt.Errorf("arch %s: DTLB unspecified", m.Name)
+	}
+	if m.DTLB.Assoc == 0 || m.DTLB.Entries%m.DTLB.Assoc != 0 {
+		return fmt.Errorf("arch %s: DTLB associativity %d invalid", m.Name, m.DTLB.Assoc)
+	}
+	if m.StoreFactor == 0 {
+		return fmt.Errorf("arch %s: StoreFactor must be >= 1", m.Name)
+	}
+	if m.PrefetchQueue <= 0 {
+		return fmt.Errorf("arch %s: PrefetchQueue must be positive", m.Name)
+	}
+	return nil
+}
+
+// Pentium4 returns the Pentium 4 description from Table 2:
+// 8 KB L1 with 64 B lines, 256 KB L2 with 128 B lines, 64 DTLB entries.
+func Pentium4() *Machine {
+	m := &Machine{
+		Name:                 "Pentium4",
+		L1D:                  CacheParams{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4},
+		L2U:                  CacheParams{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8},
+		PrefetchTarget:       L2,
+		GuardedIntraPrefetch: true,
+		L1HitCycles:          2,
+		L2HitCycles:          18,
+		MemCycles:            220,
+		DTLBMissCycles:       55,
+		IssueCycles:          3,
+		InterpPenalty:        12,
+		StoreFactor:          4,
+		PrefetchQueue:        8,
+	}
+	m.DTLB.Entries = 64
+	m.DTLB.PageSize = 4096
+	m.DTLB.Assoc = 64 // fully associative
+	return m
+}
+
+// AthlonMP returns the Athlon MP description from Table 2:
+// 64 KB L1 with 64 B lines, 256 KB L2 with 64 B lines, 256 DTLB entries.
+func AthlonMP() *Machine {
+	m := &Machine{
+		Name:                 "AthlonMP",
+		L1D:                  CacheParams{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2},
+		L2U:                  CacheParams{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 16},
+		PrefetchTarget:       L1,
+		GuardedIntraPrefetch: false,
+		L1HitCycles:          3,
+		L2HitCycles:          20,
+		MemCycles:            160,
+		DTLBMissCycles:       25,
+		IssueCycles:          3,
+		InterpPenalty:        12,
+		StoreFactor:          4,
+		PrefetchQueue:        8,
+	}
+	m.DTLB.Entries = 256
+	m.DTLB.PageSize = 4096
+	m.DTLB.Assoc = 4
+	return m
+}
+
+// Machines returns the two evaluation machines in paper order.
+func Machines() []*Machine { return []*Machine{Pentium4(), AthlonMP()} }
+
+// ByName returns the machine with the given name, or nil.
+func ByName(name string) *Machine {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

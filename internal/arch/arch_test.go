@@ -1,0 +1,105 @@
+package arch
+
+import "testing"
+
+func TestTable2Parameters(t *testing.T) {
+	p4 := Pentium4()
+	if p4.L1D.SizeBytes != 8<<10 || p4.L1D.LineBytes != 64 {
+		t.Errorf("Pentium4 L1 = %d/%d, want 8K/64B (Table 2)", p4.L1D.SizeBytes, p4.L1D.LineBytes)
+	}
+	if p4.L2U.SizeBytes != 256<<10 || p4.L2U.LineBytes != 128 {
+		t.Errorf("Pentium4 L2 = %d/%d, want 256K/128B (Table 2)", p4.L2U.SizeBytes, p4.L2U.LineBytes)
+	}
+	if p4.DTLB.Entries != 64 {
+		t.Errorf("Pentium4 DTLB = %d, want 64 (Table 2)", p4.DTLB.Entries)
+	}
+	at := AthlonMP()
+	if at.L1D.SizeBytes != 64<<10 || at.L1D.LineBytes != 64 {
+		t.Errorf("AthlonMP L1 = %d/%d, want 64K/64B (Table 2)", at.L1D.SizeBytes, at.L1D.LineBytes)
+	}
+	if at.L2U.SizeBytes != 256<<10 || at.L2U.LineBytes != 64 {
+		t.Errorf("AthlonMP L2 = %d/%d, want 256K/64B (Table 2)", at.L2U.SizeBytes, at.L2U.LineBytes)
+	}
+	if at.DTLB.Entries != 256 {
+		t.Errorf("AthlonMP DTLB = %d, want 256 (Table 2)", at.DTLB.Entries)
+	}
+}
+
+func TestPrefetchPolicy(t *testing.T) {
+	// Sec. 4: "the target cache levels for software prefetching are the L2
+	// cache on the Pentium 4 and the L1 cache on the Athlon MP", and the
+	// Pentium 4 uses guarded loads for intra-iteration prefetching.
+	if Pentium4().PrefetchTarget != L2 {
+		t.Error("Pentium4 must prefetch into L2")
+	}
+	if AthlonMP().PrefetchTarget != L1 {
+		t.Error("AthlonMP must prefetch into L1")
+	}
+	if !Pentium4().GuardedIntraPrefetch {
+		t.Error("Pentium4 must use guarded intra prefetches")
+	}
+	if AthlonMP().GuardedIntraPrefetch {
+		t.Error("AthlonMP must not use guarded intra prefetches")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	m := Pentium4()
+	m.L1D.LineBytes = 48 // not a power of two
+	if err := m.Validate(); err == nil {
+		t.Error("48-byte lines must be rejected")
+	}
+	m = Pentium4()
+	m.L1D.Assoc = 3 // 8K/64B/3 not integral sets
+	if err := m.Validate(); err == nil {
+		t.Error("non-integral set count must be rejected")
+	}
+	m = Pentium4()
+	m.StoreFactor = 0
+	if err := m.Validate(); err == nil {
+		t.Error("StoreFactor 0 must be rejected")
+	}
+	m = Pentium4()
+	m.PrefetchQueue = 0
+	if err := m.Validate(); err == nil {
+		t.Error("empty prefetch queue must be rejected")
+	}
+	m = Pentium4()
+	m.DTLB.Entries = 0
+	if err := m.Validate(); err == nil {
+		t.Error("DTLB without entries must be rejected")
+	}
+}
+
+func TestSets(t *testing.T) {
+	p := CacheParams{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4}
+	if p.Sets() != 32 {
+		t.Errorf("8K/64B/4-way = %d sets, want 32", p.Sets())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Pentium4") == nil || ByName("AthlonMP") == nil {
+		t.Error("ByName must find both machines")
+	}
+	if ByName("VAX") != nil {
+		t.Error("ByName must return nil for unknown machines")
+	}
+	if len(Machines()) != 2 {
+		t.Error("exactly two evaluation machines")
+	}
+}
+
+func TestCacheLevelString(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" {
+		t.Error("CacheLevel.String broken")
+	}
+}

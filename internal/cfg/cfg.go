@@ -1,0 +1,398 @@
+// Package cfg builds control-flow graphs, dominator trees, and the loop
+// nesting forest for IR methods.
+//
+// The paper's prefetching algorithm "first attempts to identify loops,
+// constructing a loop nesting forest. The algorithm then traverses the
+// loops in each tree in a postorder traversal, walking the trees in the
+// program order." (Sec. 3). LoopForest.Postorder provides exactly that
+// traversal order.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strider/internal/ir"
+)
+
+// Block is a basic block: the half-open instruction range [Start, End).
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one method.
+type Graph struct {
+	Method *ir.Method
+	Blocks []*Block
+
+	blockOf []int // instruction index -> block ID
+
+	// idom[b] is the immediate dominator of block b (idom[0] == 0).
+	idom []int
+
+	rpo      []int // reverse postorder of block IDs
+	rpoIndex []int // block ID -> position in rpo, -1 if unreachable
+}
+
+// Build constructs the CFG, dominator tree, and reverse postorder.
+func Build(m *ir.Method) *Graph {
+	n := len(m.Code)
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range m.Code {
+		in := &m.Code[i]
+		switch in.Op {
+		case ir.OpGoto:
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpBr:
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ir.OpReturn:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	g := &Graph{Method: m, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.blockOf[j] = b.ID
+			}
+			start = i
+		}
+	}
+	// Edges.
+	for _, b := range g.Blocks {
+		last := &m.Code[b.End-1]
+		switch last.Op {
+		case ir.OpGoto:
+			g.addEdge(b.ID, g.blockOf[last.Target])
+		case ir.OpBr:
+			g.addEdge(b.ID, g.blockOf[last.Target])
+			if b.End < n {
+				g.addEdge(b.ID, g.blockOf[b.End])
+			}
+		case ir.OpReturn:
+			// no successors
+		default:
+			if b.End < n {
+				g.addEdge(b.ID, g.blockOf[b.End])
+			}
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) addEdge(from, to int) {
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// BlockOf returns the block containing instruction index i.
+func (g *Graph) BlockOf(i int) *Block { return g.Blocks[g.blockOf[i]] }
+
+// NumBlocks returns the block count.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+func (g *Graph) computeRPO() {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	g.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, post[i])
+	}
+	g.rpoIndex = make([]int, len(g.Blocks))
+	for i := range g.rpoIndex {
+		g.rpoIndex[i] = -1
+	}
+	for i, b := range g.rpo {
+		g.rpoIndex[b] = i
+	}
+}
+
+// computeDominators is the Cooper-Harvey-Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	const undef = -1
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = undef
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for g.rpoIndex[a] > g.rpoIndex[b] {
+				a = idom[a]
+			}
+			for g.rpoIndex[b] > g.rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := undef
+			for _, p := range g.Blocks[b].Preds {
+				if g.rpoIndex[p] < 0 || idom[p] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != undef && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom = idom
+}
+
+// Dominates reports whether block a dominates block b. Unreachable blocks
+// dominate nothing and are dominated by nothing.
+func (g *Graph) Dominates(a, b int) bool {
+	if g.rpoIndex[a] < 0 || g.rpoIndex[b] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return a == 0
+		}
+		b = g.idom[b]
+	}
+}
+
+// Idom returns the immediate dominator of block b.
+func (g *Graph) Idom(b int) int { return g.idom[b] }
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.rpoIndex[b] >= 0 }
+
+// String renders the CFG for diagnostics.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return sb.String()
+}
+
+// Edge is a CFG edge.
+type Edge struct{ From, To int }
+
+// Loop is a natural loop.
+type Loop struct {
+	ID       int
+	Header   int          // header block ID
+	Blocks   map[int]bool // member block IDs (including header)
+	Parent   *Loop
+	Children []*Loop
+	Depth    int // 1 for outermost
+
+	BackEdges []Edge // edges u->Header with Header dominating u
+	ExitEdges []Edge // edges from a member block to a non-member block
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// ContainsInstr reports whether instruction i belongs to the loop.
+func (l *Loop) ContainsInstr(g *Graph, i int) bool { return l.Blocks[g.blockOf[i]] }
+
+// IsAncestorOf reports whether l is o or encloses o.
+func (l *Loop) IsAncestorOf(o *Loop) bool {
+	for x := o; x != nil; x = x.Parent {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// LoopForest is the loop nesting forest of a method.
+type LoopForest struct {
+	Graph *Graph
+	Loops []*Loop // all loops, outermost-first program order
+	Roots []*Loop // top-level loops in program order
+
+	loopOfBlock []*Loop // innermost loop containing each block, or nil
+}
+
+// BuildLoops identifies natural loops (merging loops that share a header)
+// and nests them into a forest.
+func BuildLoops(g *Graph) *LoopForest {
+	byHeader := map[int]*Loop{}
+	// Find back edges.
+	for _, b := range g.Blocks {
+		if !g.Reachable(b.ID) {
+			continue
+		}
+		for _, s := range b.Succs {
+			if g.Dominates(s, b.ID) {
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.BackEdges = append(l.BackEdges, Edge{b.ID, s})
+				// Natural loop body: nodes reaching the back edge source
+				// without passing through the header.
+				stack := []int{b.ID}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks[x] {
+						continue
+					}
+					l.Blocks[x] = true
+					for _, p := range g.Blocks[x].Preds {
+						if !l.Blocks[p] && g.Reachable(p) {
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	f := &LoopForest{Graph: g, loopOfBlock: make([]*Loop, len(g.Blocks))}
+	for _, l := range byHeader {
+		f.Loops = append(f.Loops, l)
+	}
+	// Sort by size descending so parents precede children; tie-break on
+	// header order for determinism.
+	sort.Slice(f.Loops, func(i, j int) bool {
+		a, b := f.Loops[i], f.Loops[j]
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) > len(b.Blocks)
+		}
+		return a.Header < b.Header
+	})
+	// Nest: parent = smallest strictly-containing loop.
+	for i, l := range f.Loops {
+		l.ID = i
+		var parent *Loop
+		for j := i - 1; j >= 0; j-- {
+			cand := f.Loops[j]
+			if cand != l && cand.Blocks[l.Header] && len(cand.Blocks) > len(l.Blocks) {
+				if parent == nil || len(cand.Blocks) < len(parent.Blocks) {
+					parent = cand
+				}
+			}
+		}
+		l.Parent = parent
+		if parent != nil {
+			parent.Children = append(parent.Children, l)
+		} else {
+			f.Roots = append(f.Roots, l)
+		}
+	}
+	for _, l := range f.Loops {
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+		// Exit edges.
+		blocks := make([]int, 0, len(l.Blocks))
+		for b := range l.Blocks {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			for _, s := range g.Blocks[b].Succs {
+				if !l.Blocks[s] {
+					l.ExitEdges = append(l.ExitEdges, Edge{b, s})
+				}
+			}
+		}
+	}
+	// Program order for roots and children (by header start).
+	headerStart := func(l *Loop) int { return g.Blocks[l.Header].Start }
+	sort.Slice(f.Roots, func(i, j int) bool { return headerStart(f.Roots[i]) < headerStart(f.Roots[j]) })
+	for _, l := range f.Loops {
+		ch := l.Children
+		sort.Slice(ch, func(i, j int) bool { return headerStart(ch[i]) < headerStart(ch[j]) })
+	}
+	// Innermost loop per block.
+	for _, l := range f.Loops { // outermost first (sorted by size desc)
+		for b := range l.Blocks {
+			if f.loopOfBlock[b] == nil || len(f.loopOfBlock[b].Blocks) > len(l.Blocks) {
+				f.loopOfBlock[b] = l
+			}
+		}
+	}
+	return f
+}
+
+// InnermostAt returns the innermost loop containing instruction i, or nil.
+func (f *LoopForest) InnermostAt(i int) *Loop {
+	return f.loopOfBlock[f.Graph.blockOf[i]]
+}
+
+// LoopOfBlock returns the innermost loop containing block b, or nil.
+func (f *LoopForest) LoopOfBlock(b int) *Loop { return f.loopOfBlock[b] }
+
+// Postorder returns the loops of each tree in postorder, walking the trees
+// in program order — the traversal the paper's algorithm uses (Sec. 3).
+func (f *LoopForest) Postorder() []*Loop {
+	var out []*Loop
+	var walk func(*Loop)
+	walk = func(l *Loop) {
+		for _, c := range l.Children {
+			walk(c)
+		}
+		out = append(out, l)
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// IsBackEdgeInstr reports whether the branch instruction at index i is the
+// source of a back edge of loop l, i.e. it can jump to l's header.
+func (f *LoopForest) IsBackEdgeInstr(l *Loop, i int) bool {
+	from := f.Graph.blockOf[i]
+	for _, e := range l.BackEdges {
+		if e.From == from {
+			return true
+		}
+	}
+	return false
+}

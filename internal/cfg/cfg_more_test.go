@@ -1,0 +1,113 @@
+package cfg
+
+import (
+	"testing"
+
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// buildTripleLoop nests three counted loops.
+func buildTripleLoop(t *testing.T) *ir.Method {
+	t.Helper()
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "t3", value.KindInt, value.KindInt)
+	n := b.Param(0)
+	acc := b.ConstInt(0)
+	var ends []func()
+	for d := 0; d < 3; d++ {
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		ends = append(ends, func() {
+			b.IncInt(i, 1)
+			b.Bind(cond)
+			b.Br(value.KindInt, ir.CondLT, i, n, body)
+		})
+	}
+	b.IncInt(acc, 1)
+	for k := len(ends) - 1; k >= 0; k-- {
+		ends[k]()
+	}
+	b.Return(acc)
+	return b.Finish()
+}
+
+func TestTripleNesting(t *testing.T) {
+	m := buildTripleLoop(t)
+	g := Build(m)
+	f := BuildLoops(g)
+	if len(f.Loops) != 3 {
+		t.Fatalf("loops = %d", len(f.Loops))
+	}
+	post := f.Postorder()
+	if post[0].Depth != 3 || post[1].Depth != 2 || post[2].Depth != 1 {
+		t.Errorf("postorder depths: %d %d %d", post[0].Depth, post[1].Depth, post[2].Depth)
+	}
+	if !post[2].IsAncestorOf(post[0]) || post[0].Parent.Parent != post[2] {
+		t.Error("nesting chain broken")
+	}
+}
+
+// TestSiblingLoops: two sequential top-level loops stay separate trees in
+// program order.
+func TestSiblingLoops(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "sib", value.KindInt, value.KindInt)
+	n := b.Param(0)
+	for k := 0; k < 2; k++ {
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, n, body)
+	}
+	z := b.ConstInt(0)
+	b.Return(z)
+	m := b.Finish()
+	f := BuildLoops(Build(m))
+	if len(f.Roots) != 2 {
+		t.Fatalf("roots = %d", len(f.Roots))
+	}
+	// Program order: first loop's header starts earlier.
+	g := f.Graph
+	if g.Blocks[f.Roots[0].Header].Start >= g.Blocks[f.Roots[1].Header].Start {
+		t.Error("roots out of program order")
+	}
+	if f.Roots[0].IsAncestorOf(f.Roots[1]) || f.Roots[1].IsAncestorOf(f.Roots[0]) {
+		t.Error("siblings are not ancestors of each other")
+	}
+}
+
+// TestMultiExitLoop: a loop with a break-style second exit records both
+// exit edges.
+func TestMultiExitLoop(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "me", value.KindInt, value.KindInt, value.KindInt)
+	n, lim := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	brk := b.NewLabel()
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	b.Br(value.KindInt, ir.CondGT, i, lim, brk) // break
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Bind(brk)
+	b.Return(i)
+	m := b.Finish()
+	f := BuildLoops(Build(m))
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d", len(f.Loops))
+	}
+	if len(f.Loops[0].ExitEdges) < 2 {
+		t.Errorf("exit edges = %d, want >= 2", len(f.Loops[0].ExitEdges))
+	}
+}

@@ -1,0 +1,312 @@
+package cfg
+
+import (
+	"testing"
+
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// buildDoubleLoop assembles the canonical doubly nested counted loop shape
+// used throughout the workloads (bottom-test loops entered via goto):
+//
+//	i = 0; goto outerCond
+//	outerBody: j = 0; goto innerCond
+//	innerBody: j++
+//	innerCond: if j < P1 goto innerBody
+//	i++
+//	outerCond: if i < P0 goto outerBody
+//	return i
+func buildDoubleLoop(t *testing.T) *ir.Method {
+	t.Helper()
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "m", value.KindInt, value.KindInt, value.KindInt)
+	i := b.ConstInt(0)
+	j := b.NewReg()
+	outerCond := b.NewLabel()
+	outerBody := b.NewLabel()
+	innerCond := b.NewLabel()
+	innerBody := b.NewLabel()
+	b.Goto(outerCond)
+	b.Bind(outerBody)
+	b.SetInt(j, 0)
+	b.Goto(innerCond)
+	b.Bind(innerBody)
+	b.IncInt(j, 1)
+	b.Bind(innerCond)
+	b.Br(value.KindInt, ir.CondLT, j, b.Param(1), innerBody)
+	b.IncInt(i, 1)
+	b.Bind(outerCond)
+	b.Br(value.KindInt, ir.CondLT, i, b.Param(0), outerBody)
+	b.Return(i)
+	return b.Finish()
+}
+
+func TestBlockPartition(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	// Every instruction belongs to exactly one block, blocks tile the code.
+	covered := 0
+	prevEnd := 0
+	for _, b := range g.Blocks {
+		if b.Start != prevEnd {
+			t.Fatalf("block %d starts at %d, want %d", b.ID, b.Start, prevEnd)
+		}
+		covered += b.End - b.Start
+		prevEnd = b.End
+		for i := b.Start; i < b.End; i++ {
+			if g.BlockOf(i) != b {
+				t.Fatalf("BlockOf(%d) wrong", i)
+			}
+		}
+	}
+	if covered != len(m.Code) {
+		t.Fatalf("blocks cover %d of %d instructions", covered, len(m.Code))
+	}
+}
+
+func TestEdgesConsistent(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range g.Blocks[s].Preds {
+				if p == b.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge B%d->B%d missing pred backlink", b.ID, s)
+			}
+		}
+	}
+	// Return blocks have no successors.
+	last := g.BlockOf(len(m.Code) - 1)
+	if len(last.Succs) != 0 {
+		t.Error("return block must have no successors")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	// Entry dominates everything reachable.
+	for _, b := range g.Blocks {
+		if g.Reachable(b.ID) && !g.Dominates(0, b.ID) {
+			t.Errorf("entry must dominate B%d", b.ID)
+		}
+	}
+	// Dominance is reflexive and antisymmetric (except self).
+	for _, a := range g.Blocks {
+		if !g.Reachable(a.ID) {
+			continue
+		}
+		if !g.Dominates(a.ID, a.ID) {
+			t.Errorf("B%d must dominate itself", a.ID)
+		}
+		for _, b := range g.Blocks {
+			if a.ID != b.ID && g.Reachable(b.ID) &&
+				g.Dominates(a.ID, b.ID) && g.Dominates(b.ID, a.ID) {
+				t.Errorf("B%d and B%d dominate each other", a.ID, b.ID)
+			}
+		}
+	}
+	// Idom chains terminate at entry.
+	for _, b := range g.Blocks {
+		if !g.Reachable(b.ID) {
+			continue
+		}
+		x := b.ID
+		for steps := 0; x != 0; steps++ {
+			if steps > len(g.Blocks) {
+				t.Fatalf("idom chain from B%d does not reach entry", b.ID)
+			}
+			x = g.Idom(x)
+		}
+	}
+}
+
+func TestLoopForest(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	f := BuildLoops(g)
+	if len(f.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(f.Loops))
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("found %d root loops, want 1", len(f.Roots))
+	}
+	outer := f.Roots[0]
+	if len(outer.Children) != 1 {
+		t.Fatalf("outer loop has %d children, want 1", len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if inner.Parent != outer {
+		t.Error("inner.Parent wrong")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d, %d", outer.Depth, inner.Depth)
+	}
+	if !outer.IsAncestorOf(inner) || !outer.IsAncestorOf(outer) {
+		t.Error("IsAncestorOf broken")
+	}
+	if inner.IsAncestorOf(outer) {
+		t.Error("inner is not an ancestor of outer")
+	}
+	// The inner loop's blocks are a subset of the outer's.
+	for b := range inner.Blocks {
+		if !outer.Blocks[b] {
+			t.Errorf("inner block B%d not in outer loop", b)
+		}
+	}
+	// Back edges target the headers.
+	for _, l := range f.Loops {
+		if len(l.BackEdges) == 0 {
+			t.Error("loop without back edges")
+		}
+		for _, e := range l.BackEdges {
+			if e.To != l.Header {
+				t.Error("back edge not targeting header")
+			}
+			if !l.Blocks[e.From] {
+				t.Error("back edge source outside loop")
+			}
+		}
+		if len(l.ExitEdges) == 0 {
+			t.Error("natural loops here must have exits")
+		}
+		for _, e := range l.ExitEdges {
+			if !l.Blocks[e.From] || l.Blocks[e.To] {
+				t.Error("exit edge endpoints wrong")
+			}
+		}
+	}
+}
+
+func TestPostorder(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	f := BuildLoops(g)
+	post := f.Postorder()
+	if len(post) != 2 {
+		t.Fatalf("postorder length %d", len(post))
+	}
+	if post[0].Depth != 2 || post[1].Depth != 1 {
+		t.Error("postorder must visit inner loops before their parents")
+	}
+}
+
+func TestInnermostAt(t *testing.T) {
+	m := buildDoubleLoop(t)
+	g := Build(m)
+	f := BuildLoops(g)
+	inner := f.Postorder()[0]
+	outer := f.Postorder()[1]
+	// The inner increment instruction lives in the inner loop.
+	foundInner := false
+	for i := range m.Code {
+		l := f.InnermostAt(i)
+		if l == inner {
+			foundInner = true
+			if !outer.ContainsInstr(g, i) {
+				t.Error("inner instruction must also be in outer loop")
+			}
+		}
+	}
+	if !foundInner {
+		t.Error("no instruction attributed to the inner loop")
+	}
+	if f.InnermostAt(0) != nil {
+		t.Error("entry instruction is in no loop")
+	}
+}
+
+func TestStraightLineNoLoops(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "s", value.KindInt)
+	x := b.ConstInt(1)
+	y := b.ConstInt(2)
+	z := b.AddInt(x, y)
+	b.Return(z)
+	m := b.Finish()
+	g := Build(m)
+	f := BuildLoops(g)
+	if len(f.Loops) != 0 {
+		t.Error("straight-line code has no loops")
+	}
+	if g.NumBlocks() != 1 {
+		t.Errorf("straight-line code is one block, got %d", g.NumBlocks())
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "d", value.KindInt, value.KindInt)
+	x := b.ConstInt(0)
+	els := b.NewLabel()
+	done := b.NewLabel()
+	b.Br(value.KindInt, ir.CondLT, b.Param(0), x, els)
+	b.SetInt(x, 1)
+	b.Goto(done)
+	b.Bind(els)
+	b.SetInt(x, 2)
+	b.Bind(done)
+	b.Return(x)
+	m := b.Finish()
+	g := Build(m)
+	if BuildLoops(g).Loops != nil {
+		t.Error("diamond has no loops")
+	}
+	// The join block is dominated by the branch block but not by either arm.
+	join := g.BlockOf(len(m.Code) - 1)
+	branch := g.BlockOf(0)
+	if !g.Dominates(branch.ID, join.ID) {
+		t.Error("branch must dominate join")
+	}
+	for _, arm := range join.Preds {
+		if arm != branch.ID && g.Dominates(arm, join.ID) {
+			t.Error("arm must not dominate join")
+		}
+	}
+}
+
+func TestUnreachableCode(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "u", value.KindInt)
+	x := b.ConstInt(1)
+	b.Return(x)
+	dead := b.ConstInt(2) // unreachable
+	b.Return(dead)
+	m := b.Finish()
+	g := Build(m)
+	deadBlk := g.BlockOf(2)
+	if g.Reachable(deadBlk.ID) {
+		t.Error("code after return must be unreachable")
+	}
+	if g.Dominates(deadBlk.ID, 0) || g.Dominates(0, deadBlk.ID) {
+		t.Error("unreachable blocks participate in no dominance")
+	}
+}
+
+// TestFallthroughBackEdge covers the bottom-test shape where the back edge
+// is a conditional branch and the loop is entered by fallthrough.
+func TestFallthroughBackEdge(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "f", value.KindInt, value.KindInt)
+	i := b.ConstInt(0)
+	head := b.Here()
+	b.IncInt(i, 1)
+	b.Br(value.KindInt, ir.CondLT, i, b.Param(0), head)
+	b.Return(i)
+	m := b.Finish()
+	g := Build(m)
+	f := BuildLoops(g)
+	if len(f.Loops) != 1 {
+		t.Fatalf("want one loop, got %d", len(f.Loops))
+	}
+	l := f.Loops[0]
+	if g.Blocks[l.Header].Start != 1 {
+		t.Errorf("loop header starts at %d", g.Blocks[l.Header].Start)
+	}
+}

@@ -1,0 +1,232 @@
+package classfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strider/internal/value"
+)
+
+func TestDefineClassLayout(t *testing.T) {
+	u := NewUniverse()
+	c := u.MustDefineClass("Point", nil,
+		FieldSpec{Name: "x", Kind: value.KindInt},
+		FieldSpec{Name: "y", Kind: value.KindInt},
+		FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	if c.ID == 0 {
+		t.Error("class IDs must start at 1")
+	}
+	if got := c.FieldByName("x").Offset; got != HeaderBytes {
+		t.Errorf("first field offset = %d, want %d", got, HeaderBytes)
+	}
+	if got := c.FieldByName("y").Offset; got != HeaderBytes+4 {
+		t.Errorf("y offset = %d", got)
+	}
+	if got := c.FieldByName("next").Offset; got != HeaderBytes+8 {
+		t.Errorf("next offset = %d", got)
+	}
+	if c.InstanceSize != 32 { // 16 header + 12 fields, aligned to 8
+		t.Errorf("InstanceSize = %d, want 32", c.InstanceSize)
+	}
+	if len(c.RefOffsets) != 1 || c.RefOffsets[0] != HeaderBytes+8 {
+		t.Errorf("RefOffsets = %v", c.RefOffsets)
+	}
+}
+
+func TestWideFieldAlignment(t *testing.T) {
+	u := NewUniverse()
+	c := u.MustDefineClass("W", nil,
+		FieldSpec{Name: "a", Kind: value.KindInt},
+		FieldSpec{Name: "d", Kind: value.KindDouble},
+		FieldSpec{Name: "l", Kind: value.KindLong},
+	)
+	if off := c.FieldByName("d").Offset; off%8 != 0 {
+		t.Errorf("double offset %d not 8-aligned", off)
+	}
+	if off := c.FieldByName("l").Offset; off%8 != 0 {
+		t.Errorf("long offset %d not 8-aligned", off)
+	}
+	if c.InstanceSize%8 != 0 {
+		t.Errorf("instance size %d not 8-aligned", c.InstanceSize)
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	u := NewUniverse()
+	base := u.MustDefineClass("Base", nil,
+		FieldSpec{Name: "a", Kind: value.KindInt},
+		FieldSpec{Name: "r", Kind: value.KindRef},
+	)
+	sub := u.MustDefineClass("Sub", base,
+		FieldSpec{Name: "b", Kind: value.KindInt},
+	)
+	if sub.FieldByName("a") == nil {
+		t.Fatal("inherited field not visible")
+	}
+	if sub.FieldByName("a").Offset != base.FieldByName("a").Offset {
+		t.Error("inherited field offset changed")
+	}
+	if sub.FieldByName("b").Offset < base.InstanceSize {
+		t.Error("subclass fields must follow superclass fields")
+	}
+	if !sub.IsSubclassOf(base) || !sub.IsSubclassOf(sub) {
+		t.Error("IsSubclassOf broken")
+	}
+	if base.IsSubclassOf(sub) {
+		t.Error("base is not a subclass of sub")
+	}
+	if len(sub.RefOffsets) != 1 {
+		t.Errorf("ref offsets must be inherited: %v", sub.RefOffsets)
+	}
+}
+
+func TestDuplicateErrors(t *testing.T) {
+	u := NewUniverse()
+	u.MustDefineClass("A", nil)
+	if _, err := u.DefineClass("A", nil); err == nil {
+		t.Error("duplicate class name must fail")
+	}
+	if _, err := u.DefineClass("B", nil,
+		FieldSpec{Name: "x", Kind: value.KindInt},
+		FieldSpec{Name: "x", Kind: value.KindInt},
+	); err == nil {
+		t.Error("duplicate field must fail")
+	}
+	if _, err := u.DefineClass("C", nil, FieldSpec{Name: "x", Kind: value.KindUnknown}); err == nil {
+		t.Error("unknown-kind field must fail")
+	}
+}
+
+func TestArrayClasses(t *testing.T) {
+	u := NewUniverse()
+	ri := u.ArrayClass(value.KindInt)
+	if !ri.IsArray || ri.Elem != value.KindInt || ri.ElemSize != 4 {
+		t.Errorf("int[] broken: %+v", ri)
+	}
+	if u.ArrayClass(value.KindInt) != ri {
+		t.Error("array classes must be interned")
+	}
+	rd := u.ArrayClass(value.KindDouble)
+	if rd.ElemSize != 8 {
+		t.Error("double[] element size must be 8")
+	}
+	if ri.ArraySize(0) != HeaderBytes {
+		t.Errorf("empty array size = %d", ri.ArraySize(0))
+	}
+	if got := ri.ArraySize(3); got != ArrayAlign(HeaderBytes+12) {
+		t.Errorf("int[3] size = %d", got)
+	}
+	if u.ByName(ArrayClassName(value.KindInt)) != ri {
+		t.Error("array class not registered by name")
+	}
+}
+
+func TestByID(t *testing.T) {
+	u := NewUniverse()
+	a := u.MustDefineClass("A", nil)
+	b := u.ArrayClass(value.KindRef)
+	if u.ByID(a.ID) != a || u.ByID(b.ID) != b {
+		t.Error("ByID lookup broken")
+	}
+	if u.ByID(0) != nil || u.ByID(99) != nil {
+		t.Error("ByID must return nil out of range")
+	}
+	if u.NumClasses() != 2 || len(u.Classes()) != 2 {
+		t.Error("class registry count wrong")
+	}
+}
+
+func TestStatics(t *testing.T) {
+	u := NewUniverse()
+	c := u.MustDefineClass("S", nil,
+		FieldSpec{Name: "count", Kind: value.KindInt, Static: true},
+		FieldSpec{Name: "head", Kind: value.KindRef, Static: true},
+		FieldSpec{Name: "x", Kind: value.KindInt},
+	)
+	fc := c.FieldByName("count")
+	fh := c.FieldByName("head")
+	if !fc.Static || !fh.Static {
+		t.Fatal("static flags lost")
+	}
+	if got := u.GetStatic(fc); got.K != value.KindInt || got.Int() != 0 {
+		t.Errorf("static int zero value = %v", got)
+	}
+	if got := u.GetStatic(fh); !got.IsNull() {
+		t.Errorf("static ref zero value = %v", got)
+	}
+	u.SetStatic(fc, value.Int(7))
+	if u.GetStatic(fc).Int() != 7 {
+		t.Error("SetStatic lost the value")
+	}
+	u.SetStatic(fh, value.Ref(0x40))
+	var visited int
+	u.StaticRoots(func(v *value.Value) {
+		visited++
+		if v.Ref() != 0x40 {
+			t.Errorf("root value = %v", *v)
+		}
+		*v = value.Ref(0x80) // the GC updates roots in place
+	})
+	if visited != 1 {
+		t.Errorf("StaticRoots visited %d slots, want 1 (only refs)", visited)
+	}
+	if u.GetStatic(fh).Ref() != 0x80 {
+		t.Error("root update not visible")
+	}
+	u.ResetStatics()
+	if u.GetStatic(fc).Int() != 0 || !u.GetStatic(fh).IsNull() {
+		t.Error("ResetStatics failed")
+	}
+}
+
+func TestStaticPanicsOnInstanceField(t *testing.T) {
+	u := NewUniverse()
+	c := u.MustDefineClass("P", nil, FieldSpec{Name: "x", Kind: value.KindInt})
+	defer func() {
+		if recover() == nil {
+			t.Error("GetStatic on instance field must panic")
+		}
+	}()
+	u.GetStatic(c.FieldByName("x"))
+}
+
+// Property: for any random mix of field kinds, offsets never overlap and
+// every field lies within the instance size.
+func TestQuickLayoutNonOverlapping(t *testing.T) {
+	kinds := []value.Kind{value.KindInt, value.KindLong, value.KindFloat, value.KindDouble, value.KindRef}
+	counter := 0
+	f := func(pick []byte) bool {
+		if len(pick) > 30 {
+			pick = pick[:30]
+		}
+		u := NewUniverse()
+		specs := make([]FieldSpec, len(pick))
+		for i, p := range pick {
+			specs[i] = FieldSpec{Name: string(rune('a' + i)), Kind: kinds[int(p)%len(kinds)]}
+		}
+		counter++
+		c, err := u.DefineClass("T", nil, specs...)
+		if err != nil {
+			return false
+		}
+		type span struct{ lo, hi uint32 }
+		var spans []span
+		for _, fl := range c.Fields {
+			lo, hi := fl.Offset, fl.Offset+fl.Kind.Size()
+			if lo < HeaderBytes || hi > c.InstanceSize {
+				return false
+			}
+			for _, s := range spans {
+				if lo < s.hi && s.lo < hi {
+					return false // overlap
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

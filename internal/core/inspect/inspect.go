@@ -1,0 +1,660 @@
+// Package inspect implements object inspection, the paper's
+// ultra-lightweight dynamic-profiling technique (Sec. 3.2):
+//
+//	"When invoked for a method containing one or more loops, the JIT
+//	compiler partially interprets the method with the actual values of
+//	the method's parameters and without generating any side effects,
+//	executing each loop a small number of times to discover the stride
+//	patterns."
+//
+// Side-effect freedom is achieved exactly as the paper describes: the
+// inspector works on a copy of the stack frame; stores into objects are
+// recorded in a hash table consulted by subsequent loads; object-creating
+// instructions allocate from a private heap; method invocations are
+// skipped with an unknown result (unless the interprocedural extension is
+// enabled); loops preceding the target loop are interpreted only once; and
+// any instruction with an unknown operand produces an unknown result.
+package inspect
+
+import (
+	"strider/internal/cfg"
+	"strider/internal/classfile"
+	"strider/internal/core/stride"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// Config controls one inspection run.
+type Config struct {
+	// Iterations is how many target-loop iterations to observe (paper: 20).
+	Iterations int
+	// InnerCap bounds back-edge takes per entry of a loop nested inside
+	// the target, so a large inner loop cannot blow the budget.
+	InnerCap int
+	// StepBudget bounds the total number of interpreted instructions;
+	// object inspection must stay ultra-lightweight.
+	StepBudget int
+	// Interprocedural steps into direct (non-virtual) calls instead of
+	// skipping them — the extension the paper leaves as a trade-off.
+	Interprocedural bool
+	// MaxCallDepth bounds interprocedural nesting.
+	MaxCallDepth int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{Iterations: 20, InnerCap: 64, StepBudget: 100000, MaxCallDepth: 2}
+}
+
+// TripStat records observed iteration counts for a nested loop.
+type TripStat struct {
+	Entries int
+	Iters   int
+}
+
+// Mean returns the average iterations per entry (0 when never entered).
+func (t TripStat) Mean() float64 {
+	if t.Entries == 0 {
+		return 0
+	}
+	return float64(t.Iters) / float64(t.Entries)
+}
+
+// Result is the outcome of inspecting one target loop.
+type Result struct {
+	// Traces maps an instruction index (an LDG node) to its recorded
+	// executions.
+	Traces map[int][]stride.Rec
+	// TargetTrips is the number of target-loop iterations started (header
+	// entries). For a loop exiting from its header test this is the real
+	// trip count plus one (the final, failing test); for a loop exiting
+	// mid-body it equals the trip count. The off-by-one is immaterial for
+	// both consumers (the small-trip-count rule and the iteration cap).
+	TargetTrips int
+	// NaturalExit is true when the loop exited by its own condition before
+	// the iteration cap — the signal for a small trip count.
+	NaturalExit bool
+	// NestedTrips has per-nested-loop trip statistics.
+	NestedTrips map[*cfg.Loop]TripStat
+	// Steps is the number of instructions interpreted (the dominant term
+	// of the prefetch phase's compile-time cost).
+	Steps int
+	// Completed is true when the target loop was reached and at least two
+	// iterations were observed.
+	Completed bool
+}
+
+type inspector struct {
+	cfg     Config
+	prog    *ir.Program
+	heap    *heap.Heap
+	graph   *cfg.Graph
+	forest  *cfg.LoopForest
+	target  *cfg.Loop
+	record  map[int]bool // instruction indices to trace
+	res     *Result
+	steps   int
+	aborted bool
+
+	// Side-effect isolation.
+	writes   map[uint32]value.Value // store hash table (paper Sec. 3.2)
+	priv     []byte                 // private heap backing
+	privBase uint32
+	privTop  uint32
+
+	// Per-loop back-edge counters, reset on loop entry.
+	backCount map[*cfg.Loop]int
+
+	curIter int // current target-loop iteration, -1 before entry
+}
+
+// Inspect partially interprets method m (whose CFG and loop forest are
+// given) with the actual argument values args, observing the loads listed
+// in record within the target loop. The heap is never written.
+func Inspect(prog *ir.Program, h *heap.Heap, g *cfg.Graph, f *cfg.LoopForest,
+	target *cfg.Loop, record []int, args []value.Value, cfgn Config) *Result {
+
+	ins := &inspector{
+		cfg:       cfgn,
+		prog:      prog,
+		heap:      h,
+		graph:     g,
+		forest:    f,
+		target:    target,
+		record:    make(map[int]bool, len(record)),
+		writes:    make(map[uint32]value.Value),
+		privBase:  (h.Size() + 0xFFF) &^ 0xFFF,
+		backCount: make(map[*cfg.Loop]int),
+		curIter:   -1,
+		res: &Result{
+			Traces:      make(map[int][]stride.Rec),
+			NestedTrips: make(map[*cfg.Loop]TripStat),
+		},
+	}
+	ins.privTop = ins.privBase
+	for _, i := range record {
+		ins.record[i] = true
+	}
+
+	m := g.Method
+	regs := make([]value.Value, m.NumRegs)
+	for i := range regs {
+		regs[i] = value.Unknown
+	}
+	for i, a := range args {
+		if i < len(regs) {
+			regs[i] = a
+		}
+	}
+	ins.run(m, regs, 0)
+	ins.res.Steps = ins.steps
+	ins.res.Completed = ins.res.TargetTrips >= 2
+	return ins.res
+}
+
+// --- memory model -----------------------------------------------------------
+
+func (ins *inspector) isPrivate(addr uint32) bool { return addr >= ins.privBase }
+
+// loadRaw reads a 32-bit word through the inspection memory model:
+// the store hash table first, then the private heap, then the real heap.
+func (ins *inspector) loadRaw(addr uint32) (uint32, bool) {
+	if v, ok := ins.writes[addr]; ok {
+		return v.Bits(), true
+	}
+	if ins.isPrivate(addr) {
+		off := addr - ins.privBase
+		if int(off)+4 > len(ins.priv) {
+			return 0, false
+		}
+		b := ins.priv[off : off+4]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, true
+	}
+	if !ins.heap.Valid(addr, 4) {
+		return 0, false
+	}
+	return ins.heap.Load4(addr), true
+}
+
+// loadValue reads a value of the given kind at addr. Wide kinds read the
+// hash table by their base address, so mixed-width aliasing is not
+// modelled — fields never overlap, which is all we need.
+func (ins *inspector) loadValue(k value.Kind, addr uint32) value.Value {
+	if v, ok := ins.writes[addr]; ok {
+		if v.K == k {
+			return v
+		}
+		return value.Unknown
+	}
+	switch k {
+	case value.KindLong, value.KindDouble:
+		lo, ok1 := ins.loadRaw(addr)
+		hi, ok2 := ins.loadRaw(addr + 4)
+		if !ok1 || !ok2 {
+			return value.Unknown
+		}
+		return value.Value{K: k, B: uint64(lo) | uint64(hi)<<32}
+	default:
+		w, ok := ins.loadRaw(addr)
+		if !ok {
+			return value.Unknown
+		}
+		return value.Value{K: k, B: uint64(w)}
+	}
+}
+
+// storeValue records a store in the hash table ("we interpret each store
+// instruction into an object by recording the updated address and the
+// value in a hash table").
+func (ins *inspector) storeValue(addr uint32, v value.Value) {
+	ins.writes[addr] = v
+}
+
+// classAt resolves the class header word of the object at addr through the
+// inspection memory model.
+func (ins *inspector) classAt(addr uint32) *classfile.Class {
+	w, ok := ins.loadRaw(addr + classfile.ClassIDOffset)
+	if !ok {
+		return nil
+	}
+	return ins.prog.Universe.ByID(w)
+}
+
+func (ins *inspector) arrayLenAt(addr uint32) (uint32, bool) {
+	return ins.loadRaw(addr + classfile.AuxOffset)
+}
+
+// allocPrivate allocates size bytes in the private heap and stamps the
+// header directly into the private backing store.
+func (ins *inspector) allocPrivate(classID, aux, size uint32) uint32 {
+	addr := ins.privTop
+	ins.privTop += size
+	need := int(ins.privTop - ins.privBase)
+	for len(ins.priv) < need {
+		ins.priv = append(ins.priv, make([]byte, need-len(ins.priv)+4096)...)
+	}
+	off := addr - ins.privBase
+	put := func(o, v uint32) {
+		b := ins.priv[off+o : off+o+4]
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	put(classfile.ClassIDOffset, classID)
+	put(classfile.AuxOffset, aux)
+	return addr
+}
+
+// --- execution ---------------------------------------------------------------
+
+// loopEntered updates per-loop entry bookkeeping when control moves from
+// block `from` to block `to`.
+func (ins *inspector) noteTransition(from, to int) {
+	toLoop := ins.forest.LoopOfBlock(to)
+	for l := toLoop; l != nil; l = l.Parent {
+		if from < 0 || !l.Contains(from) {
+			// Entering loop l afresh.
+			ins.backCount[l] = 0
+			if l != ins.target && ins.target.Contains(l.Header) {
+				st := ins.res.NestedTrips[l]
+				st.Entries++
+				st.Iters++ // entering executes the first iteration
+				ins.res.NestedTrips[l] = st
+			}
+		}
+	}
+}
+
+// run interprets one method activation. depth > 0 only in interprocedural
+// mode. It returns the return value (possibly unknown) and whether the
+// inspection should continue in the caller.
+func (ins *inspector) run(m *ir.Method, regs []value.Value, depth int) value.Value {
+	isTargetFrame := m == ins.graph.Method && depth == 0
+	pc := 0
+	curBlock := -1
+	n := len(m.Code)
+	for pc >= 0 && pc < n {
+		if ins.steps >= ins.cfg.StepBudget {
+			ins.aborted = true
+			return value.Unknown
+		}
+		ins.steps++
+
+		if isTargetFrame {
+			blk := ins.graph.BlockOf(pc).ID
+			if blk != curBlock {
+				ins.noteTransition(curBlock, blk)
+				// First arrival at the target loop header starts iteration 0.
+				if blk == ins.target.Header && ins.curIter < 0 {
+					ins.curIter = 0
+					ins.res.TargetTrips = 1
+				}
+				curBlock = blk
+			}
+		}
+
+		in := &m.Code[pc]
+		next := pc + 1
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[in.Dst] = constValue(in)
+		case ir.OpMove:
+			regs[in.Dst] = regs[in.A]
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+			ir.OpXor, ir.OpShl, ir.OpShr, ir.OpUshr:
+			a, b := regs[in.A], regs[in.B]
+			if a.K != in.Kind || b.K != in.Kind {
+				regs[in.Dst] = value.Unknown
+			} else if v, err := ir.EvalBinary(in.Op, in.Kind, a, b); err != nil {
+				regs[in.Dst] = value.Unknown
+			} else {
+				regs[in.Dst] = v
+			}
+		case ir.OpNeg:
+			if a := regs[in.A]; a.K == in.Kind {
+				v, err := ir.EvalUnary(in.Op, in.Kind, a)
+				if err != nil {
+					v = value.Unknown
+				}
+				regs[in.Dst] = v
+			} else {
+				regs[in.Dst] = value.Unknown
+			}
+		case ir.OpConv:
+			if a := regs[in.A]; a.K.IsNumeric() {
+				v, err := ir.Convert(in.Kind, a)
+				if err != nil {
+					v = value.Unknown
+				}
+				regs[in.Dst] = v
+			} else {
+				regs[in.Dst] = value.Unknown
+			}
+
+		case ir.OpGoto:
+			next = in.Target
+		case ir.OpBr:
+			a, b := regs[in.A], regs[in.B]
+			if a.IsUnknown() || b.IsUnknown() || a.K != b.K {
+				next = ins.unknownBranch(m, isTargetFrame, pc, in.Target)
+			} else if taken, err := ir.EvalCond(in.Cond, in.Kind, a, b); err != nil {
+				next = ins.unknownBranch(m, isTargetFrame, pc, in.Target)
+			} else if taken {
+				next = in.Target
+			}
+		case ir.OpReturn:
+			// Returning while inside the target loop is a natural exit of
+			// the loop (e.g. a successful search) — the small-trip-count
+			// signal must fire for such loops too.
+			if isTargetFrame && ins.curIter >= 0 {
+				ins.res.NaturalExit = true
+			}
+			if in.A == ir.NoReg {
+				return value.Unknown
+			}
+			return regs[in.A]
+
+		case ir.OpGetField:
+			regs[in.Dst] = ins.getField(isTargetFrame, pc, in, regs[in.A])
+		case ir.OpPutField:
+			if obj := regs[in.A]; obj.IsRef() && !obj.IsNull() {
+				ins.storeValue(obj.Ref()+in.Field.Offset, regs[in.B])
+			}
+		case ir.OpGetStatic:
+			// Statics live outside the simulated heap; read the real slot
+			// unless shadowed by an inspected putstatic (keyed by a
+			// synthetic address derived from the field identity).
+			regs[in.Dst] = ins.prog.Universe.GetStatic(in.Field)
+		case ir.OpPutStatic:
+			// Suppressed: inspection must not change statics, and loads of
+			// statics are rare enough that shadowing them is not worth a
+			// second table. The result read by a later getstatic is the
+			// pre-inspection value, which is safe (just less precise).
+		case ir.OpArrayLoad:
+			regs[in.Dst] = ins.arrayLoad(isTargetFrame, pc, in, regs[in.A], regs[in.B])
+		case ir.OpArrayStore:
+			ins.arrayStore(in, regs[in.A], regs[in.B], regs[in.C])
+		case ir.OpArrayLen:
+			arr := regs[in.A]
+			if arr.IsRef() && !arr.IsNull() {
+				addr := arr.Ref() + classfile.AuxOffset
+				ins.recordLoad(isTargetFrame, pc, addr)
+				if l, ok := ins.arrayLenAt(arr.Ref()); ok {
+					regs[in.Dst] = value.Int(int32(l))
+					break
+				}
+			}
+			regs[in.Dst] = value.Unknown
+
+		case ir.OpNew:
+			addr := ins.allocPrivate(in.Class.ID, 0, in.Class.InstanceSize)
+			regs[in.Dst] = value.Ref(addr)
+		case ir.OpNewArray:
+			ln := regs[in.A]
+			if ln.K != value.KindInt || ln.Int() < 0 || ln.Int() > 1<<20 {
+				regs[in.Dst] = value.Unknown
+				break
+			}
+			c := ins.prog.Universe.ArrayClass(in.Kind)
+			addr := ins.allocPrivate(c.ID, uint32(ln.Int()), c.ArraySize(uint32(ln.Int())))
+			regs[in.Dst] = value.Ref(addr)
+
+		case ir.OpCall:
+			regs2 := ins.callArgs(in.Callee.NumRegs, in.Args, regs)
+			if ins.cfg.Interprocedural && depth < ins.cfg.MaxCallDepth && regs2 != nil {
+				ret := ins.run(in.Callee, regs2, depth+1)
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = ret
+				}
+			} else if in.Dst != ir.NoReg {
+				// "We interpret a method invocation by simply skipping it
+				// and assuming that the return value, if any, is unknown."
+				regs[in.Dst] = value.Unknown
+			}
+		case ir.OpCallVirt:
+			// In interprocedural mode a virtual call can still be stepped
+			// into when the receiver is a known object: its dynamic class
+			// is read from the (inspected) header — dynamically inspecting
+			// the object resolves the dispatch.
+			var resolved *ir.Method
+			if recv := regs[in.Args[0]]; recv.IsRef() && !recv.IsNull() {
+				if c := ins.classAt(recv.Ref()); c != nil {
+					resolved = ins.prog.LookupVirtual(c, in.Name)
+				}
+			}
+			if ins.cfg.Interprocedural && depth < ins.cfg.MaxCallDepth && resolved != nil {
+				ret := ins.run(resolved, ins.callArgs(resolved.NumRegs, in.Args, regs), depth+1)
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = ret
+				}
+			} else if in.Dst != ir.NoReg {
+				regs[in.Dst] = value.Unknown
+			}
+		case ir.OpSink:
+			// Observable output — suppressed during inspection.
+		case ir.OpPrefetch, ir.OpSpecLoad:
+			// Source programs never contain these; compiled code is not
+			// re-inspected. Treat defensively as no-ops.
+			if in.Op == ir.OpSpecLoad && in.Dst != ir.NoReg {
+				regs[in.Dst] = value.Unknown
+			}
+		}
+		if next >= 0 && next < n {
+			next = ins.transfer(isTargetFrame, pc, next)
+		}
+		if ins.aborted || next < 0 {
+			return value.Unknown
+		}
+		pc = next
+	}
+	return value.Unknown
+}
+
+func constValue(in *ir.Instr) value.Value {
+	switch in.Kind {
+	case value.KindInt:
+		return value.Int(int32(in.Imm))
+	case value.KindLong:
+		return value.Long(in.Imm)
+	case value.KindFloat:
+		return value.Float(float32(in.F))
+	case value.KindDouble:
+		return value.Double(in.F)
+	case value.KindRef:
+		return value.Null
+	}
+	return value.Unknown
+}
+
+// callArgs builds a callee frame; nil when any frame can't be built.
+func (ins *inspector) callArgs(numRegs int, args []ir.Reg, regs []value.Value) []value.Value {
+	out := make([]value.Value, numRegs)
+	for i := range out {
+		out[i] = value.Unknown
+	}
+	for i, r := range args {
+		out[i] = regs[r]
+	}
+	return out
+}
+
+func (ins *inspector) getField(isTarget bool, pc int, in *ir.Instr, obj value.Value) value.Value {
+	if !obj.IsRef() || obj.IsNull() {
+		return value.Unknown
+	}
+	addr := obj.Ref() + in.Field.Offset
+	ins.recordLoad(isTarget, pc, addr)
+	return ins.loadValue(in.Field.Kind, addr)
+}
+
+func (ins *inspector) arrayLoad(isTarget bool, pc int, in *ir.Instr, arr, idx value.Value) value.Value {
+	if !arr.IsRef() || arr.IsNull() || idx.K != value.KindInt {
+		return value.Unknown
+	}
+	c := ins.classAt(arr.Ref())
+	if c == nil || !c.IsArray {
+		return value.Unknown
+	}
+	ln, ok := ins.arrayLenAt(arr.Ref())
+	if !ok || idx.Int() < 0 || uint32(idx.Int()) >= ln {
+		return value.Unknown
+	}
+	addr := arr.Ref() + classfile.HeaderBytes + uint32(idx.Int())*c.ElemSize
+	ins.recordLoad(isTarget, pc, addr)
+	return ins.loadValue(in.Kind, addr)
+}
+
+func (ins *inspector) arrayStore(in *ir.Instr, arr, idx, src value.Value) {
+	if !arr.IsRef() || arr.IsNull() || idx.K != value.KindInt {
+		return
+	}
+	c := ins.classAt(arr.Ref())
+	if c == nil || !c.IsArray {
+		return
+	}
+	ln, ok := ins.arrayLenAt(arr.Ref())
+	if !ok || idx.Int() < 0 || uint32(idx.Int()) >= ln {
+		return
+	}
+	ins.storeValue(arr.Ref()+classfile.HeaderBytes+uint32(idx.Int())*c.ElemSize, src)
+}
+
+// recordLoad appends an address sample for an observed LDG node.
+func (ins *inspector) recordLoad(isTarget bool, pc int, addr uint32) {
+	if !isTarget || ins.curIter < 0 || !ins.record[pc] {
+		return
+	}
+	ins.res.Traces[pc] = append(ins.res.Traces[pc], stride.Rec{Iter: ins.curIter, Addr: addr})
+}
+
+// --- loop-aware branching -----------------------------------------------------
+
+// transfer applies the loop protocol to every control transfer — explicit
+// branches and block fallthroughs alike — from instruction pc to
+// instruction next, returning the adjusted next pc (or -1 to stop the
+// inspection).
+func (ins *inspector) transfer(isTargetFrame bool, pc, next int) int {
+	fromBlk := ins.graph.BlockOf(pc).ID
+	toBlk := ins.graph.BlockOf(next).ID
+	if fromBlk == toBlk {
+		return next
+	}
+	l := ins.backEdgeLoop(fromBlk, toBlk)
+	if !isTargetFrame {
+		// Inside an interprocedural callee: bound every loop by InnerCap.
+		if l != nil {
+			ins.backCount[l]++
+			if ins.backCount[l] >= ins.cfg.InnerCap {
+				return ins.exitOf(l)
+			}
+		}
+		return next
+	}
+	if l == nil {
+		// Not a back edge. Exiting the target loop ends the inspection.
+		if ins.curIter >= 0 && !ins.target.Contains(toBlk) {
+			ins.res.NaturalExit = true
+			return -1
+		}
+		return next
+	}
+	switch {
+	case l == ins.target:
+		if ins.curIter+1 >= ins.cfg.Iterations {
+			// Observed enough; stop (forced exit) without starting
+			// another iteration.
+			return -1
+		}
+		ins.curIter++
+		ins.res.TargetTrips = ins.curIter + 1
+		return next
+	case ins.curIter < 0:
+		// A loop preceding the target: "we interpret the body of such a
+		// loop only once" — never take its back edge.
+		return ins.exitOf(l)
+	default:
+		// A loop nested inside the target loop.
+		st := ins.res.NestedTrips[l]
+		st.Iters++
+		ins.res.NestedTrips[l] = st
+		ins.backCount[l]++
+		if ins.backCount[l] >= ins.cfg.InnerCap {
+			out := ins.exitOf(l)
+			if out >= 0 && !ins.target.ContainsInstr(ins.graph, out) {
+				return -1 // forced exit left the target loop: stop quietly
+			}
+			return out
+		}
+		return next
+	}
+}
+
+// backEdgeLoop returns the loop for which the block transfer from->to is a
+// back edge, or nil: `to` must be the loop's header and `from` one of its
+// member blocks.
+func (ins *inspector) backEdgeLoop(from, to int) *cfg.Loop {
+	l := ins.forest.LoopOfBlock(to)
+	for ; l != nil; l = l.Parent {
+		if l.Header == to {
+			break
+		}
+	}
+	if l == nil || !l.Contains(from) {
+		return nil
+	}
+	return l
+}
+
+// unknownBranch picks a successor for a branch whose condition is unknown
+// (typically the result of a skipped method invocation). The choice aims
+// to maximize the number of target-loop iterations observed:
+//
+//  1. prefer the edge that stays inside the target loop;
+//  2. when both stay inside and the branch sits in a loop nested within
+//     the target, prefer the edge that exits the nested loop — such
+//     branches usually guard early exits of small scanning loops, and
+//     leaving them advances the target iteration;
+//  3. otherwise prefer the target loop's back edge, then fall through.
+func (ins *inspector) unknownBranch(m *ir.Method, isTargetFrame bool, pc, target int) int {
+	fall := pc + 1
+	if !isTargetFrame || ins.curIter < 0 {
+		return fall
+	}
+	inT := func(i int) bool {
+		return i < len(m.Code) && ins.target.ContainsInstr(ins.graph, i)
+	}
+	takenIn, fallIn := inT(target), inT(fall)
+	choose := fall
+	switch {
+	case takenIn && !fallIn:
+		choose = target
+	case !takenIn && fallIn:
+		choose = fall
+	case takenIn && fallIn:
+		inner := ins.forest.InnermostAt(pc)
+		if inner != nil && inner != ins.target && ins.target.IsAncestorOf(inner) {
+			takenExits := !inner.ContainsInstr(ins.graph, target)
+			fallExits := !inner.ContainsInstr(ins.graph, fall)
+			if takenExits != fallExits {
+				if takenExits {
+					choose = target
+				}
+				break
+			}
+		}
+		// Prefer the target loop's back edge to keep iterating.
+		if ins.backEdgeLoop(ins.graph.BlockOf(pc).ID, ins.graph.BlockOf(target).ID) == ins.target {
+			choose = target
+		}
+	}
+	return choose
+}
+
+// exitOf returns the destination instruction of the loop's first exit
+// edge, or -1 when the loop has no exit (inspection then stops).
+func (ins *inspector) exitOf(l *cfg.Loop) int {
+	if len(l.ExitEdges) == 0 {
+		return -1
+	}
+	return ins.graph.Blocks[l.ExitEdges[0].To].Start
+}

@@ -1,0 +1,188 @@
+package inspect
+
+import (
+	"testing"
+
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// TestUnknownBranchPrefersStayingInTargetLoop: a branch on a skipped
+// call's result whose taken edge leaves the loop must fall through so the
+// inspection keeps iterating.
+func TestUnknownBranchPrefersStayingInTargetLoop(t *testing.T) {
+	fx := newFixture(t, 32)
+
+	cb := ir.NewBuilder(fx.p, nil, "oracle", value.KindInt)
+	z := cb.ConstInt(0)
+	cb.Return(z)
+	oracle := cb.Finish()
+
+	b := ir.NewBuilder(fx.p, nil, "m", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	out := b.NewLabel()
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	loadIdx := len(b.Self().Code) - 1
+	b.Sink(o)
+	c := b.Call(oracle)
+	one := b.ConstInt(1)
+	b.Br(value.KindInt, ir.CondEQ, c, one, out) // unknown: taken leaves the loop
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Bind(out)
+	b.Return(i)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if !res.Completed {
+		t.Fatal("unknown early-exit branch must not end the inspection")
+	}
+	if len(res.Traces[loadIdx]) < 10 {
+		t.Errorf("only %d samples collected", len(res.Traces[loadIdx]))
+	}
+}
+
+// TestUnknownBranchExitsNestedScanLoop: the jess shape — inside a nested
+// loop, a branch on an unknown value whose taken edge leaves the nested
+// loop (continue of the outer loop) must be taken, so the outer iteration
+// advances.
+func TestUnknownBranchExitsNestedScanLoop(t *testing.T) {
+	fx := newFixture(t, 32)
+
+	cb := ir.NewBuilder(fx.p, nil, "check", value.KindInt)
+	z := cb.ConstInt(0)
+	cb.Return(z)
+	check := cb.Finish()
+
+	b := ir.NewBuilder(fx.p, nil, "m", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	j := b.NewReg()
+	three := b.ConstInt(3)
+	oCond, oBody, oCont := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	iCond, iBody := b.NewLabel(), b.NewLabel()
+	b.Goto(oCond)
+	b.Bind(oBody)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	loadIdx := len(b.Self().Code) - 1
+	b.Sink(o)
+	b.SetInt(j, 0)
+	b.Goto(iCond)
+	b.Bind(iBody)
+	c := b.Call(check)
+	zero := b.ConstInt(0)
+	b.Br(value.KindInt, ir.CondEQ, c, zero, oCont) // unknown: "continue outer"
+	b.IncInt(j, 1)
+	b.Bind(iCond)
+	b.Br(value.KindInt, ir.CondLT, j, three, iBody)
+	b.Return(i) // inner completed: found -> return (exits everything)
+	b.Bind(oCont)
+	b.IncInt(i, 1)
+	b.Bind(oCond)
+	b.Br(value.KindInt, ir.CondLT, i, n, oBody)
+	b.Return(i)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	post := f.Postorder()
+	outer := post[len(post)-1]
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, outer, record, args, DefaultConfig())
+	if !res.Completed {
+		t.Fatal("outer inspection must complete despite the unknown inner branch")
+	}
+	if len(res.Traces[loadIdx]) < 10 {
+		t.Errorf("outer loop barely iterated: %d samples", len(res.Traces[loadIdx]))
+	}
+}
+
+// TestPutStaticSuppressed: inspection must not write statics.
+func TestPutStaticSuppressed(t *testing.T) {
+	fx := newFixture(t, 8)
+	sc := fx.u.MustDefineClass("S", nil,
+		classfile.FieldSpec{Name: "counter", Kind: value.KindInt, Static: true})
+	fCnt := sc.FieldByName("counter")
+	fx.u.SetStatic(fCnt, value.Int(5))
+
+	b := ir.NewBuilder(fx.p, nil, "m", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	b.Sink(o)
+	cnt := b.GetStatic(fCnt)
+	one := b.ConstInt(1)
+	c2 := b.Arith(ir.OpAdd, value.KindInt, cnt, one)
+	b.PutStatic(fCnt, c2)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if got := fx.u.GetStatic(fCnt); got.Int() != 5 {
+		t.Errorf("inspection wrote a static: %v", got)
+	}
+}
+
+// TestInterproceduralVirtualResolution: in interprocedural mode a virtual
+// call with a known receiver resolves through the inspected object's
+// class header (dynamically inspecting the object).
+func TestInterproceduralVirtualResolution(t *testing.T) {
+	fx := newFixture(t, 32)
+
+	// Obj::index() -> this.val (a virtual method).
+	vb := ir.NewBuilder(fx.p, fx.objClass, "index", value.KindInt, value.KindRef)
+	v := vb.GetField(vb.Param(0), fx.fVal)
+	vb.Return(v)
+	vb.Finish()
+
+	// m: base = arr[0].index(); loop loads arr[base + i].
+	b := ir.NewBuilder(fx.p, nil, "m", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	zero := b.ConstInt(0)
+	first := b.ArrayLoad(value.KindRef, arr, zero)
+	base0 := b.CallVirt("index", true, first)
+	seven := b.ConstInt(7)
+	base := b.Arith(ir.OpRem, value.KindInt, base0, seven)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	k := b.AddInt(base, i)
+	o := b.ArrayLoad(value.KindRef, arr, k)
+	loadIdx := len(b.Self().Code) - 1
+	b.Sink(o)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(20)}
+
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if len(res.Traces[loadIdx]) != 0 {
+		t.Error("without interprocedural mode, the virtual result is unknown")
+	}
+
+	cfgIP := DefaultConfig()
+	cfgIP.Interprocedural = true
+	res = Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, cfgIP)
+	if len(res.Traces[loadIdx]) == 0 {
+		t.Error("interprocedural inspection must resolve the virtual call via the object header")
+	}
+}

@@ -1,0 +1,471 @@
+package inspect
+
+import (
+	"testing"
+
+	"strider/internal/cfg"
+	"strider/internal/classfile"
+	"strider/internal/core/stride"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// fixture builds a universe with Obj{val int, child ref} / Child{x int},
+// a heap holding an Obj[] array of n clustered objects (Obj then Child
+// co-allocated), and returns everything needed to inspect methods.
+type fixture struct {
+	u        *classfile.Universe
+	h        *heap.Heap
+	p        *ir.Program
+	objClass *classfile.Class
+	chClass  *classfile.Class
+	fVal     *classfile.Field
+	fChild   *classfile.Field
+	fX       *classfile.Field
+	arr      uint32
+	n        uint32
+}
+
+func newFixture(t *testing.T, n uint32) *fixture {
+	t.Helper()
+	u := classfile.NewUniverse()
+	obj := u.MustDefineClass("Obj", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "child", Kind: value.KindRef},
+	)
+	ch := u.MustDefineClass("Child", nil,
+		classfile.FieldSpec{Name: "x", Kind: value.KindInt},
+	)
+	h := heap.New(1<<20, u)
+	arr, err := h.AllocArray(value.KindRef, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < n; i++ {
+		o, _ := h.AllocObject(obj)
+		c, _ := h.AllocObject(ch)
+		h.Store4(o+obj.FieldByName("val").Offset, i*7)
+		h.Store4(o+obj.FieldByName("child").Offset, c)
+		h.Store4(c+ch.FieldByName("x").Offset, i*100)
+		h.Store4(h.ElemAddr(arr, i), o)
+	}
+	return &fixture{
+		u: u, h: h, p: ir.NewProgram(u),
+		objClass: obj, chClass: ch,
+		fVal:   obj.FieldByName("val"),
+		fChild: obj.FieldByName("child"),
+		fX:     ch.FieldByName("x"),
+		arr:    arr, n: n,
+	}
+}
+
+// analyze prepares cfg/loops/dataflow and the record list (all LDG
+// candidates in the method).
+func analyze(t *testing.T, m *ir.Method) (*cfg.Graph, *cfg.LoopForest, []int) {
+	t.Helper()
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	var record []int
+	for i := range m.Code {
+		if m.Code[i].Op.IsLDGCandidate() {
+			record = append(record, i)
+		}
+	}
+	return g, f, record
+}
+
+func heapSnapshot(h *heap.Heap) []byte {
+	out := make([]byte, h.Top())
+	for i := uint32(16); i+4 <= h.Top(); i += 4 {
+		w := h.Load4(i)
+		out[i] = byte(w)
+		out[i+1] = byte(w >> 8)
+		out[i+2] = byte(w >> 16)
+		out[i+3] = byte(w >> 24)
+	}
+	return out
+}
+
+// scanMethod: for i in 0..n-1 { o = arr[i]; v = o.val; c = o.child; x = c.x }
+func scanMethod(fx *fixture) (*ir.Method, map[string]int) {
+	b := ir.NewBuilder(fx.p, nil, "scan", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	acc := b.ConstInt(0)
+	idx := map[string]int{}
+	i, end := func() (ir.Reg, func()) {
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		return i, func() {
+			b.IncInt(i, 1)
+			b.Bind(cond)
+			b.Br(value.KindInt, ir.CondLT, i, n, body)
+		}
+	}()
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	idx["aaload"] = len(fx.p.Methods())*0 + lastIdx(b)
+	v := b.GetField(o, fx.fVal)
+	idx["val"] = lastIdx(b)
+	c := b.GetField(o, fx.fChild)
+	idx["child"] = lastIdx(b)
+	x := b.GetField(c, fx.fX)
+	idx["x"] = lastIdx(b)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, x)
+	end()
+	b.Return(acc)
+	return b.Finish(), idx
+}
+
+// lastIdx returns the index of the most recently emitted instruction.
+func lastIdx(b *ir.Builder) int { return len(b.Self().Code) - 1 }
+
+func TestTracesAndStrides(t *testing.T) {
+	fx := newFixture(t, 64)
+	m, idx := scanMethod(fx)
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+
+	if !res.Completed {
+		t.Fatal("inspection did not complete")
+	}
+	if res.TargetTrips != DefaultConfig().Iterations {
+		t.Errorf("trips = %d, want %d", res.TargetTrips, DefaultConfig().Iterations)
+	}
+	// aaload: stride 4.
+	d, ok := stride.Inter(res.Traces[idx["aaload"]], stride.DefaultThreshold)
+	if !ok || d != 4 {
+		t.Errorf("aaload stride = (%d,%v)", d, ok)
+	}
+	// obj loads: cluster stride = Obj + Child size.
+	cluster := int64(fx.objClass.InstanceSize + fx.chClass.InstanceSize)
+	d, ok = stride.Inter(res.Traces[idx["val"]], stride.DefaultThreshold)
+	if !ok || d != cluster {
+		t.Errorf("val stride = (%d,%v), want %d", d, ok, cluster)
+	}
+	// Intra pair (child getfield, child.x): constant distance.
+	s, ok := stride.Intra(res.Traces[idx["child"]], res.Traces[idx["x"]], stride.DefaultThreshold)
+	if !ok {
+		t.Error("co-allocated child must show an intra-iteration stride")
+	}
+	wantS := int64(fx.objClass.InstanceSize) + int64(fx.fX.Offset) - int64(fx.fChild.Offset)
+	if s != wantS {
+		t.Errorf("intra stride = %d, want %d", s, wantS)
+	}
+	// First recorded address must be the real first element address.
+	tr := res.Traces[idx["aaload"]]
+	if tr[0].Addr != fx.h.ElemAddr(fx.arr, 0) {
+		t.Errorf("first aaload addr = %#x", tr[0].Addr)
+	}
+}
+
+func TestSideEffectFreedom(t *testing.T) {
+	fx := newFixture(t, 16)
+	// Method that stores into every object and allocates.
+	b := ir.NewBuilder(fx.p, nil, "mutate", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	b.PutField(o, fx.fVal, i)                  // heap store
+	fresh := b.New(fx.objClass)                // allocation
+	b.ArrayStore(value.KindRef, arr, i, fresh) // array store
+	st := fx.objClass.FieldByName("val")
+	b.PutField(fresh, st, i)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+
+	before := heapSnapshot(fx.h)
+	topBefore := fx.h.Top()
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+
+	if fx.h.Top() != topBefore {
+		t.Error("inspection allocated on the real heap")
+	}
+	after := heapSnapshot(fx.h)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("heap byte %#x changed: inspection has side effects", i)
+		}
+	}
+}
+
+func TestStoreHashTableReadBack(t *testing.T) {
+	fx := newFixture(t, 8)
+	// Store 42 into o.val, then load it back: the inspected load must see
+	// the store through the hash table, not the real heap value.
+	b := ir.NewBuilder(fx.p, nil, "rw", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	c42 := b.ConstInt(42)
+	acc := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	b.PutField(o, fx.fVal, c42)
+	v := b.GetField(o, fx.fVal)
+	loadIdx := len(b.Self().Code) - 1
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	// Exit if the loaded value is not 42 (would return early, shrinking
+	// the trip count, which the assertion below would catch).
+	exit := b.NewLabel()
+	b.Br(value.KindInt, ir.CondNE, v, c42, exit)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Bind(exit)
+	b.Return(acc)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if res.TargetTrips < 8 {
+		t.Errorf("store hash table not consulted: loop exited after %d trips", res.TargetTrips)
+	}
+	if len(res.Traces[loadIdx]) < 8 {
+		t.Error("read-back load not traced")
+	}
+	// And the real heap still holds the original values.
+	o0 := fx.h.Load4(fx.h.ElemAddr(fx.arr, 0))
+	if got := fx.h.Load4(o0 + fx.fVal.Offset); got != 0 {
+		t.Errorf("real heap modified: val = %d", got)
+	}
+}
+
+func TestPrivateHeapAllocation(t *testing.T) {
+	fx := newFixture(t, 4)
+	// Allocate an object, store through it, read back.
+	b := ir.NewBuilder(fx.p, nil, "alloc", value.KindInt, value.KindInt)
+	n := b.Param(0)
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.New(fx.objClass)
+	b.PutField(o, fx.fVal, i)
+	v := b.GetField(o, fx.fVal)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	// Arrays from the private heap work too.
+	three := b.ConstInt(3)
+	a := b.NewArray(value.KindInt, three)
+	ln := b.ArrayLen(a)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, ln)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	topBefore := fx.h.Top()
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, []value.Value{value.Int(50)}, DefaultConfig())
+	if fx.h.Top() != topBefore {
+		t.Error("private allocation leaked into the real heap")
+	}
+	if !res.Completed {
+		t.Error("inspection with private allocations did not complete")
+	}
+	// The arraylen of the private array must have been readable (it is an
+	// LDG candidate, so it was traced with a real private address).
+	found := false
+	for idx, tr := range res.Traces {
+		if m.Code[idx].Op == ir.OpArrayLen && len(tr) > 0 {
+			found = true
+			if tr[0].Addr < fx.h.Size() {
+				t.Error("private array traced at a real-heap address")
+			}
+		}
+	}
+	if !found {
+		t.Error("arraylen of private array not traced")
+	}
+}
+
+func TestPrecedingLoopInterpretedOnce(t *testing.T) {
+	fx := newFixture(t, 32)
+	// A warmup loop increments `start` n times; the target loop scans
+	// arr[start+i]. With the preceding loop interpreted once, start == 1.
+	b := ir.NewBuilder(fx.p, nil, "pre", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	start := b.ConstInt(0)
+	w := b.ConstInt(0)
+	wCond := b.NewLabel()
+	wBody := b.NewLabel()
+	b.Goto(wCond)
+	b.Bind(wBody)
+	b.IncInt(start, 1)
+	b.IncInt(w, 1)
+	b.Bind(wCond)
+	b.Br(value.KindInt, ir.CondLT, w, n, wBody)
+
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	k := b.AddInt(start, i)
+	o := b.ArrayLoad(value.KindRef, arr, k)
+	loadIdx := len(b.Self().Code) - 1
+	v := b.GetField(o, fx.fVal)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	m := b.Finish()
+
+	g, f, record := analyze(t, m)
+	// Target = the second loop (program order: Roots[1]).
+	if len(f.Roots) != 2 {
+		t.Fatalf("expected two top-level loops, got %d", len(f.Roots))
+	}
+	target := f.Roots[1]
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, target, record, args, DefaultConfig())
+	tr := res.Traces[loadIdx]
+	if len(tr) == 0 {
+		t.Fatal("no trace for target loop load")
+	}
+	// start must be 1 (the preceding loop body ran exactly once).
+	want := fx.h.ElemAddr(fx.arr, 1)
+	if tr[0].Addr != want {
+		t.Errorf("first address %#x, want %#x (preceding loop must run once)", tr[0].Addr, want)
+	}
+}
+
+func TestSmallTripCountDetected(t *testing.T) {
+	fx := newFixture(t, 4)
+	m, _ := scanMethod(fx)
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(4)}
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if !res.NaturalExit {
+		t.Error("loop bounded at 4 must exit naturally")
+	}
+	// Header entries: 4 iterations plus the final failing test.
+	if res.TargetTrips != 5 {
+		t.Errorf("trips = %d, want 5", res.TargetTrips)
+	}
+}
+
+func TestSkippedCallYieldsUnknown(t *testing.T) {
+	fx := newFixture(t, 32)
+	// callee returns 0; the caller uses it as a base index. Skipping the
+	// call makes the index unknown, so the loads cannot be traced.
+	cb := ir.NewBuilder(fx.p, nil, "callee", value.KindInt)
+	z := cb.ConstInt(0)
+	cb.Return(z)
+	callee := cb.Finish()
+
+	b := ir.NewBuilder(fx.p, nil, "caller", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	base := b.Call(callee)
+	k := b.AddInt(base, i)
+	o := b.ArrayLoad(value.KindRef, arr, k)
+	loadIdx := len(b.Self().Code) - 1
+	b.Sink(o)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	m := b.Finish()
+	g, f, record := analyze(t, m)
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, DefaultConfig())
+	if len(res.Traces[loadIdx]) != 0 {
+		t.Error("load with unknown index must not be traced when calls are skipped")
+	}
+
+	// Interprocedural mode steps into the callee and recovers the trace.
+	cfgIP := DefaultConfig()
+	cfgIP.Interprocedural = true
+	res = Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, cfgIP)
+	if len(res.Traces[loadIdx]) == 0 {
+		t.Error("interprocedural inspection must trace through the callee")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	fx := newFixture(t, 64)
+	m, _ := scanMethod(fx)
+	g, f, record := analyze(t, m)
+	cfgB := DefaultConfig()
+	cfgB.StepBudget = 8
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, f.Loops[0], record, args, cfgB)
+	if res.Steps > 8 {
+		t.Errorf("budget exceeded: %d steps", res.Steps)
+	}
+	if res.Completed {
+		t.Error("an 8-step inspection of this loop cannot complete")
+	}
+}
+
+func TestNestedTripStats(t *testing.T) {
+	fx := newFixture(t, 32)
+	// outer over n, inner fixed 3 iterations.
+	b := ir.NewBuilder(fx.p, nil, "nest", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	j := b.NewReg()
+	three := b.ConstInt(3)
+	oCond, oBody := b.NewLabel(), b.NewLabel()
+	iCond, iBody := b.NewLabel(), b.NewLabel()
+	b.Goto(oCond)
+	b.Bind(oBody)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	b.SetInt(j, 0)
+	b.Goto(iCond)
+	b.Bind(iBody)
+	v := b.GetField(o, fx.fVal)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	b.IncInt(j, 1)
+	b.Bind(iCond)
+	b.Br(value.KindInt, ir.CondLT, j, three, iBody)
+	b.IncInt(i, 1)
+	b.Bind(oCond)
+	b.Br(value.KindInt, ir.CondLT, i, n, oBody)
+	b.Return(acc)
+	m := b.Finish()
+
+	g, f, record := analyze(t, m)
+	post := f.Postorder()
+	inner, outer := post[0], post[1]
+	args := []value.Value{value.Ref(fx.arr), value.Int(int32(fx.n))}
+	res := Inspect(fx.p, fx.h, g, f, outer, record, args, DefaultConfig())
+	st, ok := res.NestedTrips[inner]
+	if !ok {
+		t.Fatal("nested loop trip stats missing")
+	}
+	// Header-entry counting: 3 iterations plus the failing test = 4.
+	if st.Mean() < 3.5 || st.Mean() > 4.5 {
+		t.Errorf("inner mean trips = %.1f, want ~4", st.Mean())
+	}
+	if st.Entries < 10 {
+		t.Errorf("inner entries = %d", st.Entries)
+	}
+}

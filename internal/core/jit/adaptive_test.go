@@ -1,0 +1,77 @@
+package jit
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/cfg"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func TestAdaptiveCScalesWithBodySize(t *testing.T) {
+	fx := newFixture(t, 64)
+	g := cfg.Build(fx.m)
+	f := cfg.BuildLoops(g)
+	loop := f.Postorder()[0]
+	machine := arch.Pentium4()
+
+	c := adaptiveC(g, loop, machine)
+	// The scan body is ~10 instructions at 3 cycles each: covering a
+	// ~220-cycle memory latency needs several iterations of lookahead.
+	if c < 2 || c > 8 {
+		t.Errorf("adaptive c = %d for a tight loop, want 2..8", c)
+	}
+
+	// A loop with a much larger body needs less lookahead.
+	b := ir.NewBuilder(fx.p, nil, "fat", value.KindInt, value.KindInt)
+	n := b.Param(0)
+	acc := b.ConstInt(0)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	for k := 0; k < 120; k++ {
+		one := b.ConstInt(int32(k))
+		b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, one)
+	}
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	fat := b.Finish()
+	g2 := cfg.Build(fat)
+	f2 := cfg.BuildLoops(g2)
+	c2 := adaptiveC(g2, f2.Postorder()[0], machine)
+	if c2 != 1 {
+		t.Errorf("adaptive c = %d for a 240+-instruction body, want 1", c2)
+	}
+	if c2 >= c {
+		t.Error("bigger bodies must get smaller scheduling distances")
+	}
+}
+
+func TestAdaptiveCAffectsCompiledCode(t *testing.T) {
+	fx := newFixture(t, 64)
+	opts := DefaultOptions(arch.Pentium4(), Inter)
+	plain := Compile(fx.p, fx.h, fx.m, fx.args, opts)
+	opts.AdaptiveC = true
+	adaptive := Compile(fx.p, fx.h, fx.m, fx.args, opts)
+
+	disp := func(c *Compiled) (out []int32) {
+		for i := range c.Code {
+			if c.Code[i].Op == ir.OpPrefetch {
+				out = append(out, c.Code[i].Addr.Disp)
+			}
+		}
+		return
+	}
+	dp, da := disp(plain), disp(adaptive)
+	if len(dp) == 0 || len(da) != len(dp) {
+		t.Fatalf("prefetch counts: %d vs %d", len(dp), len(da))
+	}
+	if da[0] <= dp[0] {
+		t.Errorf("adaptive displacement %d must exceed fixed-c displacement %d", da[0], dp[0])
+	}
+}

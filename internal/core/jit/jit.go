@@ -1,0 +1,258 @@
+// Package jit is the compilation pipeline: it drives the paper's
+// prefetching algorithm (Sec. 3) when a method is compiled at invocation
+// time, with the actual argument values in hand:
+//
+//  1. identify loops (loop nesting forest), traverse each tree postorder;
+//  2. per loop, build the load dependence graph (promoting loads from
+//     nested loops already found to have small trip counts);
+//  3. run object inspection to collect address traces;
+//  4. annotate the graph with inter- and intra-iteration stride patterns;
+//  5. generate prefetching code, subject to the profitability analysis.
+//
+// The package also keeps the compile-time ledger behind Figure 11: the
+// work units of the baseline compilation versus the additional work of the
+// prefetch phases.
+package jit
+
+import (
+	"fmt"
+
+	"strider/internal/arch"
+	"strider/internal/cfg"
+	"strider/internal/core/inspect"
+	"strider/internal/core/ldg"
+	"strider/internal/core/prefetch"
+	"strider/internal/core/stride"
+	"strider/internal/dataflow"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// Mode selects the prefetching configuration of Sec. 4.
+type Mode uint8
+
+// The evaluation configurations.
+const (
+	// Baseline disables stride prefetching entirely.
+	Baseline Mode = iota
+	// Inter enables only inter-iteration stride prefetching — the paper's
+	// limited emulation of Wu's stride prefetching.
+	Inter
+	// InterIntra enables inter- and intra-iteration stride prefetching —
+	// the paper's full algorithm.
+	InterIntra
+)
+
+// String returns the paper's name for the configuration.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "BASELINE"
+	case Inter:
+		return "INTER"
+	case InterIntra:
+		return "INTER+INTRA"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// baseUnitsPerInstr models the work of the JIT's non-prefetch phases
+// (a production JIT runs dozens of optimization passes per instruction);
+// it is the denominator scale of Figure 11's left-hand bars.
+const baseUnitsPerInstr = 250
+
+// Options configures compilation.
+type Options struct {
+	Mode    Mode
+	Machine *arch.Machine
+
+	// C is the prefetch scheduling distance in iterations (paper: 1).
+	C int
+	// Threshold is the dominant-stride majority requirement (paper: 0.75).
+	Threshold float64
+	// SmallTrip is the trip count at or below which a nested loop's loads
+	// are promoted into its parent's graph (and the loop itself is not
+	// instrumented).
+	SmallTrip int
+	// AdaptiveC derives a per-loop scheduling distance from the loop body
+	// size and the machine's memory latency instead of using the fixed C
+	// — the extension Sec. 3.3 sketches ("the actual value for the
+	// scheduling distance c depends on the processor's cache parameters
+	// and the amount of computation ... in the loop body").
+	AdaptiveC bool
+	// Inspect configures object inspection.
+	Inspect inspect.Config
+}
+
+// DefaultOptions returns the paper's parameter values for a machine/mode.
+func DefaultOptions(m *arch.Machine, mode Mode) Options {
+	return Options{
+		Mode:      mode,
+		Machine:   m,
+		C:         1,
+		Threshold: stride.DefaultThreshold,
+		SmallTrip: 8,
+		Inspect:   inspect.DefaultConfig(),
+	}
+}
+
+// Compiled is the result of compiling one method.
+type Compiled struct {
+	Method  *ir.Method
+	Code    []ir.Instr // executable code (shared with Method when unmodified)
+	NumRegs int
+
+	// Graphs are the annotated load dependence graphs of the processed
+	// loops (diagnostics; Table 1 / Figure 5).
+	Graphs []*ldg.Graph
+
+	Prefetch     prefetch.Stats
+	InspectSteps int
+
+	// Compile-time ledger (Figure 11).
+	BaseUnits     uint64
+	PrefetchUnits uint64
+}
+
+// TotalUnits returns the method's total modelled compile time.
+func (c *Compiled) TotalUnits() uint64 { return c.BaseUnits + c.PrefetchUnits }
+
+// Compile compiles a method. args are the actual argument values of the
+// invocation that triggered compilation — the inputs object inspection
+// feeds on. The heap is read, never written.
+func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, opts Options) *Compiled {
+	out := &Compiled{
+		Method:    m,
+		Code:      m.Code,
+		NumRegs:   m.NumRegs,
+		BaseUnits: uint64(len(m.Code)) * baseUnitsPerInstr,
+	}
+	if opts.Mode == Baseline {
+		return out
+	}
+
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	out.PrefetchUnits += uint64(len(m.Code)) // loop detection pass
+	if len(f.Loops) == 0 {
+		return out
+	}
+	df := dataflow.Reach(g)
+	out.PrefetchUnits += uint64(len(m.Code)) // use-def chains
+
+	small := make(map[*cfg.Loop]bool)
+	var graphs []*ldg.Graph
+
+	for _, loop := range f.Postorder() {
+		promoted := collectSmall(loop.Children, small)
+
+		lg := ldg.Build(m, g, df, loop, promoted)
+		out.PrefetchUnits += uint64(len(lg.Nodes) * 2)
+		if len(lg.Nodes) == 0 {
+			continue
+		}
+		record := make([]int, len(lg.Nodes))
+		for i, n := range lg.Nodes {
+			record[i] = n.Instr
+		}
+		res := inspect.Inspect(prog, h, g, f, loop, record, args, opts.Inspect)
+		out.InspectSteps += res.Steps
+		out.PrefetchUnits += uint64(res.Steps)
+
+		// A loop observed to exit naturally with a small trip count is not
+		// prefetched itself; its loads are reconsidered in the parent
+		// (Sec. 3: "a nested loop with a small trip count is handled in a
+		// manner similar to [24]"). Our algorithm detects the small trip
+		// count during object inspection, as the paper describes. This
+		// check runs before the completeness check: a loop that exited
+		// after zero or one iterations has the smallest trip count of all.
+		if res.NaturalExit && res.TargetTrips <= opts.SmallTrip {
+			small[loop] = true
+			continue
+		}
+		if !res.Completed {
+			continue
+		}
+
+		annotate(lg, res, opts.Threshold)
+		if opts.AdaptiveC {
+			lg.SchedC = adaptiveC(g, loop, opts.Machine)
+		}
+		graphs = append(graphs, lg)
+	}
+	out.Graphs = graphs
+	if len(graphs) == 0 {
+		return out
+	}
+
+	line := opts.Machine.L2U.LineBytes
+	if opts.Machine.PrefetchTarget == arch.L1 {
+		line = opts.Machine.L1D.LineBytes
+	}
+	code, regs, stats := prefetch.Generate(m, graphs, prefetch.Options{
+		C:            opts.C,
+		EnableIntra:  opts.Mode == InterIntra,
+		LineBytes:    line,
+		PageSize:     opts.Machine.DTLB.PageSize,
+		GuardedIntra: opts.Machine.GuardedIntraPrefetch,
+	})
+	out.Prefetch = stats
+	out.PrefetchUnits += stats.WorkUnits
+	if code != nil {
+		out.Code = code
+		out.NumRegs = regs
+	}
+	return out
+}
+
+// adaptiveC estimates the scheduling distance needed to cover the memory
+// latency: roughly MemCycles / (loop body issue cycles), clamped to [1, 8].
+func adaptiveC(g *cfg.Graph, loop *cfg.Loop, m *arch.Machine) int {
+	body := 0
+	for b := range loop.Blocks {
+		blk := g.Blocks[b]
+		body += blk.End - blk.Start
+	}
+	if body == 0 {
+		return 1
+	}
+	est := uint64(body) * m.IssueCycles
+	c := int((m.MemCycles + est - 1) / est)
+	if c < 1 {
+		c = 1
+	}
+	if c > 8 {
+		c = 8
+	}
+	return c
+}
+
+// collectSmall gathers the small-trip nested loops to promote: a child is
+// promoted if small, and its own small descendants come along with it.
+func collectSmall(children []*cfg.Loop, small map[*cfg.Loop]bool) []*cfg.Loop {
+	var out []*cfg.Loop
+	for _, c := range children {
+		if small[c] {
+			out = append(out, c)
+			out = append(out, collectSmall(c.Children, small)...)
+		}
+	}
+	return out
+}
+
+// annotate writes the discovered stride patterns onto the graph: an
+// inter-iteration stride per node, an intra-iteration stride per edge.
+func annotate(lg *ldg.Graph, res *inspect.Result, threshold float64) {
+	for _, n := range lg.Nodes {
+		trace := res.Traces[n.Instr]
+		n.Inter, n.HasInter = stride.Inter(trace, threshold)
+	}
+	for _, n := range lg.Nodes {
+		for _, e := range n.Succs {
+			from := res.Traces[e.From.Instr]
+			to := res.Traces[e.To.Instr]
+			e.Intra, e.HasIntra = stride.Intra(from, to, threshold)
+		}
+	}
+}

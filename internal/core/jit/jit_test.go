@@ -1,0 +1,180 @@
+package jit
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// fixture: heap with a ref array of clustered Obj+Child pairs and a
+// doubly nested scan method (inner loop over a small fact-like array).
+type fixture struct {
+	p     *ir.Program
+	h     *heap.Heap
+	m     *ir.Method
+	args  []value.Value
+	objSz int64
+}
+
+func newFixture(t *testing.T, n uint32) *fixture {
+	t.Helper()
+	u := classfile.NewUniverse()
+	obj := u.MustDefineClass("Obj", nil,
+		classfile.FieldSpec{Name: "pad0", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad1", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad2", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad3", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad4", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad5", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad6", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad7", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad8", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "pad9", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+	) // > 64 bytes so the inter stride passes the line filter
+	fVal := obj.FieldByName("val")
+	h := heap.New(1<<20, u)
+	arr, err := h.AllocArray(value.KindRef, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < n; i++ {
+		o, _ := h.AllocObject(obj)
+		h.Store4(o+fVal.Offset, i)
+		h.Store4(h.ElemAddr(arr, i), o)
+	}
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "scan", value.KindInt, value.KindRef, value.KindInt)
+	arrR, nR := b.Param(0), b.Param(1)
+	acc := b.ConstInt(0)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arrR, i)
+	v := b.GetField(o, fVal)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, nR, body)
+	b.Return(acc)
+	m := b.Finish()
+	return &fixture{
+		p: p, h: h, m: m,
+		args:  []value.Value{value.Ref(arr), value.Int(int32(n))},
+		objSz: int64(obj.InstanceSize),
+	}
+}
+
+func TestBaselineModeIsIdentity(t *testing.T) {
+	fx := newFixture(t, 64)
+	c := Compile(fx.p, fx.h, fx.m, fx.args, DefaultOptions(arch.Pentium4(), Baseline))
+	if &c.Code[0] != &fx.m.Code[0] {
+		t.Error("baseline must share the original code")
+	}
+	if c.PrefetchUnits != 0 {
+		t.Error("baseline has no prefetch phase")
+	}
+	if c.BaseUnits == 0 {
+		t.Error("baseline compilation still costs time")
+	}
+}
+
+func TestInterModeFindsPatternAndGeneratesCode(t *testing.T) {
+	fx := newFixture(t, 64)
+	c := Compile(fx.p, fx.h, fx.m, fx.args, DefaultOptions(arch.Pentium4(), Inter))
+	if len(c.Graphs) != 1 {
+		t.Fatalf("graphs = %d", len(c.Graphs))
+	}
+	// The getfield over clustered objects has inter stride = object size.
+	found := false
+	for _, n := range c.Graphs[0].Nodes {
+		if n.Op == ir.OpGetField {
+			if !n.HasInter || n.Inter != fx.objSz {
+				t.Errorf("getfield inter = (%d,%v), want %d", n.Inter, n.HasInter, fx.objSz)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("getfield node missing")
+	}
+	if c.Prefetch.InterPrefetches == 0 {
+		t.Errorf("no inter prefetch generated: %+v", c.Prefetch)
+	}
+	if len(c.Code) <= len(fx.m.Code) {
+		t.Error("compiled code must contain insertions")
+	}
+	if c.InspectSteps == 0 || c.PrefetchUnits == 0 {
+		t.Error("prefetch-phase ledger empty")
+	}
+	m2 := &ir.Method{Name: "x", Params: fx.m.Params, NumRegs: c.NumRegs, Code: c.Code}
+	if err := ir.Validate(m2); err != nil {
+		t.Fatalf("compiled code invalid: %v", err)
+	}
+}
+
+func TestMethodWithoutLoops(t *testing.T) {
+	fx := newFixture(t, 4)
+	b := ir.NewBuilder(fx.p, nil, "leaf", value.KindInt, value.KindInt)
+	one := b.ConstInt(1)
+	r := b.Arith(ir.OpAdd, value.KindInt, b.Param(0), one)
+	b.Return(r)
+	m := b.Finish()
+	c := Compile(fx.p, fx.h, m, []value.Value{value.Int(1)}, DefaultOptions(arch.Pentium4(), InterIntra))
+	if len(c.Graphs) != 0 || c.Prefetch.Total() != 0 {
+		t.Error("loop-free method must get no prefetching")
+	}
+	if c.InspectSteps != 0 {
+		t.Error("no loops, no inspection")
+	}
+}
+
+func TestUnknownArgsNoPatterns(t *testing.T) {
+	fx := newFixture(t, 64)
+	// Compiling with unknown arguments (e.g. a method whose caller is not
+	// yet executing): inspection cannot trace, no prefetches.
+	c := Compile(fx.p, fx.h, fx.m, []value.Value{value.Unknown, value.Unknown},
+		DefaultOptions(arch.Pentium4(), InterIntra))
+	if c.Prefetch.Total() != 0 {
+		t.Errorf("unknown args must produce no prefetches: %+v", c.Prefetch)
+	}
+}
+
+func TestSmallTripLoopNotInstrumented(t *testing.T) {
+	fx := newFixture(t, 4) // trip count 4 <= SmallTrip
+	c := Compile(fx.p, fx.h, fx.m, fx.args, DefaultOptions(arch.Pentium4(), InterIntra))
+	if len(c.Graphs) != 0 {
+		t.Error("a small-trip top-level loop must not be instrumented")
+	}
+	if c.Prefetch.Total() != 0 {
+		t.Error("no prefetches for small-trip loops")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "BASELINE" || Inter.String() != "INTER" || InterIntra.String() != "INTER+INTRA" {
+		t.Error("mode names must match the paper")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions(arch.Pentium4(), InterIntra)
+	if o.C != 1 {
+		t.Error("scheduling distance fixed at one iteration (Sec. 4)")
+	}
+	if o.Threshold != 0.75 {
+		t.Error("majority threshold is 75% (Sec. 3.2)")
+	}
+	if o.Inspect.Iterations != 20 {
+		t.Error("20 inspected iterations (Sec. 4)")
+	}
+}

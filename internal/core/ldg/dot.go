@@ -1,0 +1,41 @@
+package ldg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot format — the rendition of the
+// paper's Figure 5. Nodes with inter-iteration stride patterns are drawn
+// as boxes annotated with the stride; intra-annotated edges carry their
+// stride as the edge label.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph ldg {\n")
+	fmt.Fprintf(&sb, "  label=%q; rankdir=TB;\n", g.Method.QName())
+	for _, n := range g.Nodes {
+		label := fmt.Sprintf("@%d %s", n.Instr, g.Method.Code[n.Instr].String())
+		shape := "ellipse"
+		extra := ""
+		if n.HasInter {
+			shape = "box"
+			label += fmt.Sprintf("\\ninter %+d", n.Inter)
+		}
+		if n.FromNestedLoop {
+			extra = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, shape=%s%s];\n", n.Instr, label, shape, extra)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			if e.HasIntra {
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=\"S=%+d\", penwidth=2];\n",
+					e.From.Instr, e.To.Instr, e.Intra)
+			} else {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.From.Instr, e.To.Instr)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,24 @@
+package ldg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	m, g, f, df := buildChaseMethod(t)
+	lg := Build(m, g, df, f.Loops[0], nil)
+	lg.Nodes[0].HasInter, lg.Nodes[0].Inter = true, 4
+	for _, e := range lg.Nodes[0].Succs {
+		e.HasIntra, e.Intra = true, 24
+	}
+	dot := lg.Dot()
+	for _, want := range []string{"digraph ldg", "inter +4", "S=+24", "->", "shape=box"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("dot output not closed")
+	}
+}

@@ -1,0 +1,246 @@
+// Package ldg builds the load dependence graph, the structure at the heart
+// of the paper's intra-iteration stride discovery (Sec. 3.1):
+//
+//	"We utilize a directed graph, called a load dependence graph, to
+//	capture reference-chasing sequences of load instructions. Each node of
+//	the graph is a load instruction using a reference as an operand. A
+//	directed edge exists from node L1 to node L2 if and only if L2 is
+//	directly data dependent upon L1."
+//
+// Representing reference-chasing pairs as adjacent nodes limits the number
+// of load pairs that must be checked for intra-iteration stride patterns.
+package ldg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strider/internal/cfg"
+	"strider/internal/dataflow"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// Node is one load instruction in the loop under consideration.
+type Node struct {
+	Instr int // instruction index in the method
+	Op    ir.Op
+
+	// ProducesRef marks the only ops that can be non-leaf nodes: getfield
+	// and getstatic yielding references, and aaload (Sec. 3.1).
+	ProducesRef bool
+
+	// FromNestedLoop marks loads that live in a nested loop with a small
+	// trip count and were promoted into this (parent) loop's graph.
+	FromNestedLoop bool
+
+	Succs []*Edge
+	Preds []*Edge
+
+	// Stride annotations, filled by the stride analysis after object
+	// inspection.
+	HasInter bool
+	Inter    int64
+
+	// UseCount is the number of instructions data dependent on this load
+	// (profitability condition 1, Sec. 3.3).
+	UseCount int
+}
+
+// Edge is a direct data dependence between two loads, annotated with the
+// intra-iteration stride when one was discovered.
+type Edge struct {
+	From, To *Node
+
+	HasIntra bool
+	Intra    int64
+}
+
+// Graph is the load dependence graph of one loop.
+type Graph struct {
+	Method *ir.Method
+	Loop   *cfg.Loop
+	Nodes  []*Node
+
+	// SchedC, when positive, overrides the global scheduling distance for
+	// this loop (the adaptive-c extension: Sec. 3.3 notes that the right c
+	// "depends on the processor's cache parameters and the amount of
+	// computation ... in the loop body").
+	SchedC int
+
+	byInstr map[int]*Node
+}
+
+// NodeAt returns the node for instruction index i, or nil.
+func (g *Graph) NodeAt(i int) *Node { return g.byInstr[i] }
+
+// producesRef reports whether the load yields a reference (non-leaf
+// candidate).
+func producesRef(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpGetField, ir.OpGetStatic:
+		return in.Field.Kind == value.KindRef
+	case ir.OpArrayLoad:
+		return in.Kind == value.KindRef
+	}
+	return false
+}
+
+// refOperand returns the reference-typed source register whose provenance
+// defines the dependence edges, or NoReg for loads without one (getstatic).
+func refOperand(in *ir.Instr) ir.Reg {
+	switch in.Op {
+	case ir.OpGetField, ir.OpArrayLoad, ir.OpArrayLen:
+		return in.A
+	}
+	return ir.NoReg
+}
+
+// Build constructs the load dependence graph for a loop. Instructions of
+// nested loops listed in promoted are included and marked FromNestedLoop
+// (the paper's handling of nested loops with small trip counts, Sec. 3).
+func Build(m *ir.Method, g *cfg.Graph, df *dataflow.Defs, loop *cfg.Loop, promoted []*cfg.Loop) *Graph {
+	lg := &Graph{Method: m, Loop: loop, byInstr: make(map[int]*Node)}
+
+	inScope := func(i int) (member, nested bool) {
+		blk := g.BlockOf(i).ID
+		if !loop.Contains(blk) {
+			return false, false
+		}
+		// The instruction is inside this loop; check whether it belongs to
+		// one of the promoted nested loops (then it is a promoted node) or
+		// to some other nested loop (then it is out of scope).
+		for _, p := range promoted {
+			if p.Contains(blk) {
+				return true, true
+			}
+		}
+		for _, ch := range childrenOf(loop) {
+			if ch.Contains(blk) {
+				return false, false // nested, not promoted
+			}
+		}
+		return true, false
+	}
+
+	for i := range m.Code {
+		in := &m.Code[i]
+		if !in.Op.IsLDGCandidate() {
+			continue
+		}
+		member, nested := inScope(i)
+		if !member {
+			continue
+		}
+		n := &Node{
+			Instr:          i,
+			Op:             in.Op,
+			ProducesRef:    producesRef(in),
+			FromNestedLoop: nested,
+			UseCount:       df.UseCount(i),
+		}
+		lg.Nodes = append(lg.Nodes, n)
+		lg.byInstr[i] = n
+	}
+	sort.Slice(lg.Nodes, func(i, j int) bool { return lg.Nodes[i].Instr < lg.Nodes[j].Instr })
+
+	// Edges: To is directly data dependent on From when From is a reaching
+	// definition of To's reference operand. Register copies (OpMove) are
+	// transparent: a reference that flows through a copy — the usual shape
+	// of a recurrent pointer in a chasing loop (`cur = cur.next`) — still
+	// produces an edge from the defining load.
+	for _, to := range lg.Nodes {
+		in := &m.Code[to.Instr]
+		reg := refOperand(in)
+		if reg == ir.NoReg {
+			continue
+		}
+		seen := map[*Node]bool{}
+		for _, def := range loadDefs(m, df, to.Instr, reg, 0) {
+			from := lg.byInstr[def]
+			if from == nil || !from.ProducesRef || seen[from] {
+				continue
+			}
+			seen[from] = true
+			e := &Edge{From: from, To: to}
+			from.Succs = append(from.Succs, e)
+			to.Preds = append(to.Preds, e)
+		}
+	}
+	return lg
+}
+
+// loadDefs returns the load instructions that (possibly through a chain of
+// register copies) define reg at use site i.
+func loadDefs(m *ir.Method, df *dataflow.Defs, i int, reg ir.Reg, depth int) []int {
+	if depth > 4 {
+		return nil
+	}
+	var out []int
+	for _, def := range df.ReachingDefs(i, reg) {
+		if m.Code[def].Op == ir.OpMove {
+			out = append(out, loadDefs(m, df, def, m.Code[def].A, depth+1)...)
+			continue
+		}
+		out = append(out, def)
+	}
+	return out
+}
+
+func childrenOf(l *cfg.Loop) []*cfg.Loop { return l.Children }
+
+// IntraReachable returns the set of nodes related to start by
+// intra-iteration stride edges, directly or transitively (paper Sec. 3.3:
+// "for each node Lz which has an intra-iteration stride pattern with Ly
+// directly or transitively"). The result excludes start itself and maps
+// each node to its cumulative stride from start.
+func (g *Graph) IntraReachable(start *Node) map[*Node]int64 {
+	out := map[*Node]int64{}
+	type item struct {
+		n *Node
+		s int64
+	}
+	work := []item{{start, 0}}
+	seen := map[*Node]bool{start: true}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range it.n.Succs {
+			if e.HasIntra && !seen[e.To] {
+				seen[e.To] = true
+				out[e.To] = it.s + e.Intra
+				work = append(work, item{e.To, it.s + e.Intra})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the graph (nodes with stride annotations, then edges) —
+// the representation behind Table 1 / Figure 5 of the paper.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "load dependence graph: %s, loop header B%d, %d nodes\n",
+		g.Method.QName(), g.Loop.Header, len(g.Nodes))
+	for _, n := range g.Nodes {
+		flags := ""
+		if n.FromNestedLoop {
+			flags += " [nested]"
+		}
+		if n.HasInter {
+			flags += fmt.Sprintf(" inter=%+d", n.Inter)
+		}
+		fmt.Fprintf(&sb, "  @%-4d %-40s uses=%d%s\n", n.Instr, g.Method.Code[n.Instr].String(), n.UseCount, flags)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			intra := ""
+			if e.HasIntra {
+				intra = fmt.Sprintf("  intra=%+d", e.Intra)
+			}
+			fmt.Fprintf(&sb, "  @%d -> @%d%s\n", e.From.Instr, e.To.Instr, intra)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,272 @@
+package ldg
+
+import (
+	"strings"
+	"testing"
+
+	"strider/internal/cfg"
+	"strider/internal/classfile"
+	"strider/internal/dataflow"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// buildChaseMethod assembles a loop with a reference-chasing sequence:
+//
+//	for i < n { o = arr[i]; f = o.ref; x = f.val; sink }
+func buildChaseMethod(t *testing.T) (*ir.Method, *cfg.Graph, *cfg.LoopForest, *dataflow.Defs) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	c := u.MustDefineClass("Obj", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "ref", Kind: value.KindRef},
+	)
+	fVal := c.FieldByName("val")
+	fRef := c.FieldByName("ref")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "chase", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i) // node A
+	f := b.GetField(o, fRef)                // node B (depends on A)
+	x := b.GetField(f, fVal)                // node C (depends on B)
+	ln := b.ArrayLen(arr)                   // node D (depends on param only)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, x)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, ln)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	m := b.Finish()
+	g := cfg.Build(m)
+	forest := cfg.BuildLoops(g)
+	df := dataflow.Reach(g)
+	if len(forest.Loops) != 1 {
+		t.Fatal("expected one loop")
+	}
+	return m, g, forest, df
+}
+
+func findNode(g *Graph, op ir.Op, nth int) *Node {
+	k := 0
+	for _, n := range g.Nodes {
+		if n.Op == op {
+			if k == nth {
+				return n
+			}
+			k++
+		}
+	}
+	return nil
+}
+
+func TestBuildNodesAndEdges(t *testing.T) {
+	m, g, f, df := buildChaseMethod(t)
+	lg := Build(m, g, df, f.Loops[0], nil)
+	if len(lg.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4 (aaload, 2 getfields, arraylen)", len(lg.Nodes))
+	}
+	a := findNode(lg, ir.OpArrayLoad, 0)
+	bNode := findNode(lg, ir.OpGetField, 0)
+	cNode := findNode(lg, ir.OpGetField, 1)
+	d := findNode(lg, ir.OpArrayLen, 0)
+	if a == nil || bNode == nil || cNode == nil || d == nil {
+		t.Fatal("missing nodes")
+	}
+	hasEdge := func(from, to *Node) bool {
+		for _, e := range from.Succs {
+			if e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(a, bNode) {
+		t.Error("missing edge aaload -> getfield(ref)")
+	}
+	if !hasEdge(bNode, cNode) {
+		t.Error("missing edge getfield(ref) -> getfield(val)")
+	}
+	if hasEdge(a, cNode) {
+		t.Error("transitive edge must not be direct")
+	}
+	if len(d.Preds) != 0 {
+		t.Error("arraylen of a parameter has no predecessors")
+	}
+	// Non-leaf capability: only ref producers have successors.
+	if !a.ProducesRef || !bNode.ProducesRef {
+		t.Error("ref producers misclassified")
+	}
+	if cNode.ProducesRef || d.ProducesRef {
+		t.Error("int loads cannot be non-leaf nodes")
+	}
+	// Use counts: every load feeds something.
+	for _, n := range lg.Nodes {
+		if n.UseCount == 0 {
+			t.Errorf("node @%d has no uses", n.Instr)
+		}
+	}
+	if lg.NodeAt(a.Instr) != a {
+		t.Error("NodeAt broken")
+	}
+}
+
+func TestIntraReachableTransitive(t *testing.T) {
+	m, g, f, df := buildChaseMethod(t)
+	lg := Build(m, g, df, f.Loops[0], nil)
+	a := findNode(lg, ir.OpArrayLoad, 0)
+	bNode := findNode(lg, ir.OpGetField, 0)
+	cNode := findNode(lg, ir.OpGetField, 1)
+	// Annotate a chain of intra strides a->b (+24) and b->c (+40).
+	for _, e := range a.Succs {
+		if e.To == bNode {
+			e.HasIntra, e.Intra = true, 24
+		}
+	}
+	for _, e := range bNode.Succs {
+		if e.To == cNode {
+			e.HasIntra, e.Intra = true, 40
+		}
+	}
+	got := lg.IntraReachable(a)
+	if got[bNode] != 24 {
+		t.Errorf("direct intra = %d", got[bNode])
+	}
+	if got[cNode] != 64 {
+		t.Errorf("transitive intra must accumulate: %d, want 64", got[cNode])
+	}
+	if _, ok := got[a]; ok {
+		t.Error("start node must not be in its own reachable set")
+	}
+	// From b, only c.
+	gb := lg.IntraReachable(bNode)
+	if len(gb) != 1 || gb[cNode] != 40 {
+		t.Errorf("IntraReachable(b) = %v", gb)
+	}
+}
+
+func TestCopyChasedDependence(t *testing.T) {
+	// cur = move(load); use of cur must produce an edge from the load.
+	u := classfile.NewUniverse()
+	c := u.MustDefineClass("N", nil,
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	fNext := c.FieldByName("next")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "walk", value.KindInt, value.KindRef)
+	cur := b.NewReg()
+	b.MoveTo(cur, b.Param(0))
+	null := b.ConstNull()
+	head := b.Here()
+	done := b.NewLabel()
+	b.Br(value.KindRef, ir.CondEQ, cur, null, done)
+	nx := b.GetField(cur, fNext)
+	b.MoveTo(cur, nx)
+	b.Goto(head)
+	b.Bind(done)
+	z := b.ConstInt(0)
+	b.Return(z)
+	m := b.Finish()
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	df := dataflow.Reach(g)
+	lg := Build(m, g, df, f.Loops[0], nil)
+	if len(lg.Nodes) != 1 {
+		t.Fatalf("nodes = %d", len(lg.Nodes))
+	}
+	n := lg.Nodes[0]
+	// The recurrent load must have a self-edge through the move.
+	self := false
+	for _, e := range n.Succs {
+		if e.To == n {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("recurrent pointer-chasing load needs a self-edge through the copy")
+	}
+}
+
+func TestPromotedNestedLoopNodes(t *testing.T) {
+	// An inner loop's loads appear in the outer graph only when promoted.
+	u := classfile.NewUniverse()
+	c := u.MustDefineClass("Obj", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+	)
+	fVal := c.FieldByName("val")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "nested", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	acc := b.ConstInt(0)
+	oCond, oBody := b.NewLabel(), b.NewLabel()
+	iCond, iBody := b.NewLabel(), b.NewLabel()
+	j := b.NewReg()
+	b.Goto(oCond)
+	b.Bind(oBody)
+	o := b.ArrayLoad(value.KindRef, arr, i) // outer load
+	b.SetInt(j, 0)
+	b.Goto(iCond)
+	b.Bind(iBody)
+	v := b.GetField(o, fVal) // inner load
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+	b.IncInt(j, 1)
+	b.Bind(iCond)
+	three := b.ConstInt(3)
+	b.Br(value.KindInt, ir.CondLT, j, three, iBody)
+	b.IncInt(i, 1)
+	b.Bind(oCond)
+	b.Br(value.KindInt, ir.CondLT, i, n, oBody)
+	b.Return(acc)
+	m := b.Finish()
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	df := dataflow.Reach(g)
+	post := f.Postorder()
+	inner, outer := post[0], post[1]
+
+	without := Build(m, g, df, outer, nil)
+	if len(without.Nodes) != 1 {
+		t.Fatalf("without promotion: %d nodes, want only the outer aaload", len(without.Nodes))
+	}
+	with := Build(m, g, df, outer, []*cfg.Loop{inner})
+	if len(with.Nodes) != 2 {
+		t.Fatalf("with promotion: %d nodes, want 2", len(with.Nodes))
+	}
+	var promoted *Node
+	for _, nd := range with.Nodes {
+		if nd.Op == ir.OpGetField {
+			promoted = nd
+		}
+	}
+	if promoted == nil || !promoted.FromNestedLoop {
+		t.Error("promoted node must be marked FromNestedLoop")
+	}
+	// The edge aaload -> promoted getfield crosses the loop boundary.
+	if len(promoted.Preds) != 1 {
+		t.Error("promoted node must depend on the outer aaload")
+	}
+	// Inner loop's own graph sees only its loads.
+	innerG := Build(m, g, df, inner, nil)
+	if len(innerG.Nodes) != 1 || innerG.Nodes[0].Op != ir.OpGetField {
+		t.Error("inner graph must contain only the inner load")
+	}
+}
+
+func TestString(t *testing.T) {
+	m, g, f, df := buildChaseMethod(t)
+	lg := Build(m, g, df, f.Loops[0], nil)
+	lg.Nodes[0].HasInter = true
+	lg.Nodes[0].Inter = 4
+	s := lg.String()
+	for _, want := range []string{"load dependence graph", "inter=+4", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("graph dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package prefetch generates the prefetching code of Sec. 3.3 from an
+// annotated load dependence graph:
+//
+//   - inter-iteration stride prefetching:
+//     prefetch(A(Lx) + d*c)
+//   - dereference-based prefetching:
+//     a = spec_load(A(Lx) + d*c); prefetch(F[Lx,Ly](a))
+//   - intra-iteration stride prefetching:
+//     prefetch(F[Lx,Ly](a) + S[Ly,Lz])
+//
+// and applies the paper's profitability analysis: the load must have at
+// least one data-dependent instruction; data apparently sharing a cache
+// line with an already-prefetched address is skipped; and a plain
+// inter-iteration prefetch requires a stride larger than half a cache line
+// (hardware prefetchers already cover small strides).
+//
+// The hardware mapping follows Sec. 3.3 / Sec. 4: intra-iteration and
+// dereference-based prefetches use a guarded load on machines configured
+// for TLB priming (the Pentium 4), and any prefetch whose displacement
+// from the source address exceeds half a page uses a guarded load so it
+// can fill a missing DTLB entry.
+package prefetch
+
+import (
+	"sort"
+
+	"strider/internal/classfile"
+	"strider/internal/core/ldg"
+	"strider/internal/ir"
+)
+
+// Options configures code generation.
+type Options struct {
+	// C is the scheduling distance in iterations (paper: fixed at 1).
+	C int
+	// EnableIntra enables dereference-based and intra-iteration
+	// prefetching (the INTER+INTRA configuration); when false only plain
+	// inter-iteration prefetches are generated (the INTER configuration,
+	// the emulation of Wu's stride prefetching).
+	EnableIntra bool
+	// LineBytes is the cache line size of the prefetch target level,
+	// the granule of the profitability analysis.
+	LineBytes uint32
+	// PageSize drives the guarded-load mapping for far displacements.
+	PageSize uint32
+	// GuardedIntra maps dereference-based and intra-iteration prefetches
+	// to guarded loads (TLB priming; true on the Pentium 4).
+	GuardedIntra bool
+}
+
+// Stats counts what was generated, for Figure 11-style reporting and tests.
+type Stats struct {
+	InterPrefetches int // plain inter-iteration prefetch instructions
+	SpecLoads       int // spec_load instructions (dereference-based)
+	DerefPrefetches int // prefetch(F(a)) instructions
+	IntraPrefetches int // prefetch(F(a)+S) instructions
+	FilteredLine    int // suppressed: stride not larger than half a line
+	FilteredDup     int // suppressed: same line already prefetched
+	FilteredUse     int // suppressed: no data-dependent instruction
+	WorkUnits       uint64
+}
+
+// Total returns the number of instructions inserted.
+func (s Stats) Total() int {
+	return s.InterPrefetches + s.SpecLoads + s.DerefPrefetches + s.IntraPrefetches
+}
+
+// addrExprOf derives the address expression A(L) of a load node, plus an
+// extra displacement. Returns false for loads without a heap address
+// (getstatic).
+func addrExprOf(in *ir.Instr, extra int32) (ir.AddrExpr, bool) {
+	switch in.Op {
+	case ir.OpGetField:
+		return ir.AddrExpr{Base: in.A, Index: ir.NoReg, Disp: int32(in.Field.Offset) + extra}, true
+	case ir.OpArrayLoad:
+		var scale uint8 = 4
+		if k := in.Kind; k.Size() == 8 {
+			scale = 8
+		}
+		return ir.AddrExpr{Base: in.A, Index: in.B, Scale: scale, Disp: int32(classfile.HeaderBytes) + extra}, true
+	case ir.OpArrayLen:
+		return ir.AddrExpr{Base: in.A, Index: ir.NoReg, Disp: int32(classfile.AuxOffset) + extra}, true
+	}
+	return ir.AddrExpr{}, false
+}
+
+// fieldOffsetOf returns the constant offset F[Lx,Ly] when Ly consumes Lx's
+// value through a constant-offset load (getfield or arraylen).
+func fieldOffsetOf(in *ir.Instr) (int32, bool) {
+	switch in.Op {
+	case ir.OpGetField:
+		return int32(in.Field.Offset), true
+	case ir.OpArrayLen:
+		return int32(classfile.AuxOffset), true
+	}
+	return 0, false
+}
+
+// dedup tracks issued prefetch target lines per base expression.
+type dedup struct {
+	line uint32
+	seen map[dedupKey]bool
+}
+
+type dedupKey struct {
+	base, index ir.Reg
+	scale       uint8
+	lineDisp    int32
+}
+
+func (d *dedup) covers(a ir.AddrExpr) bool {
+	k := dedupKey{a.Base, a.Index, a.Scale, a.Disp & ^int32(d.line-1)}
+	if d.seen[k] {
+		return true
+	}
+	d.seen[k] = true
+	return false
+}
+
+// Generate rewrites the method body, inserting prefetch code for every
+// annotated graph (one per processed loop). It returns the new code, the
+// new register count, and generation statistics. The original method is
+// not modified.
+func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int, Stats) {
+	var stats Stats
+	numRegs := m.NumRegs
+	inserts := make(map[int][]ir.Instr) // original index -> instructions after it
+	ded := &dedup{line: opts.LineBytes, seen: make(map[dedupKey]bool)}
+	halfLine := int64(opts.LineBytes / 2)
+	halfPage := int64(opts.PageSize / 2)
+
+	guardFor := func(intra bool, disp int64) bool {
+		if intra && opts.GuardedIntra {
+			return true
+		}
+		return disp > halfPage || disp < -halfPage
+	}
+
+	for _, g := range graphs {
+		c := opts.C
+		if g.SchedC > 0 {
+			c = g.SchedC
+		}
+		for _, lx := range g.Nodes {
+			stats.WorkUnits += uint64(1 + len(lx.Succs))
+			if !lx.HasInter {
+				continue
+			}
+			in := &m.Code[lx.Instr]
+			d := lx.Inter
+			dc := d * int64(c)
+			if dc > int64(^uint32(0)>>2) || dc < -int64(^uint32(0)>>2) {
+				continue // implausible stride; never profitable
+			}
+			// Profitability condition 1: something must depend on Lx.
+			if lx.UseCount == 0 {
+				stats.FilteredUse++
+				continue
+			}
+			base, ok := addrExprOf(in, int32(dc))
+			if !ok {
+				continue
+			}
+
+			// Partition the adjacent nodes: dereference-based prefetching
+			// applies when some adjacent node lacks an inter pattern.
+			var derefTargets []*ldg.Edge
+			if opts.EnableIntra {
+				for _, e := range lx.Succs {
+					if e.To.HasInter {
+						continue
+					}
+					if _, ok := fieldOffsetOf(&m.Code[e.To.Instr]); !ok {
+						continue
+					}
+					if e.To.UseCount == 0 {
+						continue
+					}
+					derefTargets = append(derefTargets, e)
+				}
+			}
+
+			if len(derefTargets) == 0 {
+				// Plain inter-iteration stride prefetching. Profitability
+				// condition 3: stride larger than half the line.
+				if d <= halfLine && d >= -halfLine {
+					stats.FilteredLine++
+					continue
+				}
+				if ded.covers(base) {
+					stats.FilteredDup++
+					continue
+				}
+				inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
+					Op:      ir.OpPrefetch,
+					Addr:    base,
+					Guarded: guardFor(false, dc),
+				})
+				stats.InterPrefetches++
+				continue
+			}
+
+			// Dereference-based prefetching: one spec_load of the
+			// predicted address of Lx's data, then prefetches through it.
+			a := ir.Reg(numRegs)
+			numRegs++
+			inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
+				Op:   ir.OpSpecLoad,
+				Kind: m.Code[lx.Instr].Kind,
+				Dst:  a,
+				Addr: base,
+			})
+			stats.SpecLoads++
+			for _, e := range derefTargets {
+				ly := e.To
+				off, _ := fieldOffsetOf(&m.Code[ly.Instr])
+				fa := ir.AddrExpr{Base: a, Index: ir.NoReg, Disp: off}
+				if !ded.covers(fa) {
+					inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
+						Op:      ir.OpPrefetch,
+						Addr:    fa,
+						Guarded: opts.GuardedIntra || guardFor(false, int64(off)),
+					})
+					stats.DerefPrefetches++
+				} else {
+					stats.FilteredDup++
+				}
+				// Intra-iteration stride prefetching for every node related
+				// to Ly by intra edges, directly or transitively. Sorted for
+				// deterministic code generation.
+				type intraTarget struct {
+					n *ldg.Node
+					s int64
+				}
+				var its []intraTarget
+				for lz, s := range g.IntraReachable(ly) {
+					its = append(its, intraTarget{lz, s})
+				}
+				sort.Slice(its, func(i, j int) bool { return its[i].n.Instr < its[j].n.Instr })
+				for _, it := range its {
+					ia := ir.AddrExpr{Base: a, Index: ir.NoReg, Disp: off + int32(it.s)}
+					if ded.covers(ia) {
+						stats.FilteredDup++
+						continue
+					}
+					inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
+						Op:      ir.OpPrefetch,
+						Addr:    ia,
+						Guarded: guardFor(true, int64(off)+it.s),
+					})
+					stats.IntraPrefetches++
+				}
+			}
+		}
+	}
+
+	if len(inserts) == 0 {
+		return nil, m.NumRegs, stats
+	}
+
+	// Rebuild the code with insertions, remapping branch targets.
+	newIndex := make([]int, len(m.Code))
+	size := len(m.Code)
+	for _, ins := range inserts {
+		size += len(ins)
+	}
+	out := make([]ir.Instr, 0, size)
+	for i := range m.Code {
+		newIndex[i] = len(out)
+		out = append(out, m.Code[i])
+		out = append(out, inserts[i]...)
+	}
+	for i := range out {
+		switch out[i].Op {
+		case ir.OpGoto, ir.OpBr:
+			out[i].Target = newIndex[out[i].Target]
+		}
+	}
+	stats.WorkUnits += uint64(len(out))
+	return out, numRegs, stats
+}

@@ -1,0 +1,345 @@
+package prefetch
+
+import (
+	"testing"
+
+	"strider/internal/cfg"
+	"strider/internal/classfile"
+	"strider/internal/core/ldg"
+	"strider/internal/dataflow"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// chaseFixture builds the canonical loop
+//
+//	for i < n { o = arr[i]; c = o.child; x = c.x; acc += x }
+//
+// and returns the method plus its (unannotated) load dependence graph.
+func chaseFixture(t *testing.T) (*ir.Method, *ldg.Graph) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	obj := u.MustDefineClass("Obj", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "child", Kind: value.KindRef},
+	)
+	ch := u.MustDefineClass("Child", nil,
+		classfile.FieldSpec{Name: "x", Kind: value.KindInt},
+	)
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "scan", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	acc := b.ConstInt(0)
+	i := b.ConstInt(0)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	c := b.GetField(o, obj.FieldByName("child"))
+	x := b.GetField(c, ch.FieldByName("x"))
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, x)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(acc)
+	m := b.Finish()
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	df := dataflow.Reach(g)
+	return m, ldg.Build(m, g, df, f.Loops[0], nil)
+}
+
+func node(g *ldg.Graph, op ir.Op, nth int) *ldg.Node {
+	k := 0
+	for _, n := range g.Nodes {
+		if n.Op == op {
+			if k == nth {
+				return n
+			}
+			k++
+		}
+	}
+	return nil
+}
+
+func defaultOpts() Options {
+	return Options{C: 1, EnableIntra: true, LineBytes: 64, PageSize: 4096, GuardedIntra: false}
+}
+
+func countOps(code []ir.Instr, op ir.Op) int {
+	n := 0
+	for i := range code {
+		if code[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNoAnnotationsNoCode(t *testing.T) {
+	m, g := chaseFixture(t)
+	code, regs, stats := Generate(m, []*ldg.Graph{g}, defaultOpts())
+	if code != nil || regs != m.NumRegs || stats.Total() != 0 {
+		t.Error("unannotated graph must generate nothing")
+	}
+}
+
+func TestPlainInterPrefetch(t *testing.T) {
+	m, g := chaseFixture(t)
+	// Annotate every node with a large inter stride: all adjacent nodes
+	// have inter patterns -> plain prefetch per node (modulo line dedup).
+	for _, n := range g.Nodes {
+		n.HasInter, n.Inter = true, 96
+	}
+	code, regs, stats := Generate(m, []*ldg.Graph{g}, defaultOpts())
+	if code == nil {
+		t.Fatal("no code generated")
+	}
+	if stats.InterPrefetches == 0 || stats.SpecLoads != 0 {
+		t.Errorf("want plain inter prefetching only: %+v", stats)
+	}
+	if regs != m.NumRegs {
+		t.Error("plain prefetching must not allocate registers")
+	}
+	// The rewritten method must still validate.
+	m2 := &ir.Method{Name: "x", Params: m.Params, NumRegs: regs, Code: code}
+	if err := ir.Validate(m2); err != nil {
+		t.Fatalf("rewritten code invalid: %v", err)
+	}
+	if countOps(code, ir.OpPrefetch) != stats.InterPrefetches {
+		t.Error("stats disagree with emitted code")
+	}
+}
+
+func TestSmallStrideFiltered(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	a.HasInter, a.Inter = true, 4 // below half a 64-byte line
+	_, _, stats := Generate(m, []*ldg.Graph{g}, Options{
+		C: 1, EnableIntra: false, LineBytes: 64, PageSize: 4096,
+	})
+	if stats.InterPrefetches != 0 {
+		t.Error("stride 4 must be filtered (profitability condition 3)")
+	}
+	if stats.FilteredLine != 1 {
+		t.Errorf("FilteredLine = %d", stats.FilteredLine)
+	}
+}
+
+func TestDerefAndIntraGeneration(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0) // Lx: inter stride 4 (ref array scan)
+	b := node(g, ir.OpGetField, 0)  // Ly: no inter (permuted objects)
+	c := node(g, ir.OpGetField, 1)  // Lz: intra with Ly
+	a.HasInter, a.Inter = true, 4
+	for _, e := range b.Succs {
+		if e.To == c {
+			e.HasIntra, e.Intra = true, 96 // farther than a line
+		}
+	}
+	code, regs, stats := Generate(m, []*ldg.Graph{g}, defaultOpts())
+	if stats.SpecLoads != 1 {
+		t.Fatalf("want one spec_load, got %+v", stats)
+	}
+	if stats.DerefPrefetches != 1 {
+		t.Errorf("want one dereference prefetch: %+v", stats)
+	}
+	if stats.IntraPrefetches != 1 {
+		t.Errorf("want one intra prefetch: %+v", stats)
+	}
+	if regs != m.NumRegs+1 {
+		t.Error("spec_load needs one fresh register")
+	}
+	// Validate and check shape: specload followed by prefetches through
+	// its destination.
+	m2 := &ir.Method{Name: "x", Params: m.Params, NumRegs: regs, Code: code}
+	if err := ir.Validate(m2); err != nil {
+		t.Fatalf("rewritten code invalid: %v", err)
+	}
+	si := -1
+	for i := range code {
+		if code[i].Op == ir.OpSpecLoad {
+			si = i
+		}
+	}
+	if si < 0 {
+		t.Fatal("no specload in code")
+	}
+	if code[si+1].Op != ir.OpPrefetch || code[si+1].Addr.Base != code[si].Dst {
+		t.Error("dereference prefetch must use the spec_load result")
+	}
+	// Intra prefetch at F(a)+S.
+	if code[si+2].Op != ir.OpPrefetch {
+		t.Fatal("intra prefetch missing")
+	}
+	wantDisp := code[si+1].Addr.Disp + 96
+	if code[si+2].Addr.Disp != wantDisp {
+		t.Errorf("intra disp = %d, want %d", code[si+2].Addr.Disp, wantDisp)
+	}
+}
+
+func TestIntraSameLineDeduped(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	b := node(g, ir.OpGetField, 0)
+	c := node(g, ir.OpGetField, 1)
+	a.HasInter, a.Inter = true, 4
+	for _, e := range b.Succs {
+		if e.To == c {
+			e.HasIntra, e.Intra = true, 8 // same line as the deref prefetch
+		}
+	}
+	_, _, stats := Generate(m, []*ldg.Graph{g}, defaultOpts())
+	if stats.IntraPrefetches != 0 {
+		t.Error("intra prefetch within the same line must be deduped (the paper's jess explanation)")
+	}
+	if stats.FilteredDup == 0 {
+		t.Error("dedup filter not counted")
+	}
+}
+
+func TestInterModeSuppressesDeref(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	a.HasInter, a.Inter = true, 4
+	opts := defaultOpts()
+	opts.EnableIntra = false // INTER configuration
+	_, _, stats := Generate(m, []*ldg.Graph{g}, opts)
+	if stats.SpecLoads != 0 || stats.DerefPrefetches != 0 {
+		t.Error("INTER must not generate dereference-based prefetching")
+	}
+}
+
+func TestUseCountFilter(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	a.HasInter, a.Inter = true, 96
+	a.UseCount = 0 // pretend nothing depends on it
+	opts := defaultOpts()
+	opts.EnableIntra = false
+	_, _, stats := Generate(m, []*ldg.Graph{g}, opts)
+	if stats.FilteredUse != 1 || stats.InterPrefetches != 0 {
+		t.Errorf("profitability condition 1 not applied: %+v", stats)
+	}
+}
+
+func TestGuardedMapping(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	b := node(g, ir.OpGetField, 0)
+	c := node(g, ir.OpGetField, 1)
+	a.HasInter, a.Inter = true, 4
+	for _, e := range b.Succs {
+		if e.To == c {
+			e.HasIntra, e.Intra = true, 96
+		}
+	}
+	opts := defaultOpts()
+	opts.GuardedIntra = true // Pentium 4 policy
+	code, _, _ := Generate(m, []*ldg.Graph{g}, opts)
+	guarded := 0
+	for i := range code {
+		if code[i].Op == ir.OpPrefetch && code[i].Guarded {
+			guarded++
+		}
+	}
+	if guarded == 0 {
+		t.Error("P4 policy must map intra/deref prefetches to guarded loads")
+	}
+}
+
+func TestFarDisplacementUsesGuard(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	a.HasInter, a.Inter = true, 4096 // a full page per iteration
+	opts := defaultOpts()
+	opts.EnableIntra = false
+	code, _, _ := Generate(m, []*ldg.Graph{g}, opts)
+	found := false
+	for i := range code {
+		if code[i].Op == ir.OpPrefetch {
+			found = true
+			if !code[i].Guarded {
+				t.Error("stride beyond half a page must use the guarded load (TLB priming)")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no prefetch emitted")
+	}
+}
+
+func TestBranchTargetRemap(t *testing.T) {
+	m, g := chaseFixture(t)
+	for _, n := range g.Nodes {
+		n.HasInter, n.Inter = true, 96
+	}
+	code, regs, _ := Generate(m, []*ldg.Graph{g}, defaultOpts())
+	// Execute-ability proxy: validation plus semantic equivalence of the
+	// branch structure — every branch lands on the remapped position of
+	// its original target instruction.
+	m2 := &ir.Method{Name: "x", Params: m.Params, NumRegs: regs, Code: code}
+	if err := ir.Validate(m2); err != nil {
+		t.Fatalf("invalid after remap: %v", err)
+	}
+	// The original non-prefetch instructions appear in order.
+	var origOps, newOps []ir.Op
+	for i := range m.Code {
+		origOps = append(origOps, m.Code[i].Op)
+	}
+	for i := range code {
+		if code[i].Op != ir.OpPrefetch && code[i].Op != ir.OpSpecLoad {
+			newOps = append(newOps, code[i].Op)
+		}
+	}
+	if len(origOps) != len(newOps) {
+		t.Fatalf("instruction count changed: %d vs %d", len(origOps), len(newOps))
+	}
+	for i := range origOps {
+		if origOps[i] != newOps[i] {
+			t.Fatalf("instruction order changed at %d", i)
+		}
+	}
+}
+
+func TestScheduleDistanceScalesDisp(t *testing.T) {
+	m, g := chaseFixture(t)
+	a := node(g, ir.OpArrayLoad, 0)
+	a.HasInter, a.Inter = true, 96
+	opts := defaultOpts()
+	opts.EnableIntra = false
+	var disps []int32
+	for _, c := range []int{1, 3} {
+		opts.C = c
+		code, _, _ := Generate(m, []*ldg.Graph{g}, opts)
+		for i := range code {
+			if code[i].Op == ir.OpPrefetch {
+				disps = append(disps, code[i].Addr.Disp)
+			}
+		}
+	}
+	if len(disps) != 2 {
+		t.Fatal("expected one prefetch per run")
+	}
+	if disps[1]-disps[0] != 2*96 {
+		t.Errorf("scheduling distance not applied: %v", disps)
+	}
+}
+
+func TestOriginalMethodUntouched(t *testing.T) {
+	m, g := chaseFixture(t)
+	orig := len(m.Code)
+	for _, n := range g.Nodes {
+		n.HasInter, n.Inter = true, 96
+	}
+	Generate(m, []*ldg.Graph{g}, defaultOpts())
+	if len(m.Code) != orig {
+		t.Error("Generate must not modify the original method")
+	}
+	for i := range m.Code {
+		if m.Code[i].Op == ir.OpPrefetch {
+			t.Fatal("prefetch leaked into the original code")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package stride
+
+// Phased multiple-stride detection — an extension implementing the second
+// of Wu's pattern classes (Sec. 5: "They exploit three stride patterns,
+// strong single stride, phased multiple-stride, and weak single stride").
+// The paper's own algorithm intentionally restricts itself to single
+// strides ("we focus on discovering single stride patterns in in-loop
+// loads"); this extension exists for the ablation studies.
+//
+// A phased pattern is a pair of strides (a, b) that alternate — the
+// address stream of, e.g., a loop reading every field of two-field objects
+// (deltas: +8, +40, +8, +40, ...). The prefetchable quantity is the phase
+// sum a+b, the per-iteration advance.
+
+// Phased describes a detected two-phase stride pattern.
+type Phased struct {
+	A, B int64 // the alternating strides
+}
+
+// Sum returns the per-period advance (the exploitable stride).
+func (p Phased) Sum() int64 { return p.A + p.B }
+
+// InterPhased detects a phased two-stride pattern in a load trace: the
+// deltas at even positions are dominated by one value and those at odd
+// positions by another (both at the given threshold), with different
+// values (a uniform stream is a single-stride pattern, not a phased one).
+func InterPhased(trace []Rec, threshold float64) (Phased, bool) {
+	if len(trace) < 5 {
+		return Phased{}, false
+	}
+	var even, odd []int64
+	for i := 1; i < len(trace); i++ {
+		d := int64(trace[i].Addr) - int64(trace[i-1].Addr)
+		if (i-1)%2 == 0 {
+			even = append(even, d)
+		} else {
+			odd = append(odd, d)
+		}
+	}
+	a, okA := Dominant(even, threshold)
+	b, okB := Dominant(odd, threshold)
+	if !okA || !okB || a == b {
+		return Phased{}, false
+	}
+	if a+b == 0 {
+		return Phased{}, false // ping-pong between two addresses: no advance
+	}
+	return Phased{A: a, B: b}, true
+}

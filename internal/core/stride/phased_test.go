@@ -1,0 +1,89 @@
+package stride
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func phasedTrace(start uint32, a, b int64, n int) []Rec {
+	tr := make([]Rec, n)
+	addr := int64(start)
+	for i := range tr {
+		tr[i] = Rec{Iter: i, Addr: uint32(addr)}
+		if i%2 == 0 {
+			addr += a
+		} else {
+			addr += b
+		}
+	}
+	return tr
+}
+
+func TestInterPhasedDetects(t *testing.T) {
+	tr := phasedTrace(0x1000, 8, 40, 12)
+	p, ok := InterPhased(tr, DefaultThreshold)
+	if !ok {
+		t.Fatal("alternating 8/40 not detected")
+	}
+	if p.A != 8 || p.B != 40 || p.Sum() != 48 {
+		t.Errorf("phased = %+v", p)
+	}
+}
+
+func TestInterPhasedRejectsSingleStride(t *testing.T) {
+	tr := phasedTrace(0x1000, 16, 16, 12)
+	if _, ok := InterPhased(tr, DefaultThreshold); ok {
+		t.Error("a uniform stream is not a phased pattern")
+	}
+}
+
+func TestInterPhasedRejectsPingPong(t *testing.T) {
+	tr := phasedTrace(0x1000, 64, -64, 12)
+	if _, ok := InterPhased(tr, DefaultThreshold); ok {
+		t.Error("zero-advance alternation is not exploitable")
+	}
+}
+
+func TestInterPhasedRejectsShort(t *testing.T) {
+	tr := phasedTrace(0x1000, 8, 40, 4)
+	if _, ok := InterPhased(tr, DefaultThreshold); ok {
+		t.Error("too few samples")
+	}
+}
+
+func TestInterPhasedRejectsIrregular(t *testing.T) {
+	tr := []Rec{{0, 100}, {1, 500}, {2, 900}, {3, 5000}, {4, 100}, {5, 9000}, {6, 200}}
+	if _, ok := InterPhased(tr, DefaultThreshold); ok {
+		t.Error("irregular stream accepted")
+	}
+}
+
+func TestInterPhasedNotSeenBySingleStride(t *testing.T) {
+	// The motivating case: single-stride detection (the paper's algorithm)
+	// misses what the phased detector finds.
+	tr := phasedTrace(0x1000, 8, 40, 16)
+	if _, ok := Inter(tr, DefaultThreshold); ok {
+		t.Fatal("single-stride detector should not accept 8/40 alternation")
+	}
+	if _, ok := InterPhased(tr, DefaultThreshold); !ok {
+		t.Fatal("phased detector must accept it")
+	}
+}
+
+// Property: any alternation of two distinct strides with non-zero sum is
+// detected exactly.
+func TestQuickPhased(t *testing.T) {
+	f := func(start uint32, a8, b8 int8, n uint8) bool {
+		a, b := int64(a8), int64(b8)
+		if a == b || a+b == 0 {
+			return true
+		}
+		ln := 6 + int(n%20)
+		tr := phasedTrace(start, a, b, ln)
+		p, ok := InterPhased(tr, DefaultThreshold)
+		return ok && p.A == a && p.B == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

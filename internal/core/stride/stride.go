@@ -1,0 +1,113 @@
+// Package stride analyzes the address traces produced by object inspection
+// and decides which loads (and which adjacent pairs of loads) exhibit
+// stride patterns.
+//
+// Definitions (paper Sec. 1-2):
+//
+//   - a load has an inter-iteration stride pattern when the sequence of
+//     addresses it accesses over iterations exhibits a (dominant) constant
+//     stride;
+//   - a pair of loads (Ly, Lz) has an intra-iteration stride pattern when
+//     the stride A(Lz) - A(Ly) within one iteration is (dominantly)
+//     constant across iterations.
+//
+// "If the majority (for example, over 75%) of the strides of a load or a
+// pair of loads are the same, we recognize that they have stride patterns"
+// (Sec. 3.2).
+package stride
+
+// Rec is one recorded load execution during object inspection.
+type Rec struct {
+	Iter int    // target-loop iteration number, starting at 0
+	Addr uint32 // memory address accessed
+}
+
+// DefaultThreshold is the paper's 75% majority requirement.
+const DefaultThreshold = 0.75
+
+// Dominant returns the dominant value of a delta sequence and whether it
+// accounts for at least threshold of the samples. Sequences shorter than 2
+// have no pattern; a dominant delta of 0 (loop-invariant address) is
+// reported as no pattern — invariant loads need no prefetching.
+func Dominant(deltas []int64, threshold float64) (int64, bool) {
+	if len(deltas) < 2 {
+		return 0, false
+	}
+	counts := map[int64]int{}
+	best, bestN := int64(0), 0
+	for _, d := range deltas {
+		counts[d]++
+		if counts[d] > bestN {
+			best, bestN = d, counts[d]
+		}
+	}
+	if best == 0 {
+		return 0, false
+	}
+	if float64(bestN) < threshold*float64(len(deltas)) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Inter detects an inter-iteration stride for one load from its full trace
+// (all executions in order). Using consecutive executions rather than
+// per-iteration samples also captures loads in promoted nested loops, whose
+// dominant stride is their inner-loop advance — matching how off-line
+// stride profiling (Wu) sees the address stream.
+func Inter(trace []Rec, threshold float64) (int64, bool) {
+	if len(trace) < 3 {
+		return 0, false
+	}
+	deltas := make([]int64, 0, len(trace)-1)
+	for i := 1; i < len(trace); i++ {
+		deltas = append(deltas, int64(trace[i].Addr)-int64(trace[i-1].Addr))
+	}
+	return Dominant(deltas, threshold)
+}
+
+// firstPerIter reduces a trace to the first execution per iteration,
+// returning a map iteration -> address.
+func firstPerIter(trace []Rec) map[int]uint32 {
+	m := make(map[int]uint32, len(trace))
+	for _, r := range trace {
+		if _, seen := m[r.Iter]; !seen {
+			m[r.Iter] = r.Addr
+		}
+	}
+	return m
+}
+
+// Intra detects an intra-iteration stride for an adjacent pair (from, to).
+// For each iteration where both executed, the sample is
+// A(to) - A(from) using each load's first execution in that iteration; the
+// pair has a pattern when a dominant non-zero sample covers at least
+// threshold of the iterations (paper Sec. 2: "the sequence of the strides
+// between them shows a pattern over iterations").
+func Intra(from, to []Rec, threshold float64) (int64, bool) {
+	fa := firstPerIter(from)
+	ta := firstPerIter(to)
+	var samples []int64
+	for iter, a := range fa {
+		if b, ok := ta[iter]; ok {
+			samples = append(samples, int64(b)-int64(a))
+		}
+	}
+	if len(samples) < 2 {
+		return 0, false
+	}
+	// Dominant() interprets its input as deltas; here samples are already
+	// strides, and all of them must agree, so reuse the same counting.
+	counts := map[int64]int{}
+	best, bestN := int64(0), 0
+	for _, s := range samples {
+		counts[s]++
+		if counts[s] > bestN {
+			best, bestN = s, counts[s]
+		}
+	}
+	if float64(bestN) < threshold*float64(len(samples)) {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,190 @@
+// Package dataflow computes reaching definitions and use-def chains over an
+// IR method's CFG. The load dependence graph (paper Sec. 3.1) is built from
+// these chains: "We can construct the graph, for instance, by utilizing the
+// use-def chains built for the method containing the loop."
+package dataflow
+
+import (
+	"strider/internal/cfg"
+	"strider/internal/ir"
+)
+
+// bitset is a simple fixed-width bitset over definition indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(o bitset) {
+	copy(b, o)
+}
+
+// Defs is the reaching-definitions analysis result for one method.
+type Defs struct {
+	Method *ir.Method
+	Graph  *cfg.Graph
+
+	// defSites[i] is the instruction index of definition i; definitions
+	// are exactly the instructions with a destination register.
+	defSites []int
+	defIndex []int // instruction index -> def index, -1 if none
+	defsOf   [][]int
+
+	// in[b] = definitions reaching block b entry.
+	in []bitset
+}
+
+// Reach computes reaching definitions for the method. Parameters are
+// modelled as pseudo-definitions at index -1 and are not included in
+// use-def chains (a use reached only by a parameter has no defining
+// instruction).
+func Reach(g *cfg.Graph) *Defs {
+	m := g.Method
+	d := &Defs{Method: m, Graph: g}
+	d.defIndex = make([]int, len(m.Code))
+	d.defsOf = make([][]int, m.NumRegs)
+	for i := range d.defIndex {
+		d.defIndex[i] = -1
+	}
+	for i := range m.Code {
+		if r := m.Code[i].Defs(); r != ir.NoReg {
+			d.defIndex[i] = len(d.defSites)
+			d.defsOf[r] = append(d.defsOf[r], len(d.defSites))
+			d.defSites = append(d.defSites, i)
+		}
+	}
+	nd := len(d.defSites)
+	nb := g.NumBlocks()
+	gen := make([]bitset, nb)
+	killReg := make([][]ir.Reg, nb) // registers fully redefined in block (last def wins)
+	d.in = make([]bitset, nb)
+	out := make([]bitset, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = newBitset(nd)
+		d.in[b] = newBitset(nd)
+		out[b] = newBitset(nd)
+		blk := g.Blocks[b]
+		lastDef := map[ir.Reg]int{}
+		for i := blk.Start; i < blk.End; i++ {
+			if r := m.Code[i].Defs(); r != ir.NoReg {
+				lastDef[r] = d.defIndex[i]
+			}
+		}
+		for r, di := range lastDef {
+			gen[b].set(di)
+			killReg[b] = append(killReg[b], r)
+		}
+	}
+	// Iterate to fixpoint.
+	tmp := newBitset(nd)
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < nb; b++ {
+			blk := g.Blocks[b]
+			for _, p := range blk.Preds {
+				if d.in[b].orInto(out[p]) {
+					changed = true
+				}
+			}
+			// out = gen ∪ (in − kill)
+			tmp.copyFrom(d.in[b])
+			for _, r := range killReg[b] {
+				for _, di := range d.defsOf[r] {
+					tmp.clear(di)
+				}
+			}
+			tmp.orInto(gen[b])
+			if !equal(out[b], tmp) {
+				out[b].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func equal(a, b bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachingDefs returns the instruction indices of the definitions of reg
+// that reach instruction i (as a use site). The result is in ascending
+// instruction order.
+func (d *Defs) ReachingDefs(i int, reg ir.Reg) []int {
+	blk := d.Graph.BlockOf(i)
+	// Walk the block from the top, tracking the most recent def of reg.
+	local := -1
+	for j := blk.Start; j < i; j++ {
+		if d.Method.Code[j].Defs() == reg {
+			local = j
+		}
+	}
+	if local >= 0 {
+		return []int{local}
+	}
+	var out []int
+	for _, di := range d.defsOf[reg] {
+		if d.in[blk.ID].has(di) {
+			out = append(out, d.defSites[di])
+		}
+	}
+	return out
+}
+
+// UniqueReachingDef returns the single definition of reg reaching use site
+// i, or -1 if there are zero or several.
+func (d *Defs) UniqueReachingDef(i int, reg ir.Reg) int {
+	defs := d.ReachingDefs(i, reg)
+	if len(defs) == 1 {
+		return defs[0]
+	}
+	return -1
+}
+
+// UseCount returns the number of instruction operands that use the value
+// defined at instruction di (i.e. uses of its destination register reached
+// by this definition). The paper's profitability analysis requires at
+// least one data-dependent instruction (Sec. 3.3).
+func (d *Defs) UseCount(di int) int {
+	reg := d.Method.Code[di].Defs()
+	if reg == ir.NoReg {
+		return 0
+	}
+	count := 0
+	var buf []ir.Reg
+	for i := range d.Method.Code {
+		buf = d.Method.Code[i].Uses(buf[:0])
+		for _, r := range buf {
+			if r != reg {
+				continue
+			}
+			for _, def := range d.ReachingDefs(i, reg) {
+				if def == di {
+					count++
+					break
+				}
+			}
+		}
+	}
+	return count
+}

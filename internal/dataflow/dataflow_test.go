@@ -1,0 +1,125 @@
+package dataflow
+
+import (
+	"testing"
+
+	"strider/internal/cfg"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func TestStraightLineUseDef(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "s", value.KindInt)
+	x := b.ConstInt(1) // @0
+	y := b.ConstInt(2) // @1
+	z := b.AddInt(x, y)
+	b.Return(z)
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+
+	addIdx := 2
+	if defs := d.ReachingDefs(addIdx, x); len(defs) != 1 || defs[0] != 0 {
+		t.Errorf("defs of x at add = %v", defs)
+	}
+	if got := d.UniqueReachingDef(addIdx, y); got != 1 {
+		t.Errorf("unique def of y = %d", got)
+	}
+}
+
+func TestRedefinitionKills(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "k", value.KindInt)
+	x := b.ConstInt(1) // @0
+	b.SetInt(x, 2)     // @1 kills @0
+	y := b.AddInt(x, x)
+	b.Return(y)
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+	if defs := d.ReachingDefs(2, x); len(defs) != 1 || defs[0] != 1 {
+		t.Errorf("redefinition not killing: %v", defs)
+	}
+}
+
+func TestMergeBothDefsReach(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "m", value.KindInt, value.KindInt)
+	x := b.ConstInt(0) // @0
+	els := b.NewLabel()
+	done := b.NewLabel()
+	b.Br(value.KindInt, ir.CondLT, b.Param(0), x, els) // @1
+	b.SetInt(x, 1)                                     // @2
+	b.Goto(done)                                       // @3
+	b.Bind(els)
+	b.SetInt(x, 2) // @4
+	b.Bind(done)
+	b.Return(x) // @5
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+	defs := d.ReachingDefs(5, x)
+	if len(defs) != 2 {
+		t.Fatalf("at the join both defs must reach, got %v", defs)
+	}
+	if d.UniqueReachingDef(5, x) != -1 {
+		t.Error("UniqueReachingDef must be -1 at a join")
+	}
+}
+
+func TestLoopCarriedDef(t *testing.T) {
+	// i defined before the loop and redefined inside: at the loop header
+	// use, both definitions reach.
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "l", value.KindInt, value.KindInt)
+	i := b.ConstInt(0) // @0
+	head := b.Here()
+	one := b.ConstInt(1)                                // @1
+	b.ArithTo(i, ir.OpAdd, value.KindInt, i, one)       // @2
+	b.Br(value.KindInt, ir.CondLT, i, b.Param(0), head) // @3
+	b.Return(i)                                         // @4
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+	defs := d.ReachingDefs(2, i) // the use of i inside the loop body
+	if len(defs) != 2 {
+		t.Fatalf("loop-carried defs = %v, want both @0 and @2", defs)
+	}
+}
+
+func TestUseCount(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "u", value.KindInt)
+	x := b.ConstInt(3)  // @0: used twice below
+	y := b.AddInt(x, x) // @1
+	z := b.ConstInt(9)  // @2: dead
+	_ = z
+	b.Return(y)
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+	if got := d.UseCount(0); got != 2 {
+		t.Errorf("UseCount(@0) = %d, want 2", got)
+	}
+	if got := d.UseCount(2); got != 0 {
+		t.Errorf("UseCount(dead) = %d, want 0", got)
+	}
+	// Instructions that define nothing have no uses to count.
+	if got := d.UseCount(3); got != 0 {
+		t.Errorf("UseCount(return) = %d", got)
+	}
+}
+
+func TestParamsHaveNoDefiningInstruction(t *testing.T) {
+	p := ir.NewProgram(nil)
+	b := ir.NewBuilder(p, nil, "p", value.KindInt, value.KindInt)
+	y := b.AddInt(b.Param(0), b.Param(0)) // @0
+	b.Return(y)
+	m := b.Finish()
+	g := cfg.Build(m)
+	d := Reach(g)
+	if defs := d.ReachingDefs(0, b.Param(0)); len(defs) != 0 {
+		t.Errorf("parameter use must have no defining instruction, got %v", defs)
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarGroup is one labelled group of bars in an ASCII chart.
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is one bar: a series name and a value.
+type Bar struct {
+	Series string
+	Value  float64
+}
+
+// RenderBars renders grouped horizontal bars (the text rendition of the
+// paper's figures). Negative values extend left of the axis. width is the
+// number of character cells for the largest magnitude.
+func RenderBars(title, unit string, groups []BarGroup, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxAbs := 0.0
+	maxSeries := 0
+	for _, g := range groups {
+		for _, b := range g.Bars {
+			if a := math.Abs(b.Value); a > maxAbs {
+				maxAbs = a
+			}
+			if len(b.Series) > maxSeries {
+				maxSeries = len(b.Series)
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (unit: %s, full bar = %.2f)\n", title, unit, maxAbs)
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "%s\n", g.Label)
+		for _, b := range g.Bars {
+			n := int(math.Round(math.Abs(b.Value) / maxAbs * float64(width)))
+			if n > width {
+				n = width
+			}
+			neg := ""
+			if b.Value < 0 {
+				neg = strings.Repeat("▒", n)
+			}
+			pos := ""
+			if b.Value >= 0 {
+				pos = strings.Repeat("█", n)
+			}
+			fmt.Fprintf(&sb, "  %-*s %*s|%-*s %8.2f\n",
+				maxSeries, b.Series, width/2, neg, width, pos, b.Value)
+		}
+	}
+	return sb.String()
+}
+
+// SpeedupChart renders a speedup figure as grouped bars.
+func SpeedupChart(title string, rows []SpeedupRow) string {
+	groups := make([]BarGroup, len(rows))
+	for i, r := range rows {
+		groups[i] = BarGroup{
+			Label: r.Workload,
+			Bars: []Bar{
+				{Series: "INTER", Value: r.Inter},
+				{Series: "INTER+INTRA", Value: r.InterIntra},
+				{Series: "paper I+I", Value: r.PaperBoth},
+			},
+		}
+	}
+	return RenderBars(title, "% speedup over BASELINE", groups, 40)
+}
+
+// MPIChart renders an MPI figure as grouped bars.
+func MPIChart(title string, rows []MPIRow) string {
+	groups := make([]BarGroup, len(rows))
+	for i, r := range rows {
+		groups[i] = BarGroup{
+			Label: r.Workload,
+			Bars: []Bar{
+				{Series: "BASELINE", Value: r.Baseline},
+				{Series: "INTER+INTRA", Value: r.Opt},
+			},
+		}
+	}
+	return RenderBars(title, "misses per 1000 instructions", groups, 40)
+}

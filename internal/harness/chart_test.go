@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBars(t *testing.T) {
+	out := RenderBars("t", "u", []BarGroup{
+		{Label: "g1", Bars: []Bar{{"a", 10}, {"b", -5}}},
+		{Label: "g2", Bars: []Bar{{"a", 0}}},
+	}, 20)
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "g2") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("positive bar missing")
+	}
+	if !strings.Contains(out, "▒") {
+		t.Error("negative bar missing")
+	}
+	if !strings.Contains(out, "10.00") || !strings.Contains(out, "-5.00") {
+		t.Error("values missing")
+	}
+}
+
+func TestRenderBarsAllZero(t *testing.T) {
+	out := RenderBars("t", "u", []BarGroup{{Label: "g", Bars: []Bar{{"a", 0}}}}, 0)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Error("zero chart must render without NaN")
+	}
+}
+
+func TestSpeedupChartAndMPIChart(t *testing.T) {
+	s := SpeedupChart("f", []SpeedupRow{{Workload: "db", Inter: 0, InterIntra: 18.9, PaperBoth: 18.9}})
+	if !strings.Contains(s, "db") || !strings.Contains(s, "INTER+INTRA") {
+		t.Error("speedup chart incomplete")
+	}
+	m := MPIChart("f", []MPIRow{{Workload: "db", Baseline: 3, Opt: 1}})
+	if !strings.Contains(m, "BASELINE") {
+		t.Error("MPI chart incomplete")
+	}
+}
+
+func TestBarsClampToWidth(t *testing.T) {
+	out := RenderBars("t", "u", []BarGroup{
+		{Label: "g", Bars: []Bar{{"a", 1e9}, {"b", 1}}},
+	}, 10)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, "█") > 10 {
+			t.Error("bar exceeds width")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package harness runs the paper's experiments: it executes workloads on
+// configured VMs (warmup run + measured run, mirroring the paper's
+// best-run-under-continuous-execution methodology), caches results within
+// the process, and regenerates every table and figure of the evaluation
+// section.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/heap"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+// Spec identifies one experimental run.
+type Spec struct {
+	Workload string
+	Size     workloads.Size
+	Machine  string // "Pentium4" or "AthlonMP"
+	Mode     jit.Mode
+	GC       heap.GCMode
+
+	// Warmups is the number of discarded runs before the measured run
+	// (default 1 — enough for every method to be JIT-compiled).
+	Warmups int
+	// HeapBytes overrides the workload's heap hint when non-zero.
+	HeapBytes uint32
+	// JIT overrides the paper-default compiler options when non-nil.
+	JIT *jit.Options
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Machine == "" {
+		s.Machine = "Pentium4"
+	}
+	if s.Warmups == 0 {
+		s.Warmups = 1
+	}
+	return s
+}
+
+func (s Spec) key() string {
+	j := ""
+	if s.JIT != nil {
+		j = fmt.Sprintf("|c%d|k%d|t%.2f|st%d|ip%v|ac%v",
+			s.JIT.C, s.JIT.Inspect.Iterations, s.JIT.Threshold,
+			s.JIT.SmallTrip, s.JIT.Inspect.Interprocedural, s.JIT.AdaptiveC)
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|gc%d|w%d|h%d%s",
+		s.Workload, s.Size, s.Machine, s.Mode, s.GC, s.Warmups, s.HeapBytes, j)
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]vm.RunStats{}
+)
+
+// ClearCache drops all cached results (tests use it for isolation).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[string]vm.RunStats{}
+}
+
+// Run executes a spec (or returns the process-cached result).
+func Run(s Spec) (vm.RunStats, error) {
+	s = s.withDefaults()
+	k := s.key()
+	cacheMu.Lock()
+	if r, ok := cache[k]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+
+	w, err := workloads.ByName(s.Workload)
+	if err != nil {
+		return vm.RunStats{}, err
+	}
+	m := arch.ByName(s.Machine)
+	if m == nil {
+		return vm.RunStats{}, fmt.Errorf("harness: unknown machine %q", s.Machine)
+	}
+	heapBytes := s.HeapBytes
+	if heapBytes == 0 {
+		heapBytes = w.HeapBytes
+	}
+	prog := w.Build(s.Size)
+	if err := prog.Validate(); err != nil {
+		return vm.RunStats{}, fmt.Errorf("harness: %s: %w", s.Workload, err)
+	}
+	var jitOpts *jit.Options
+	if s.JIT != nil {
+		o := *s.JIT
+		o.Mode = s.Mode
+		o.Machine = m
+		jitOpts = &o
+	}
+	v := vm.New(prog, vm.Config{
+		Machine:   m,
+		Mode:      s.Mode,
+		HeapBytes: heapBytes,
+		GC:        s.GC,
+		JIT:       jitOpts,
+	})
+	stats, err := v.Measure(nil, s.Warmups)
+	if err != nil {
+		return vm.RunStats{}, fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
+	}
+	cacheMu.Lock()
+	cache[k] = stats
+	cacheMu.Unlock()
+	return stats, nil
+}
+
+// SpeedupPct returns the percentage speedup of opt over base
+// (positive = faster, the paper's Figure 6/7 metric).
+func SpeedupPct(base, opt vm.RunStats) float64 {
+	if opt.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(base.Cycles)/float64(opt.Cycles) - 1)
+}
+
+// Speedups runs BASELINE, INTER, and INTER+INTRA for one workload on one
+// machine and returns (interPct, interIntraPct).
+func Speedups(name, machine string, size workloads.Size) (float64, float64, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.Baseline, HeapBytes: w.HeapBytes})
+	if err != nil {
+		return 0, 0, err
+	}
+	inter, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.Inter, HeapBytes: w.HeapBytes})
+	if err != nil {
+		return 0, 0, err
+	}
+	both, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
+	if err != nil {
+		return 0, 0, err
+	}
+	return SpeedupPct(base, inter), SpeedupPct(base, both), nil
+}

@@ -1,0 +1,47 @@
+package heap
+
+import (
+	"testing"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+func benchUniverse() (*classfile.Universe, *classfile.Class) {
+	u := classfile.NewUniverse()
+	node := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	return u, node
+}
+
+func BenchmarkAllocObject(b *testing.B) {
+	u, node := benchUniverse()
+	h := New(64<<20, u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.AllocObject(node); err != nil {
+			h.Reset()
+		}
+	}
+}
+
+func BenchmarkCollectCompacting(b *testing.B) {
+	u, node := benchUniverse()
+	fNext := node.FieldByName("next")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := New(8<<20, u)
+		var head uint32
+		for k := 0; k < 20000; k++ {
+			a, _ := h.AllocObject(node)
+			h.Store4(a+fNext.Offset, head)
+			head = a
+			h.AllocArray(value.KindInt, 4) // garbage
+		}
+		root := value.Ref(head)
+		b.StartTimer()
+		h.Collect(func(visit func(*value.Value)) { visit(&root) })
+	}
+}

@@ -1,0 +1,149 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+// TestFreeListSplitKeepsWalkable: carving a hole must leave a stamped
+// filler for the remainder.
+func TestFreeListSplitKeepsWalkable(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<16, u)
+	h.SetGCMode(GCMarkSweepFreeList)
+	// One live object, one large dead array.
+	o, _ := h.AllocObject(node)
+	root := value.Ref(o)
+	h.AllocArray(value.KindInt, 64) // 272 bytes of garbage
+	h.Collect(func(visit func(*value.Value)) { visit(&root) })
+	// Carve a small piece out of the hole.
+	if _, err := h.AllocObject(node); err != nil {
+		t.Fatal(err)
+	}
+	// The heap walk must still terminate and cover everything.
+	seen := 0
+	h.Walk(func(addr, size uint32, c *classfile.Class) bool {
+		seen++
+		if seen > 1000 {
+			t.Fatal("walk does not terminate")
+		}
+		return true
+	})
+}
+
+// TestFreeListTooSmallHoleSkipped: a hole that cannot hold the remainder
+// filler is not split.
+func TestFreeListTooSmallHoleSkipped(t *testing.T) {
+	u, _ := testUniverse(t)
+	h := New(4096, u)
+	h.SetGCMode(GCMarkSweepFreeList)
+	// Dead 24-byte array between live markers.
+	a, _ := h.AllocArray(value.KindInt, 2) // 24 bytes
+	_ = a
+	live1, _ := h.AllocArray(value.KindInt, 4)
+	r1 := value.Ref(live1)
+	h.Collect(func(visit func(*value.Value)) { visit(&r1) })
+	// A 16-byte allocation fits the 24-byte hole only without a filler
+	// remainder (24-16=8 < HeaderBytes): the allocator must either take
+	// the whole hole or bump — never corrupt the walk.
+	if _, err := h.AllocObject(u.ByName("Node")); err != nil {
+		// Node is 24 bytes: exact fit, must succeed from the hole.
+		t.Fatal(err)
+	}
+	h.Walk(func(addr, size uint32, c *classfile.Class) bool { return true })
+}
+
+// Property: in free-list mode, any interleaving of allocations and
+// collections keeps the heap walkable and never loses rooted data.
+func TestQuickFreeListChurn(t *testing.T) {
+	u, node := testUniverse(t)
+	fVal := node.FieldByName("val")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(1<<16, u)
+		h.SetGCMode(GCMarkSweepFreeList)
+		var roots []value.Value
+		var vals []uint32
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(4) {
+			case 0: // live object
+				o, err := h.AllocObject(node)
+				if err != nil {
+					return true // heap full is acceptable
+				}
+				v := rng.Uint32()
+				h.Store4(o+fVal.Offset, v)
+				roots = append(roots, value.Ref(o))
+				vals = append(vals, v)
+			case 1: // garbage
+				h.AllocArray(value.KindInt, uint32(rng.Intn(32)))
+			case 2: // garbage object
+				h.AllocObject(node)
+			case 3: // collect
+				h.Collect(func(visit func(*value.Value)) {
+					for i := range roots {
+						visit(&roots[i])
+					}
+				})
+			}
+		}
+		h.Collect(func(visit func(*value.Value)) {
+			for i := range roots {
+				visit(&roots[i])
+			}
+		})
+		for i, r := range roots {
+			if h.Load4(r.Ref()+fVal.Offset) != vals[i] {
+				return false
+			}
+		}
+		// Walk must terminate.
+		n := 0
+		h.Walk(func(addr, size uint32, c *classfile.Class) bool {
+			n++
+			return n < 100000
+		})
+		return n < 100000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sliding compaction is idempotent — collecting twice with the
+// same roots moves nothing the second time.
+func TestQuickCompactionIdempotent(t *testing.T) {
+	u, node := testUniverse(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(1<<18, u)
+		var roots []value.Value
+		for i := 0; i < 50; i++ {
+			o, err := h.AllocObject(node)
+			if err != nil {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				roots = append(roots, value.Ref(o))
+			}
+			h.AllocArray(value.KindInt, uint32(rng.Intn(8)))
+		}
+		rs := func(visit func(*value.Value)) {
+			for i := range roots {
+				visit(&roots[i])
+			}
+		}
+		h.Collect(rs)
+		moved1 := h.Stats().Moved
+		top1 := h.Top()
+		h.Collect(rs)
+		return h.Stats().Moved == moved1 && h.Top() == top1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,410 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+func testUniverse(t *testing.T) (*classfile.Universe, *classfile.Class) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	node := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	return u, node
+}
+
+func TestAllocObject(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<20, u)
+	a, err := h.AllocObject(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 {
+		t.Fatal("allocated at null")
+	}
+	if h.ClassOf(a) != node {
+		t.Error("header class wrong")
+	}
+	if h.ObjectSize(a) != node.InstanceSize {
+		t.Error("object size wrong")
+	}
+	// Consecutive allocations are contiguous (the property strides rely on).
+	b, _ := h.AllocObject(node)
+	if b != a+node.InstanceSize {
+		t.Errorf("bump allocation not contiguous: %#x then %#x", a, b)
+	}
+}
+
+func TestAllocArray(t *testing.T) {
+	u, _ := testUniverse(t)
+	h := New(1<<20, u)
+	a, err := h.AllocArray(value.KindInt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ArrayLen(a) != 10 {
+		t.Errorf("array len = %d", h.ArrayLen(a))
+	}
+	if !h.ClassOf(a).IsArray {
+		t.Error("array class flag lost")
+	}
+	if h.ElemAddr(a, 3) != a+classfile.HeaderBytes+12 {
+		t.Error("ElemAddr wrong")
+	}
+	for i := uint32(0); i < 10; i++ {
+		if h.Load4(h.ElemAddr(a, i)) != 0 {
+			t.Fatal("array not zeroed")
+		}
+	}
+}
+
+func TestLoadStoreRoundtrip(t *testing.T) {
+	u, _ := testUniverse(t)
+	h := New(1<<16, u)
+	a, _ := h.AllocArray(value.KindLong, 4)
+	h.Store4(a+classfile.HeaderBytes, 0xDEADBEEF)
+	if h.Load4(a+classfile.HeaderBytes) != 0xDEADBEEF {
+		t.Error("Store4/Load4 roundtrip failed")
+	}
+	h.Store8(a+classfile.HeaderBytes+8, 0x0123456789ABCDEF)
+	if h.Load8(a+classfile.HeaderBytes+8) != 0x0123456789ABCDEF {
+		t.Error("Store8/Load8 roundtrip failed")
+	}
+}
+
+func TestValid(t *testing.T) {
+	u, _ := testUniverse(t)
+	h := New(1<<12, u)
+	if h.Valid(0, 4) {
+		t.Error("null page must be invalid")
+	}
+	if h.Valid(h.Size()-2, 4) {
+		t.Error("out-of-bounds range must be invalid")
+	}
+	if !h.Valid(16, 4) {
+		t.Error("heap base must be valid")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1024, u)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = h.AllocObject(node); err != nil {
+			break
+		}
+	}
+	if err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+// buildList allocates a linked list of n nodes and returns the head.
+func buildList(t *testing.T, h *Heap, node *classfile.Class, n int) uint32 {
+	t.Helper()
+	fVal := node.FieldByName("val")
+	fNext := node.FieldByName("next")
+	var head uint32
+	for i := 0; i < n; i++ {
+		a, err := h.AllocObject(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Store4(a+fVal.Offset, uint32(i))
+		h.Store4(a+fNext.Offset, head)
+		head = a
+	}
+	return head
+}
+
+func listVals(h *Heap, node *classfile.Class, head uint32) []uint32 {
+	fVal := node.FieldByName("val")
+	fNext := node.FieldByName("next")
+	var out []uint32
+	for a := head; a != 0; a = h.Load4(a + fNext.Offset) {
+		out = append(out, h.Load4(a+fVal.Offset))
+	}
+	return out
+}
+
+func TestGCPreservesLiveGraph(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<20, u)
+
+	head := value.Ref(buildList(t, h, node, 50))
+	// Garbage between and after.
+	for i := 0; i < 100; i++ {
+		if _, err := h.AllocArray(value.KindInt, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := listVals(h, node, head.Ref())
+
+	live := h.Collect(func(visit func(*value.Value)) { visit(&head) })
+	if live == 0 {
+		t.Fatal("no live bytes after GC with live roots")
+	}
+	after := listVals(h, node, head.Ref())
+	if len(after) != len(before) {
+		t.Fatalf("list length changed: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("list content changed at %d", i)
+		}
+	}
+	if h.Stats().Collections != 1 {
+		t.Error("collection not counted")
+	}
+}
+
+func TestGCReclaimsGarbage(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<16, u)
+	head := value.Ref(buildList(t, h, node, 10))
+	for i := 0; i < 50; i++ {
+		h.AllocArray(value.KindInt, 16)
+	}
+	topBefore := h.Top()
+	h.Collect(func(visit func(*value.Value)) { visit(&head) })
+	if h.Top() >= topBefore {
+		t.Errorf("compaction did not reclaim: top %d -> %d", topBefore, h.Top())
+	}
+	// All live objects now packed at the bottom.
+	want := uint64(10 * node.InstanceSize)
+	if h.Stats().LiveAfterLast != want {
+		t.Errorf("live bytes = %d, want %d", h.Stats().LiveAfterLast, want)
+	}
+}
+
+func TestSlidingCompactionPreservesOrderAndStrides(t *testing.T) {
+	// The property the paper relies on (Sec. 4): sliding compaction does
+	// not change the relative order of live objects, so equal-sized
+	// co-allocated objects keep constant strides after GC.
+	u, node := testUniverse(t)
+	h := New(1<<20, u)
+
+	var addrs []value.Value
+	for i := 0; i < 40; i++ {
+		a, _ := h.AllocObject(node)
+		addrs = append(addrs, value.Ref(a))
+		// interleaved garbage of varying size
+		h.AllocArray(value.KindInt, uint32(1+i%7))
+	}
+	h.Collect(func(visit func(*value.Value)) {
+		for i := range addrs {
+			visit(&addrs[i])
+		}
+	})
+	stride := int64(addrs[1].Ref()) - int64(addrs[0].Ref())
+	if stride != int64(node.InstanceSize) {
+		t.Errorf("post-GC stride = %d, want %d", stride, node.InstanceSize)
+	}
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i].Ref()) - int64(addrs[i-1].Ref())
+		if d != stride {
+			t.Fatalf("stride broken at %d: %d vs %d", i, d, stride)
+		}
+	}
+}
+
+func TestGCUpdatesInteriorReferences(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<20, u)
+	fNext := node.FieldByName("next")
+
+	// a -> b with garbage between them.
+	b, _ := h.AllocObject(node)
+	h.AllocArray(value.KindInt, 32)
+	a, _ := h.AllocObject(node)
+	h.Store4(a+fNext.Offset, b)
+	root := value.Ref(a)
+	h.Collect(func(visit func(*value.Value)) { visit(&root) })
+	na := root.Ref()
+	nb := h.Load4(na + fNext.Offset)
+	if h.ClassOf(nb) != node {
+		t.Fatal("interior reference not updated to moved object")
+	}
+	if h.Load4(nb+fNext.Offset) != 0 {
+		t.Error("b.next should still be null")
+	}
+}
+
+func TestGCRefArrays(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<20, u)
+	arr, _ := h.AllocArray(value.KindRef, 5)
+	for i := uint32(0); i < 5; i++ {
+		h.AllocArray(value.KindInt, 3) // garbage
+		o, _ := h.AllocObject(node)
+		h.Store4(o+node.FieldByName("val").Offset, i+100)
+		h.Store4(h.ElemAddr(arr, i), o)
+	}
+	root := value.Ref(arr)
+	h.Collect(func(visit func(*value.Value)) { visit(&root) })
+	for i := uint32(0); i < 5; i++ {
+		o := h.Load4(h.ElemAddr(root.Ref(), i))
+		if got := h.Load4(o + node.FieldByName("val").Offset); got != i+100 {
+			t.Fatalf("element %d lost: val=%d", i, got)
+		}
+	}
+}
+
+func TestGCStaticsAsRoots(t *testing.T) {
+	u := classfile.NewUniverse()
+	node := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "theHead", Kind: value.KindRef, Static: true},
+	)
+	h := New(1<<16, u)
+	o, _ := h.AllocObject(node)
+	h.Store4(o+node.FieldByName("val").Offset, 77)
+	u.SetStatic(node.FieldByName("theHead"), value.Ref(o))
+	h.Collect(func(func(*value.Value)) {}) // no frame roots
+	no := u.GetStatic(node.FieldByName("theHead"))
+	if no.IsNull() {
+		t.Fatal("static root dropped")
+	}
+	if h.Load4(no.Ref()+node.FieldByName("val").Offset) != 77 {
+		t.Error("static-rooted object corrupted")
+	}
+}
+
+func TestFreeListMode(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<16, u)
+	h.SetGCMode(GCMarkSweepFreeList)
+
+	// Live survivors with garbage between them.
+	var roots []value.Value
+	for i := 0; i < 10; i++ {
+		o, _ := h.AllocObject(node)
+		roots = append(roots, value.Ref(o))
+		h.AllocArray(value.KindInt, 8)
+	}
+	positions := make([]uint32, len(roots))
+	for i := range roots {
+		positions[i] = roots[i].Ref()
+	}
+	h.Collect(func(visit func(*value.Value)) {
+		for i := range roots {
+			visit(&roots[i])
+		}
+	})
+	// Non-moving: survivors keep their addresses.
+	for i := range roots {
+		if roots[i].Ref() != positions[i] {
+			t.Fatal("free-list GC must not move objects")
+		}
+	}
+	// New allocations reuse the holes (addresses below the old top).
+	topBefore := h.Top()
+	o, err := h.AllocArray(value.KindInt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o >= topBefore {
+		t.Errorf("allocation at %#x did not reuse a hole below %#x", o, topBefore)
+	}
+	// Heap walk must remain well-formed over filler spans.
+	count := 0
+	h.Walk(func(addr, size uint32, c *classfile.Class) bool {
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Error("walk found nothing")
+	}
+}
+
+func TestReset(t *testing.T) {
+	u, node := testUniverse(t)
+	h := New(1<<16, u)
+	h.AllocObject(node)
+	h.Reset()
+	if h.Top() != 16 {
+		t.Error("Reset must rewind the bump pointer")
+	}
+	if h.Stats().Allocations != 0 {
+		t.Error("Reset must clear stats")
+	}
+}
+
+// Property: after building a random object forest and collecting with a
+// random subset as roots, every rooted value is reachable with identical
+// content, and live bytes equal the traced closure's size.
+func TestQuickGCPreservesReachableContent(t *testing.T) {
+	u, node := testUniverse(t)
+	fVal := node.FieldByName("val")
+	fNext := node.FieldByName("next")
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(1<<20, u)
+		n := 20 + rng.Intn(60)
+		addrs := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			a, err := h.AllocObject(node)
+			if err != nil {
+				return false
+			}
+			h.Store4(a+fVal.Offset, uint32(i)*3+1)
+			if i > 0 && rng.Intn(2) == 0 {
+				h.Store4(a+fNext.Offset, addrs[rng.Intn(i)])
+			}
+			addrs[i] = a
+			if rng.Intn(3) == 0 {
+				h.AllocArray(value.KindInt, uint32(rng.Intn(16)))
+			}
+		}
+		// Pick root subset.
+		var roots []value.Value
+		for _, a := range addrs {
+			if rng.Intn(3) == 0 {
+				roots = append(roots, value.Ref(a))
+			}
+		}
+		// Record expected val sequences per root (follow next chains).
+		chase := func(start uint32) []uint32 {
+			var out []uint32
+			for a, steps := start, 0; a != 0 && steps < 1000; steps++ {
+				out = append(out, h.Load4(a+fVal.Offset))
+				a = h.Load4(a + fNext.Offset)
+			}
+			return out
+		}
+		var want [][]uint32
+		for _, r := range roots {
+			want = append(want, chase(r.Ref()))
+		}
+		h.Collect(func(visit func(*value.Value)) {
+			for i := range roots {
+				visit(&roots[i])
+			}
+		})
+		for i, r := range roots {
+			got := chase(r.Ref())
+			if len(got) != len(want[i]) {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,519 @@
+// Package interp is the execution engine of the simulated VM. It executes
+// IR — baseline or prefetch-augmented — over the simulated heap, routing
+// every memory access through the machine's memory-system model and
+// accounting cycles with the machine's timing model.
+//
+// The engine runs both interpreted and JIT-compiled activations (the
+// dispatcher decides per invocation); interpreted instructions pay the
+// machine's interpretation penalty, which is how the mixed-mode
+// compiled-code fractions of Table 3 arise.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// MemModel is the memory-hierarchy interface the engine drives
+// (implemented by memsim.Memory).
+type MemModel interface {
+	Load(addr, size uint32, now uint64) uint64
+	Store(addr, size uint32, now uint64) uint64
+	Prefetch(addr uint32, guarded bool, now uint64)
+}
+
+// Code is an executable method body as chosen by the dispatcher.
+type Code struct {
+	Instrs   []ir.Instr
+	NumRegs  int
+	Compiled bool
+}
+
+// Dispatcher resolves each invocation to executable code, JIT-compiling as
+// it sees fit. It receives the actual argument values — the hook that
+// makes object inspection possible.
+type Dispatcher interface {
+	Invoke(m *ir.Method, args []value.Value) *Code
+}
+
+// RuntimeError is a trap raised by executing IR (null dereference, bounds,
+// division by zero, out of memory, ...).
+type RuntimeError struct {
+	Method *ir.Method
+	PC     int
+	Err    error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s@%d: %v", e.Method.QName(), e.PC, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// Execution trap causes.
+var (
+	ErrNullDeref     = errors.New("null dereference")
+	ErrBounds        = errors.New("array index out of bounds")
+	ErrNegativeSize  = errors.New("negative array size")
+	ErrStackOverflow = errors.New("call stack overflow")
+	ErrNoMethod      = errors.New("virtual dispatch failed")
+	ErrBudget        = errors.New("instruction budget exhausted")
+	ErrBadValue      = errors.New("operand has wrong kind")
+)
+
+// MaxFrames bounds recursion depth.
+const MaxFrames = 1024
+
+// DefaultMaxInstructions bounds runaway programs.
+const DefaultMaxInstructions = 4_000_000_000
+
+type frame struct {
+	m        *ir.Method
+	code     []ir.Instr
+	compiled bool
+	pc       int
+	regs     []value.Value
+	retReg   ir.Reg // caller register receiving the return value
+}
+
+// Stats is the engine's cycle and event accounting for one run.
+type Stats struct {
+	Cycles               uint64
+	Instructions         uint64
+	CompiledCycles       uint64
+	CompiledInstructions uint64
+	GCs                  uint64
+	GCCycles             uint64
+	AllocBytes           uint64
+	Checksum             uint64
+}
+
+// Engine executes programs.
+type Engine struct {
+	Prog    *ir.Program
+	Heap    *heap.Heap
+	Mem     MemModel
+	Disp    Dispatcher
+	Machine *arch.Machine
+
+	// MaxInstructions bounds one Run (defaults to DefaultMaxInstructions).
+	MaxInstructions uint64
+	// ChargeGC adds a modelled GC cost to the cycle count (1 cycle per 4
+	// live bytes plus a per-collection constant).
+	ChargeGC bool
+
+	S Stats
+
+	frames []*frame
+}
+
+// New creates an engine.
+func New(prog *ir.Program, h *heap.Heap, mem MemModel, disp Dispatcher, m *arch.Machine) *Engine {
+	return &Engine{
+		Prog: prog, Heap: h, Mem: mem, Disp: disp, Machine: m,
+		MaxInstructions: DefaultMaxInstructions,
+		ChargeGC:        true,
+	}
+}
+
+// ResetStats clears the per-run statistics.
+func (e *Engine) ResetStats() { e.S = Stats{} }
+
+// lineBytes returns the allocation-touch granule.
+func (e *Engine) lineBytes() uint32 { return e.Machine.L1D.LineBytes }
+
+func (e *Engine) push(m *ir.Method, args []value.Value, retReg ir.Reg) error {
+	if len(e.frames) >= MaxFrames {
+		return ErrStackOverflow
+	}
+	code := e.Disp.Invoke(m, args)
+	f := &frame{
+		m:        m,
+		code:     code.Instrs,
+		compiled: code.Compiled,
+		regs:     make([]value.Value, code.NumRegs),
+		retReg:   retReg,
+	}
+	copy(f.regs, args)
+	e.frames = append(e.frames, f)
+	return nil
+}
+
+// roots enumerates all reference slots in live frames for the collector.
+func (e *Engine) roots(visit func(*value.Value)) {
+	for _, f := range e.frames {
+		for i := range f.regs {
+			if f.regs[i].K == value.KindRef {
+				visit(&f.regs[i])
+			}
+		}
+	}
+}
+
+// collect runs a GC and charges its modelled cost.
+func (e *Engine) collect() {
+	live := e.Heap.Collect(e.roots)
+	e.S.GCs++
+	if e.ChargeGC {
+		cost := 50_000 + live/4
+		e.S.GCCycles += cost
+		e.S.Cycles += cost
+	}
+}
+
+// allocObject allocates with GC-on-demand and charges allocation traffic.
+func (e *Engine) allocObject(c *classfile.Class) (uint32, error) {
+	addr, err := e.Heap.AllocObject(c)
+	if err != nil {
+		e.collect()
+		addr, err = e.Heap.AllocObject(c)
+		if err != nil {
+			return 0, err
+		}
+	}
+	e.touchAlloc(addr, c.InstanceSize)
+	return addr, nil
+}
+
+func (e *Engine) allocArray(k value.Kind, n uint32) (uint32, error) {
+	addr, err := e.Heap.AllocArray(k, n)
+	if err != nil {
+		e.collect()
+		addr, err = e.Heap.AllocArray(k, n)
+		if err != nil {
+			return 0, err
+		}
+	}
+	e.touchAlloc(addr, e.Heap.ObjectSize(addr))
+	return addr, nil
+}
+
+// touchAlloc models the zeroing writes of allocation: one store per cache
+// line of the new object.
+func (e *Engine) touchAlloc(addr, size uint32) {
+	e.S.AllocBytes += uint64(size)
+	line := e.lineBytes()
+	for off := uint32(0); off < size; off += line {
+		e.S.Cycles += e.Mem.Store(addr+off, 4, e.S.Cycles)
+	}
+}
+
+// sink folds a value into the run checksum (FNV-1a over the payload).
+func (e *Engine) sink(v value.Value) {
+	h := e.S.Checksum
+	if h == 0 {
+		h = 1469598103934665603
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (v.B >> (8 * i)) & 0xFF
+		h *= 1099511628211
+	}
+	e.S.Checksum = h
+}
+
+// Run executes the entry method to completion and returns its result.
+func (e *Engine) Run(entry *ir.Method, args []value.Value) (value.Value, error) {
+	if len(args) != len(entry.Params) {
+		return value.Value{}, fmt.Errorf("interp: entry %s wants %d args, got %d",
+			entry.QName(), len(entry.Params), len(args))
+	}
+	e.frames = e.frames[:0]
+	if err := e.push(entry, args, ir.NoReg); err != nil {
+		return value.Value{}, err
+	}
+	var result value.Value
+	for len(e.frames) > 0 {
+		f := e.frames[len(e.frames)-1]
+		v, done, err := e.step(f)
+		if err != nil {
+			return value.Value{}, &RuntimeError{Method: f.m, PC: f.pc, Err: err}
+		}
+		if done {
+			e.frames = e.frames[:len(e.frames)-1]
+			if len(e.frames) == 0 {
+				result = v
+			} else if f.retReg != ir.NoReg {
+				e.frames[len(e.frames)-1].regs[f.retReg] = v
+			}
+		}
+	}
+	return result, nil
+}
+
+// charge accounts one retired instruction.
+func (e *Engine) charge(compiled bool, extra uint64) {
+	cost := e.Machine.IssueCycles + extra
+	if !compiled {
+		cost += e.Machine.InterpPenalty
+	}
+	e.S.Cycles += cost
+	e.S.Instructions++
+	if compiled {
+		e.S.CompiledCycles += cost
+		e.S.CompiledInstructions++
+	}
+}
+
+// step executes instructions of the top frame until it returns, calls, or
+// traps. Returning done=true with a value pops the frame.
+func (e *Engine) step(f *frame) (value.Value, bool, error) {
+	code := f.code
+	regs := f.regs
+	for {
+		if e.S.Instructions >= e.MaxInstructions {
+			return value.Value{}, false, ErrBudget
+		}
+		in := &code[f.pc]
+		next := f.pc + 1
+		var memStall uint64
+
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[in.Dst] = constValue(in)
+		case ir.OpMove:
+			regs[in.Dst] = regs[in.A]
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+			ir.OpXor, ir.OpShl, ir.OpShr, ir.OpUshr:
+			v, err := ir.EvalBinary(in.Op, in.Kind, regs[in.A], regs[in.B])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			regs[in.Dst] = v
+		case ir.OpNeg:
+			v, err := ir.EvalUnary(in.Op, in.Kind, regs[in.A])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			regs[in.Dst] = v
+		case ir.OpConv:
+			v, err := ir.Convert(in.Kind, regs[in.A])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			regs[in.Dst] = v
+
+		case ir.OpGoto:
+			next = in.Target
+		case ir.OpBr:
+			taken, err := ir.EvalCond(in.Cond, in.Kind, regs[in.A], regs[in.B])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			if taken {
+				next = in.Target
+			}
+		case ir.OpReturn:
+			e.charge(f.compiled, 0)
+			if in.A == ir.NoReg {
+				return value.Value{}, true, nil
+			}
+			return regs[in.A], true, nil
+
+		case ir.OpGetField:
+			obj := regs[in.A]
+			if !obj.IsRef() {
+				return value.Value{}, false, ErrBadValue
+			}
+			if obj.IsNull() {
+				return value.Value{}, false, ErrNullDeref
+			}
+			addr := obj.Ref() + in.Field.Offset
+			memStall = e.Mem.Load(addr, in.Field.Kind.Size(), e.S.Cycles)
+			regs[in.Dst] = e.loadHeap(in.Field.Kind, addr)
+		case ir.OpPutField:
+			obj := regs[in.A]
+			if !obj.IsRef() {
+				return value.Value{}, false, ErrBadValue
+			}
+			if obj.IsNull() {
+				return value.Value{}, false, ErrNullDeref
+			}
+			addr := obj.Ref() + in.Field.Offset
+			memStall = e.Mem.Store(addr, in.Field.Kind.Size(), e.S.Cycles)
+			e.storeHeap(addr, regs[in.B])
+		case ir.OpGetStatic:
+			regs[in.Dst] = e.Prog.Universe.GetStatic(in.Field)
+		case ir.OpPutStatic:
+			e.Prog.Universe.SetStatic(in.Field, regs[in.A])
+
+		case ir.OpArrayLoad:
+			addr, err := e.elemAddr(regs[in.A], regs[in.B])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			memStall = e.Mem.Load(addr, in.Kind.Size(), e.S.Cycles)
+			regs[in.Dst] = e.loadHeap(in.Kind, addr)
+		case ir.OpArrayStore:
+			addr, err := e.elemAddr(regs[in.A], regs[in.B])
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			memStall = e.Mem.Store(addr, in.Kind.Size(), e.S.Cycles)
+			e.storeHeap(addr, regs[in.C])
+		case ir.OpArrayLen:
+			arr := regs[in.A]
+			if !arr.IsRef() {
+				return value.Value{}, false, ErrBadValue
+			}
+			if arr.IsNull() {
+				return value.Value{}, false, ErrNullDeref
+			}
+			addr := arr.Ref() + classfile.AuxOffset
+			memStall = e.Mem.Load(addr, 4, e.S.Cycles)
+			regs[in.Dst] = value.Int(int32(e.Heap.Load4(addr)))
+
+		case ir.OpNew:
+			addr, err := e.allocObject(in.Class)
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			regs[in.Dst] = value.Ref(addr)
+		case ir.OpNewArray:
+			n := regs[in.A]
+			if n.K != value.KindInt {
+				return value.Value{}, false, ErrBadValue
+			}
+			if n.Int() < 0 {
+				return value.Value{}, false, ErrNegativeSize
+			}
+			addr, err := e.allocArray(in.Kind, uint32(n.Int()))
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			regs[in.Dst] = value.Ref(addr)
+
+		case ir.OpCall, ir.OpCallVirt:
+			callee := in.Callee
+			if in.Op == ir.OpCallVirt {
+				recv := regs[in.Args[0]]
+				if !recv.IsRef() {
+					return value.Value{}, false, ErrBadValue
+				}
+				if recv.IsNull() {
+					return value.Value{}, false, ErrNullDeref
+				}
+				c := e.Heap.ClassOf(recv.Ref())
+				callee = e.Prog.LookupVirtual(c, in.Name)
+				if callee == nil {
+					return value.Value{}, false, fmt.Errorf("%w: %s on %s", ErrNoMethod, in.Name, c.Name)
+				}
+			}
+			e.charge(f.compiled, 4) // call overhead
+			args := make([]value.Value, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = regs[r]
+			}
+			f.pc = next
+			if err := e.push(callee, args, in.Dst); err != nil {
+				return value.Value{}, false, err
+			}
+			return value.Value{}, false, nil
+
+		case ir.OpSink:
+			e.sink(regs[in.A])
+
+		case ir.OpPrefetch:
+			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
+				e.Mem.Prefetch(addr, in.Guarded, e.S.Cycles)
+			}
+		case ir.OpSpecLoad:
+			// The guarded speculative load: never faults; fills the DTLB
+			// and caches like a (non-blocking) load; architecturally
+			// yields the loaded word, or null when out of bounds.
+			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
+				e.Mem.Prefetch(addr, true, e.S.Cycles)
+				regs[in.Dst] = value.Ref(e.Heap.Load4(addr))
+			} else {
+				regs[in.Dst] = value.Null
+			}
+		default:
+			return value.Value{}, false, fmt.Errorf("interp: unimplemented op %s", in.Op)
+		}
+
+		e.charge(f.compiled, memStall)
+		f.pc = next
+	}
+}
+
+// prefetchAddr evaluates an address expression; ok is false when the base
+// is not a valid in-heap reference (the software guard of Sec. 3.3).
+func (e *Engine) prefetchAddr(regs []value.Value, a ir.AddrExpr) (uint32, bool) {
+	base := regs[a.Base]
+	if !base.IsRef() || base.IsNull() {
+		return 0, false
+	}
+	addr := int64(base.Ref()) + int64(a.Disp)
+	if a.Index != ir.NoReg {
+		idx := regs[a.Index]
+		if idx.K != value.KindInt {
+			return 0, false
+		}
+		addr += int64(idx.Int()) * int64(a.Scale)
+	}
+	if addr < 0 || addr > int64(^uint32(0)) {
+		return 0, false
+	}
+	u := uint32(addr)
+	if !e.Heap.Valid(u, 4) {
+		return 0, false
+	}
+	return u, true
+}
+
+func (e *Engine) elemAddr(arr, idx value.Value) (uint32, error) {
+	if !arr.IsRef() || idx.K != value.KindInt {
+		return 0, ErrBadValue
+	}
+	if arr.IsNull() {
+		return 0, ErrNullDeref
+	}
+	a := arr.Ref()
+	n := e.Heap.ArrayLen(a)
+	i := idx.Int()
+	if i < 0 || uint32(i) >= n {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBounds, i, n)
+	}
+	c := e.Heap.ClassOf(a)
+	return a + classfile.HeaderBytes + uint32(i)*c.ElemSize, nil
+}
+
+func (e *Engine) loadHeap(k value.Kind, addr uint32) value.Value {
+	switch k {
+	case value.KindLong, value.KindDouble:
+		return value.Value{K: k, B: e.Heap.Load8(addr)}
+	default:
+		return value.Value{K: k, B: uint64(e.Heap.Load4(addr))}
+	}
+}
+
+func (e *Engine) storeHeap(addr uint32, v value.Value) {
+	switch v.K {
+	case value.KindLong, value.KindDouble:
+		e.Heap.Store8(addr, v.B)
+	default:
+		e.Heap.Store4(addr, v.Bits())
+	}
+}
+
+func constValue(in *ir.Instr) value.Value {
+	switch in.Kind {
+	case value.KindInt:
+		return value.Int(int32(in.Imm))
+	case value.KindLong:
+		return value.Long(in.Imm)
+	case value.KindFloat:
+		return value.Float(float32(in.F))
+	case value.KindDouble:
+		return value.Double(in.F)
+	case value.KindRef:
+		return value.Null
+	}
+	return value.Value{}
+}

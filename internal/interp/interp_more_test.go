@@ -1,0 +1,205 @@
+package interp
+
+import (
+	"testing"
+
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func TestLongArithmeticProgram(t *testing.T) {
+	p := ir.NewProgram(emptyUniverse())
+	b := ir.NewBuilder(p, nil, "main", value.KindLong)
+	x := b.ConstLong(1 << 40)
+	y := b.ConstLong(3)
+	z := b.Arith(ir.OpMul, value.KindLong, x, y)
+	w := b.Arith(ir.OpShr, value.KindLong, z, b.ConstLong(2))
+	b.Return(w)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	got, err := e.Run(p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Long() != (3<<40)>>2 {
+		t.Errorf("long math = %v", got)
+	}
+}
+
+func TestLongFieldsAndArrays(t *testing.T) {
+	u := emptyUniverse()
+	c := u.MustDefineClass("W", nil,
+		classfile.FieldSpec{Name: "l", Kind: value.KindLong},
+	)
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "main", value.KindLong)
+	o := b.New(c)
+	v := b.ConstLong(0x1122334455667788)
+	b.PutField(o, c.FieldByName("l"), v)
+	three := b.ConstInt(3)
+	arr := b.NewArray(value.KindLong, three)
+	one := b.ConstInt(1)
+	back := b.GetField(o, c.FieldByName("l"))
+	b.ArrayStore(value.KindLong, arr, one, back)
+	out := b.ArrayLoad(value.KindLong, arr, one)
+	b.Return(out)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	got, err := e.Run(p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Long() != 0x1122334455667788 {
+		t.Errorf("long roundtrip through heap = %x", got.Long())
+	}
+}
+
+func TestConversionChain(t *testing.T) {
+	p := ir.NewProgram(emptyUniverse())
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	d := b.ConstDouble(3.75)
+	f := b.Conv(value.KindFloat, d)
+	l := b.Conv(value.KindLong, f)
+	i := b.Conv(value.KindInt, l)
+	b.Return(i)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	got, err := e.Run(p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 3 {
+		t.Errorf("conversion chain = %v", got)
+	}
+}
+
+func TestStaticsThroughProgram(t *testing.T) {
+	u := emptyUniverse()
+	c := u.MustDefineClass("G", nil,
+		classfile.FieldSpec{Name: "counter", Kind: value.KindInt, Static: true},
+	)
+	fCnt := c.FieldByName("counter")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	ten := b.ConstInt(10)
+	i, end := func() (ir.Reg, func()) {
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		return i, func() {
+			b.IncInt(i, 1)
+			b.Bind(cond)
+			b.Br(value.KindInt, ir.CondLT, i, ten, body)
+		}
+	}()
+	_ = i
+	cur := b.GetStatic(fCnt)
+	two := b.ConstInt(2)
+	n2 := b.Arith(ir.OpAdd, value.KindInt, cur, two)
+	b.PutStatic(fCnt, n2)
+	end()
+	out := b.GetStatic(fCnt)
+	b.Return(out)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	got, err := e.Run(p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 20 {
+		t.Errorf("static accumulation = %v", got)
+	}
+}
+
+func TestVirtualDispatchUnknownMethodTraps(t *testing.T) {
+	u := emptyUniverse()
+	c := u.MustDefineClass("X", nil)
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	o := b.New(c)
+	r := b.CallVirt("nosuch", true, o)
+	b.Return(r)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	if _, err := e.Run(p.Entry, nil); err == nil {
+		t.Error("dispatch to a missing method must trap")
+	}
+}
+
+func TestPrefetchInstructionsAreCheap(t *testing.T) {
+	// A loop with prefetches retires more instructions than one without,
+	// but each prefetch costs only issue cycles.
+	u := emptyUniverse()
+	p := ir.NewProgram(u)
+	mk := func(name string, withPrefetch bool) *ir.Method {
+		b := ir.NewBuilder(p, nil, name, value.KindInt, value.KindRef, value.KindInt)
+		arr, n := b.Param(0), b.Param(1)
+		acc := b.ConstInt(0)
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		v := b.ArrayLoad(value.KindInt, arr, i)
+		b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, v)
+		if withPrefetch {
+			b.Self().Code = append(b.Self().Code, ir.Instr{
+				Op:   ir.OpPrefetch,
+				Addr: ir.AddrExpr{Base: arr, Index: i, Scale: 4, Disp: 16 + 256},
+			})
+		}
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, n, body)
+		b.Return(acc)
+		return b.Finish()
+	}
+	plain := mk("plain", false)
+	pf := mk("pf", true)
+
+	run := func(m *ir.Method) Stats {
+		e := newEngine(p, interpOnly{})
+		arr, err := e.Heap.AllocArray(value.KindInt, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(m, []value.Value{value.Ref(arr), value.Int(4096)}); err != nil {
+			t.Fatal(err)
+		}
+		return e.S
+	}
+	s1 := run(plain)
+	s2 := run(pf)
+	if s2.Instructions <= s1.Instructions {
+		t.Error("prefetch instructions must be retired")
+	}
+	// Issue overhead only: per-instruction cost of the extra prefetches is
+	// bounded by interp cost + issue.
+	extra := s2.Instructions - s1.Instructions
+	maxPer := newEngine(p, interpOnly{}).Machine.IssueCycles + newEngine(p, interpOnly{}).Machine.InterpPenalty
+	if s2.Cycles > s1.Cycles+extra*(maxPer+1) {
+		t.Errorf("prefetches too expensive: %d vs %d (+%d instrs)", s2.Cycles, s1.Cycles, extra)
+	}
+}
+
+func TestSinkAllKinds(t *testing.T) {
+	p := ir.NewProgram(emptyUniverse())
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	b.Sink(b.ConstInt(1))
+	b.Sink(b.ConstLong(2))
+	b.Sink(b.ConstDouble(2.5))
+	b.Sink(b.ConstNull())
+	z := b.ConstInt(0)
+	b.Return(z)
+	p.Entry = b.Finish()
+	e := newEngine(p, interpOnly{})
+	if _, err := e.Run(p.Entry, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.S.Checksum == 0 {
+		t.Error("sink of mixed kinds produced no checksum")
+	}
+}

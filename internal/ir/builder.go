@@ -1,0 +1,325 @@
+package ir
+
+import (
+	"fmt"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+// Label is a forward-referencable code position used while building.
+type Label int
+
+// Builder assembles one method. All emit methods return the builder's
+// destination register where applicable so call sites stay compact.
+// Labels are created with NewLabel, placed with Bind, and referenced by
+// branches before or after being bound; Finish resolves all fixups and
+// validates the method.
+type Builder struct {
+	prog   *Program
+	m      *Method
+	labels []int   // label -> instruction index, -1 if unbound
+	fixups []fixup // branch instructions awaiting label resolution
+}
+
+type fixup struct {
+	instr int
+	label Label
+}
+
+// NewBuilder starts a method. params lists the parameter kinds; they occupy
+// registers 0..len(params)-1.
+func NewBuilder(p *Program, class *classfile.Class, name string, returns value.Kind, params ...value.Kind) *Builder {
+	m := &Method{
+		Class:   class,
+		Name:    name,
+		Params:  params,
+		Returns: returns,
+		NumRegs: len(params),
+	}
+	return &Builder{prog: p, m: m}
+}
+
+// Self returns the method under construction, so recursive methods can
+// emit calls to themselves before Finish.
+func (b *Builder) Self() *Method { return b.m }
+
+// Param returns the register holding parameter i.
+func (b *Builder) Param(i int) Reg {
+	if i < 0 || i >= len(b.m.Params) {
+		panic(fmt.Sprintf("ir: method %s has no parameter %d", b.m.Name, i))
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (b *Builder) NewReg() Reg {
+	r := Reg(b.m.NumRegs)
+	b.m.NumRegs++
+	return r
+}
+
+// NewLabel creates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind places a label at the next emitted instruction.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic("ir: label bound twice")
+	}
+	b.labels[l] = len(b.m.Code)
+}
+
+// Here creates a label bound at the current position.
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+func (b *Builder) emit(in Instr) int {
+	b.m.Code = append(b.m.Code, in)
+	return len(b.m.Code) - 1
+}
+
+func (b *Builder) emitBranch(in Instr, l Label) {
+	idx := b.emit(in)
+	b.fixups = append(b.fixups, fixup{idx, l})
+}
+
+// --- constants and moves ---------------------------------------------------
+
+// ConstInt emits Dst = int immediate and returns a fresh register.
+func (b *Builder) ConstInt(v int32) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Kind: value.KindInt, Dst: d, Imm: int64(v)})
+	return d
+}
+
+// ConstLong emits a long constant.
+func (b *Builder) ConstLong(v int64) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Kind: value.KindLong, Dst: d, Imm: v})
+	return d
+}
+
+// ConstFloat emits a float constant.
+func (b *Builder) ConstFloat(v float32) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Kind: value.KindFloat, Dst: d, F: float64(v)})
+	return d
+}
+
+// ConstDouble emits a double constant.
+func (b *Builder) ConstDouble(v float64) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Kind: value.KindDouble, Dst: d, F: v})
+	return d
+}
+
+// ConstNull emits a null-reference constant.
+func (b *Builder) ConstNull() Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConst, Kind: value.KindRef, Dst: d})
+	return d
+}
+
+// MoveTo emits dst = src into an existing register.
+func (b *Builder) MoveTo(dst, src Reg) {
+	b.emit(Instr{Op: OpMove, Dst: dst, A: src})
+}
+
+// SetInt emits dst = int immediate into an existing register.
+func (b *Builder) SetInt(dst Reg, v int32) {
+	b.emit(Instr{Op: OpConst, Kind: value.KindInt, Dst: dst, Imm: int64(v)})
+}
+
+// SetDouble emits dst = double immediate into an existing register.
+func (b *Builder) SetDouble(dst Reg, v float64) {
+	b.emit(Instr{Op: OpConst, Kind: value.KindDouble, Dst: dst, F: v})
+}
+
+// --- arithmetic --------------------------------------------------------------
+
+// Arith emits dst = a <op> b of the given kind into a fresh register.
+func (b *Builder) Arith(op Op, k value.Kind, a, c Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: op, Kind: k, Dst: d, A: a, B: c})
+	return d
+}
+
+// ArithTo emits dst = a <op> b into an existing register.
+func (b *Builder) ArithTo(dst Reg, op Op, k value.Kind, a, c Reg) {
+	b.emit(Instr{Op: op, Kind: k, Dst: dst, A: a, B: c})
+}
+
+// AddInt emits dst = a + b (int) into a fresh register.
+func (b *Builder) AddInt(a, c Reg) Reg { return b.Arith(OpAdd, value.KindInt, a, c) }
+
+// IncInt emits r = r + imm.
+func (b *Builder) IncInt(r Reg, imm int32) {
+	t := b.ConstInt(imm)
+	b.ArithTo(r, OpAdd, value.KindInt, r, t)
+}
+
+// Neg emits dst = -a.
+func (b *Builder) Neg(k value.Kind, a Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpNeg, Kind: k, Dst: d, A: a})
+	return d
+}
+
+// Conv emits dst = convert a to kind k.
+func (b *Builder) Conv(k value.Kind, a Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpConv, Kind: k, Dst: d, A: a})
+	return d
+}
+
+// --- control flow ------------------------------------------------------------
+
+// Goto emits an unconditional jump to l.
+func (b *Builder) Goto(l Label) {
+	b.emitBranch(Instr{Op: OpGoto}, l)
+}
+
+// Br emits "if a cond c (kind) goto l".
+func (b *Builder) Br(k value.Kind, cond Cond, a, c Reg, l Label) {
+	b.emitBranch(Instr{Op: OpBr, Kind: k, Cond: cond, A: a, B: c}, l)
+}
+
+// BrIntZero emits "if a cond 0 goto l" for ints.
+func (b *Builder) BrIntZero(cond Cond, a Reg, l Label) {
+	z := b.ConstInt(0)
+	b.Br(value.KindInt, cond, a, z, l)
+}
+
+// Return emits a value return.
+func (b *Builder) Return(a Reg) {
+	b.emit(Instr{Op: OpReturn, A: a})
+}
+
+// ReturnVoid emits a void return.
+func (b *Builder) ReturnVoid() {
+	b.emit(Instr{Op: OpReturn, A: NoReg})
+}
+
+// --- heap access ---------------------------------------------------------------
+
+// GetField emits dst = obj.f into a fresh register.
+func (b *Builder) GetField(obj Reg, f *classfile.Field) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpGetField, Kind: f.Kind, Dst: d, A: obj, Field: f})
+	return d
+}
+
+// GetFieldTo emits dst = obj.f into an existing register.
+func (b *Builder) GetFieldTo(dst, obj Reg, f *classfile.Field) {
+	b.emit(Instr{Op: OpGetField, Kind: f.Kind, Dst: dst, A: obj, Field: f})
+}
+
+// PutField emits obj.f = src.
+func (b *Builder) PutField(obj Reg, f *classfile.Field, src Reg) {
+	b.emit(Instr{Op: OpPutField, Kind: f.Kind, A: obj, B: src, Field: f})
+}
+
+// GetStatic emits dst = static f.
+func (b *Builder) GetStatic(f *classfile.Field) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpGetStatic, Kind: f.Kind, Dst: d, Field: f})
+	return d
+}
+
+// PutStatic emits static f = src.
+func (b *Builder) PutStatic(f *classfile.Field, src Reg) {
+	b.emit(Instr{Op: OpPutStatic, Kind: f.Kind, A: src, Field: f})
+}
+
+// ArrayLoad emits dst = arr[idx] of element kind k.
+func (b *Builder) ArrayLoad(k value.Kind, arr, idx Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpArrayLoad, Kind: k, Dst: d, A: arr, B: idx})
+	return d
+}
+
+// ArrayLoadTo emits dst = arr[idx] into an existing register.
+func (b *Builder) ArrayLoadTo(dst Reg, k value.Kind, arr, idx Reg) {
+	b.emit(Instr{Op: OpArrayLoad, Kind: k, Dst: dst, A: arr, B: idx})
+}
+
+// ArrayStore emits arr[idx] = src of element kind k.
+func (b *Builder) ArrayStore(k value.Kind, arr, idx, src Reg) {
+	b.emit(Instr{Op: OpArrayStore, Kind: k, A: arr, B: idx, C: src})
+}
+
+// ArrayLen emits dst = len(arr).
+func (b *Builder) ArrayLen(arr Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpArrayLen, Kind: value.KindInt, Dst: d, A: arr})
+	return d
+}
+
+// New emits dst = new c.
+func (b *Builder) New(c *classfile.Class) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpNew, Kind: value.KindRef, Dst: d, Class: c})
+	return d
+}
+
+// NewArray emits dst = new k[lenReg].
+func (b *Builder) NewArray(k value.Kind, lenReg Reg) Reg {
+	d := b.NewReg()
+	b.emit(Instr{Op: OpNewArray, Kind: k, Dst: d, A: lenReg})
+	return d
+}
+
+// --- calls -----------------------------------------------------------------------
+
+// Call emits a direct call and returns the result register (NoReg-backed
+// fresh register even for void, unused then).
+func (b *Builder) Call(callee *Method, args ...Reg) Reg {
+	d := NoReg
+	if callee.Returns != value.KindInvalid {
+		d = b.NewReg()
+	}
+	b.emit(Instr{Op: OpCall, Dst: d, Callee: callee, Args: append([]Reg(nil), args...)})
+	return d
+}
+
+// CallVirt emits a virtual call dispatched on args[0]'s dynamic class.
+// hasResult controls whether a result register is allocated.
+func (b *Builder) CallVirt(name string, hasResult bool, args ...Reg) Reg {
+	d := NoReg
+	if hasResult {
+		d = b.NewReg()
+	}
+	b.emit(Instr{Op: OpCallVirt, Dst: d, Name: name, Args: append([]Reg(nil), args...)})
+	return d
+}
+
+// Sink folds a into the run checksum.
+func (b *Builder) Sink(a Reg) {
+	b.emit(Instr{Op: OpSink, A: a})
+}
+
+// --- finishing --------------------------------------------------------------------
+
+// Finish resolves labels, validates, and registers the method with the
+// program. It panics on malformed code: builders are driven by trusted
+// workload definitions, so an assembly error is a bug, not an input error.
+func (b *Builder) Finish() *Method {
+	for _, fx := range b.fixups {
+		tgt := b.labels[fx.label]
+		if tgt < 0 {
+			panic(fmt.Sprintf("ir: method %s: unbound label %d", b.m.Name, fx.label))
+		}
+		b.m.Code[fx.instr].Target = tgt
+	}
+	if err := Validate(b.m); err != nil {
+		panic(fmt.Sprintf("ir: method %s invalid: %v\n%s", b.m.Name, err, b.m.Disassemble()))
+	}
+	return b.prog.Define(b.m)
+}

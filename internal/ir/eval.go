@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"errors"
+	"math"
+
+	"strider/internal/value"
+)
+
+// ErrDivZero reports an integer division or remainder by zero.
+var ErrDivZero = errors.New("ir: integer division by zero")
+
+// ErrBadOperand reports an arithmetic operation on a mistyped operand.
+var ErrBadOperand = errors.New("ir: operand kind mismatch")
+
+// EvalBinary evaluates a two-operand arithmetic or logic op of the given
+// kind. Both the execution engine and the object-inspection interpreter
+// use it, so the two necessarily agree on semantics.
+func EvalBinary(op Op, k value.Kind, a, b value.Value) (value.Value, error) {
+	switch k {
+	case value.KindInt:
+		x, y := a.Int(), b.Int()
+		switch op {
+		case OpAdd:
+			return value.Int(x + y), nil
+		case OpSub:
+			return value.Int(x - y), nil
+		case OpMul:
+			return value.Int(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return value.Value{}, ErrDivZero
+			}
+			return value.Int(x / y), nil
+		case OpRem:
+			if y == 0 {
+				return value.Value{}, ErrDivZero
+			}
+			return value.Int(x % y), nil
+		case OpAnd:
+			return value.Int(x & y), nil
+		case OpOr:
+			return value.Int(x | y), nil
+		case OpXor:
+			return value.Int(x ^ y), nil
+		case OpShl:
+			return value.Int(x << (uint32(y) & 31)), nil
+		case OpShr:
+			return value.Int(x >> (uint32(y) & 31)), nil
+		case OpUshr:
+			return value.Int(int32(uint32(x) >> (uint32(y) & 31))), nil
+		}
+	case value.KindLong:
+		x, y := a.Long(), b.Long()
+		switch op {
+		case OpAdd:
+			return value.Long(x + y), nil
+		case OpSub:
+			return value.Long(x - y), nil
+		case OpMul:
+			return value.Long(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return value.Value{}, ErrDivZero
+			}
+			return value.Long(x / y), nil
+		case OpRem:
+			if y == 0 {
+				return value.Value{}, ErrDivZero
+			}
+			return value.Long(x % y), nil
+		case OpAnd:
+			return value.Long(x & y), nil
+		case OpOr:
+			return value.Long(x | y), nil
+		case OpXor:
+			return value.Long(x ^ y), nil
+		case OpShl:
+			return value.Long(x << (uint64(y) & 63)), nil
+		case OpShr:
+			return value.Long(x >> (uint64(y) & 63)), nil
+		case OpUshr:
+			return value.Long(int64(uint64(x) >> (uint64(y) & 63))), nil
+		}
+	case value.KindFloat:
+		x, y := a.Float(), b.Float()
+		switch op {
+		case OpAdd:
+			return value.Float(x + y), nil
+		case OpSub:
+			return value.Float(x - y), nil
+		case OpMul:
+			return value.Float(x * y), nil
+		case OpDiv:
+			return value.Float(x / y), nil
+		}
+	case value.KindDouble:
+		x, y := a.Double(), b.Double()
+		switch op {
+		case OpAdd:
+			return value.Double(x + y), nil
+		case OpSub:
+			return value.Double(x - y), nil
+		case OpMul:
+			return value.Double(x * y), nil
+		case OpDiv:
+			return value.Double(x / y), nil
+		}
+	}
+	return value.Value{}, ErrBadOperand
+}
+
+// EvalUnary evaluates OpNeg.
+func EvalUnary(op Op, k value.Kind, a value.Value) (value.Value, error) {
+	if op != OpNeg {
+		return value.Value{}, ErrBadOperand
+	}
+	switch k {
+	case value.KindInt:
+		return value.Int(-a.Int()), nil
+	case value.KindLong:
+		return value.Long(-a.Long()), nil
+	case value.KindFloat:
+		return value.Float(-a.Float()), nil
+	case value.KindDouble:
+		return value.Double(-a.Double()), nil
+	}
+	return value.Value{}, ErrBadOperand
+}
+
+// Convert converts a to kind k (numeric conversions; ref-to-ref is the
+// identity).
+func Convert(k value.Kind, a value.Value) (value.Value, error) {
+	if a.K == k {
+		return a, nil
+	}
+	var d float64
+	switch a.K {
+	case value.KindInt:
+		d = float64(a.Int())
+	case value.KindLong:
+		d = float64(a.Long())
+	case value.KindFloat:
+		d = float64(a.Float())
+	case value.KindDouble:
+		d = a.Double()
+	default:
+		return value.Value{}, ErrBadOperand
+	}
+	switch k {
+	case value.KindInt:
+		return value.Int(int32(int64(d))), nil
+	case value.KindLong:
+		return value.Long(int64(d)), nil
+	case value.KindFloat:
+		return value.Float(float32(d)), nil
+	case value.KindDouble:
+		return value.Double(d), nil
+	}
+	return value.Value{}, ErrBadOperand
+}
+
+// EvalCond evaluates a branch comparison of the given kind.
+func EvalCond(cond Cond, k value.Kind, a, b value.Value) (bool, error) {
+	var c int // -1, 0, 1
+	switch k {
+	case value.KindInt:
+		c = cmp(int64(a.Int()), int64(b.Int()))
+	case value.KindLong:
+		c = cmp(a.Long(), b.Long())
+	case value.KindFloat:
+		x, y := float64(a.Float()), float64(b.Float())
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return cond == CondNE, nil // NaN: only != holds (Java semantics)
+		}
+		c = cmpF(x, y)
+	case value.KindDouble:
+		x, y := a.Double(), b.Double()
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return cond == CondNE, nil
+		}
+		c = cmpF(x, y)
+	case value.KindRef:
+		c = cmp(int64(a.Ref()), int64(b.Ref()))
+	default:
+		return false, ErrBadOperand
+	}
+	switch cond {
+	case CondEQ:
+		return c == 0, nil
+	case CondNE:
+		return c != 0, nil
+	case CondLT:
+		return c < 0, nil
+	case CondLE:
+		return c <= 0, nil
+	case CondGT:
+		return c > 0, nil
+	case CondGE:
+		return c >= 0, nil
+	}
+	return false, ErrBadOperand
+}
+
+func cmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0 // NaN is filtered by the caller
+}

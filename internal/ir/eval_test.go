@@ -1,0 +1,220 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"strider/internal/value"
+)
+
+func TestEvalBinaryInt(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int32
+		want int32
+	}{
+		{OpAdd, 3, 4, 7},
+		{OpSub, 3, 4, -1},
+		{OpMul, -3, 4, -12},
+		{OpDiv, 7, 2, 3},
+		{OpDiv, -7, 2, -3},
+		{OpRem, 7, 3, 1},
+		{OpRem, -7, 3, -1},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 4, 16},
+		{OpShl, 1, 33, 2}, // shift count masked to 5 bits
+		{OpShr, -8, 1, -4},
+		{OpUshr, -8, 1, 0x7FFFFFFC},
+	}
+	for _, c := range cases {
+		got, err := EvalBinary(c.op, value.KindInt, value.Int(c.a), value.Int(c.b))
+		if err != nil {
+			t.Fatalf("%s(%d,%d): %v", c.op, c.a, c.b, err)
+		}
+		if got.Int() != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got.Int(), c.want)
+		}
+	}
+}
+
+func TestEvalBinaryDivZero(t *testing.T) {
+	for _, op := range []Op{OpDiv, OpRem} {
+		for _, k := range []value.Kind{value.KindInt, value.KindLong} {
+			var z value.Value
+			if k == value.KindInt {
+				z = value.Int(0)
+			} else {
+				z = value.Long(0)
+			}
+			var seven value.Value
+			if k == value.KindInt {
+				seven = value.Int(7)
+			} else {
+				seven = value.Long(7)
+			}
+			if _, err := EvalBinary(op, k, seven, z); err != ErrDivZero {
+				t.Errorf("%s.%s by zero: err = %v, want ErrDivZero", op, k, err)
+			}
+		}
+	}
+	// Float division by zero is Inf, not an error.
+	got, err := EvalBinary(OpDiv, value.KindDouble, value.Double(1), value.Double(0))
+	if err != nil || !math.IsInf(got.Double(), 1) {
+		t.Errorf("1.0/0.0 = %v, %v", got, err)
+	}
+}
+
+func TestEvalBinaryLong(t *testing.T) {
+	got, err := EvalBinary(OpShl, value.KindLong, value.Long(1), value.Long(40))
+	if err != nil || got.Long() != 1<<40 {
+		t.Errorf("long shl = %v (%v)", got, err)
+	}
+	got, _ = EvalBinary(OpUshr, value.KindLong, value.Long(-1), value.Long(60))
+	if got.Long() != 15 {
+		t.Errorf("long ushr = %d", got.Long())
+	}
+}
+
+func TestEvalBinaryFloat(t *testing.T) {
+	got, err := EvalBinary(OpMul, value.KindFloat, value.Float(1.5), value.Float(2))
+	if err != nil || got.Float() != 3 {
+		t.Errorf("float mul = %v (%v)", got, err)
+	}
+	if _, err := EvalBinary(OpAnd, value.KindFloat, value.Float(1), value.Float(2)); err == nil {
+		t.Error("float AND must be rejected")
+	}
+}
+
+func TestEvalBadKind(t *testing.T) {
+	if _, err := EvalBinary(OpAdd, value.KindRef, value.Ref(1), value.Ref(2)); err == nil {
+		t.Error("ref arithmetic must be rejected")
+	}
+	if _, err := EvalUnary(OpNeg, value.KindRef, value.Ref(1)); err == nil {
+		t.Error("ref negation must be rejected")
+	}
+	if _, err := EvalUnary(OpAdd, value.KindInt, value.Int(1)); err == nil {
+		t.Error("EvalUnary with non-neg op must be rejected")
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	got, _ := EvalUnary(OpNeg, value.KindInt, value.Int(5))
+	if got.Int() != -5 {
+		t.Error("int neg broken")
+	}
+	got, _ = EvalUnary(OpNeg, value.KindDouble, value.Double(2.5))
+	if got.Double() != -2.5 {
+		t.Error("double neg broken")
+	}
+}
+
+func TestConvert(t *testing.T) {
+	cases := []struct {
+		to   value.Kind
+		in   value.Value
+		want value.Value
+	}{
+		{value.KindDouble, value.Int(3), value.Double(3)},
+		{value.KindInt, value.Double(3.9), value.Int(3)},
+		{value.KindInt, value.Double(-3.9), value.Int(-3)},
+		{value.KindLong, value.Int(-2), value.Long(-2)},
+		{value.KindFloat, value.Double(0.5), value.Float(0.5)},
+		{value.KindInt, value.Int(9), value.Int(9)}, // identity
+	}
+	for _, c := range cases {
+		got, err := Convert(c.to, c.in)
+		if err != nil {
+			t.Fatalf("Convert(%s, %v): %v", c.to, c.in, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Convert(%s, %v) = %v, want %v", c.to, c.in, got, c.want)
+		}
+	}
+	if _, err := Convert(value.KindInt, value.Ref(4)); err == nil {
+		t.Error("ref conversion must fail")
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	type tc struct {
+		cond Cond
+		k    value.Kind
+		a, b value.Value
+		want bool
+	}
+	cases := []tc{
+		{CondEQ, value.KindInt, value.Int(2), value.Int(2), true},
+		{CondNE, value.KindInt, value.Int(2), value.Int(2), false},
+		{CondLT, value.KindInt, value.Int(-1), value.Int(0), true},
+		{CondGE, value.KindLong, value.Long(5), value.Long(5), true},
+		{CondGT, value.KindDouble, value.Double(2.5), value.Double(2), true},
+		{CondLE, value.KindFloat, value.Float(1), value.Float(1), true},
+		{CondEQ, value.KindRef, value.Ref(8), value.Ref(8), true},
+		{CondNE, value.KindRef, value.Null, value.Ref(8), true},
+	}
+	for _, c := range cases {
+		got, err := EvalCond(c.cond, c.k, c.a, c.b)
+		if err != nil {
+			t.Fatalf("EvalCond(%s): %v", c.cond, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalCond(%s, %v, %v) = %v", c.cond, c.a, c.b, got)
+		}
+	}
+}
+
+func TestEvalCondNaN(t *testing.T) {
+	nan := value.Double(math.NaN())
+	for _, cond := range []Cond{CondLT, CondLE, CondGT, CondGE, CondEQ} {
+		got, err := EvalCond(cond, value.KindDouble, nan, value.Double(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Errorf("NaN %s 1 must be false", cond)
+		}
+	}
+	got, _ := EvalCond(CondNE, value.KindDouble, nan, value.Double(1))
+	if !got {
+		t.Error("NaN != 1 must be true")
+	}
+}
+
+// Property: integer EvalBinary matches Go's arithmetic for total ops.
+func TestQuickIntSemantics(t *testing.T) {
+	check := func(op Op, ref func(a, b int32) int32) {
+		if err := quick.Check(func(a, b int32) bool {
+			got, err := EvalBinary(op, value.KindInt, value.Int(a), value.Int(b))
+			return err == nil && got.Int() == ref(a, b)
+		}, nil); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+	check(OpAdd, func(a, b int32) int32 { return a + b })
+	check(OpSub, func(a, b int32) int32 { return a - b })
+	check(OpMul, func(a, b int32) int32 { return a * b })
+	check(OpXor, func(a, b int32) int32 { return a ^ b })
+	check(OpShl, func(a, b int32) int32 { return a << (uint32(b) & 31) })
+}
+
+// Property: comparisons are a total order on ints: exactly one of
+// LT/EQ/GT holds.
+func TestQuickCondTrichotomy(t *testing.T) {
+	if err := quick.Check(func(a, b int32) bool {
+		lt, _ := EvalCond(CondLT, value.KindInt, value.Int(a), value.Int(b))
+		eq, _ := EvalCond(CondEQ, value.KindInt, value.Int(a), value.Int(b))
+		gt, _ := EvalCond(CondGT, value.KindInt, value.Int(a), value.Int(b))
+		n := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				n++
+			}
+		}
+		return n == 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

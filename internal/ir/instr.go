@@ -1,0 +1,199 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+// Reg is a virtual register index within a method frame.
+type Reg uint16
+
+// NoReg marks an absent register operand.
+const NoReg Reg = 0xFFFF
+
+// String renders the register as rN.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", uint16(r))
+}
+
+// AddrExpr is an IA-32-style address expression Base + Index*Scale + Disp
+// used by the JIT-inserted OpPrefetch and OpSpecLoad instructions. Base
+// holds a reference; Index (optional) holds an int.
+type AddrExpr struct {
+	Base  Reg
+	Index Reg // NoReg when absent
+	Scale uint8
+	Disp  int32
+}
+
+// String renders the address expression.
+func (a AddrExpr) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	sb.WriteString(a.Base.String())
+	if a.Index != NoReg {
+		fmt.Fprintf(&sb, "+%s*%d", a.Index, a.Scale)
+	}
+	if a.Disp != 0 {
+		fmt.Fprintf(&sb, "%+d", a.Disp)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Instr is one IR instruction. Which fields are meaningful depends on Op;
+// see the opcode comments in op.go.
+type Instr struct {
+	Op   Op
+	Kind value.Kind
+
+	Dst Reg
+	A   Reg
+	B   Reg
+	C   Reg
+
+	Imm int64
+	F   float64
+
+	Cond   Cond
+	Target int
+
+	Field  *classfile.Field
+	Class  *classfile.Class
+	Callee *Method
+	Name   string
+	Args   []Reg
+
+	Addr    AddrExpr
+	Guarded bool
+}
+
+// Defs returns the register the instruction defines, or NoReg.
+func (in *Instr) Defs() Reg {
+	switch in.Op {
+	case OpConst, OpMove, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpNeg, OpAnd,
+		OpOr, OpXor, OpShl, OpShr, OpUshr, OpConv, OpGetField, OpGetStatic,
+		OpArrayLoad, OpArrayLen, OpNew, OpNewArray, OpSpecLoad:
+		return in.Dst
+	case OpCall, OpCallVirt:
+		return in.Dst // may be NoReg for void calls
+	}
+	return NoReg
+}
+
+// Uses appends the registers the instruction reads to buf and returns it.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	add := func(r Reg) {
+		if r != NoReg {
+			buf = append(buf, r)
+		}
+	}
+	switch in.Op {
+	case OpMove, OpNeg, OpConv, OpArrayLen, OpPutStatic, OpReturn, OpSink, OpNewArray:
+		add(in.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpUshr, OpBr:
+		add(in.A)
+		add(in.B)
+	case OpGetField:
+		add(in.A)
+	case OpPutField:
+		add(in.A)
+		add(in.B)
+	case OpArrayLoad:
+		add(in.A)
+		add(in.B)
+	case OpArrayStore:
+		add(in.A)
+		add(in.B)
+		add(in.C)
+	case OpCall, OpCallVirt:
+		for _, r := range in.Args {
+			add(r)
+		}
+	case OpPrefetch, OpSpecLoad:
+		add(in.Addr.Base)
+		add(in.Addr.Index)
+	}
+	return buf
+}
+
+// String disassembles the instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpConst:
+		switch in.Kind {
+		case value.KindFloat, value.KindDouble:
+			return fmt.Sprintf("%s = const.%s %g", in.Dst, in.Kind, in.F)
+		case value.KindRef:
+			return fmt.Sprintf("%s = const.null", in.Dst)
+		default:
+			return fmt.Sprintf("%s = const.%s %d", in.Dst, in.Kind, in.Imm)
+		}
+	case OpMove:
+		return fmt.Sprintf("%s = %s", in.Dst, in.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpUshr:
+		return fmt.Sprintf("%s = %s.%s %s, %s", in.Dst, in.Op, in.Kind, in.A, in.B)
+	case OpNeg:
+		return fmt.Sprintf("%s = neg.%s %s", in.Dst, in.Kind, in.A)
+	case OpConv:
+		return fmt.Sprintf("%s = conv.%s %s", in.Dst, in.Kind, in.A)
+	case OpGoto:
+		return fmt.Sprintf("goto @%d", in.Target)
+	case OpBr:
+		return fmt.Sprintf("br.%s %s %s, %s @%d", in.Kind, in.Cond, in.A, in.B, in.Target)
+	case OpReturn:
+		if in.A == NoReg {
+			return "return"
+		}
+		return fmt.Sprintf("return %s", in.A)
+	case OpGetField:
+		return fmt.Sprintf("%s = getfield %s.%s", in.Dst, in.A, in.Field.QName())
+	case OpPutField:
+		return fmt.Sprintf("putfield %s.%s = %s", in.A, in.Field.QName(), in.B)
+	case OpGetStatic:
+		return fmt.Sprintf("%s = getstatic %s", in.Dst, in.Field.QName())
+	case OpPutStatic:
+		return fmt.Sprintf("putstatic %s = %s", in.Field.QName(), in.A)
+	case OpArrayLoad:
+		return fmt.Sprintf("%s = %s[%s] (%s)", in.Dst, in.A, in.B, in.Kind)
+	case OpArrayStore:
+		return fmt.Sprintf("%s[%s] = %s (%s)", in.A, in.B, in.C, in.Kind)
+	case OpArrayLen:
+		return fmt.Sprintf("%s = arraylen %s", in.Dst, in.A)
+	case OpNew:
+		return fmt.Sprintf("%s = new %s", in.Dst, in.Class.Name)
+	case OpNewArray:
+		return fmt.Sprintf("%s = new %s[%s]", in.Dst, in.Kind, in.A)
+	case OpCall:
+		return fmt.Sprintf("%s = call %s(%s)", in.Dst, in.Callee.QName(), regList(in.Args))
+	case OpCallVirt:
+		return fmt.Sprintf("%s = callvirt .%s(%s)", in.Dst, in.Name, regList(in.Args))
+	case OpSink:
+		return fmt.Sprintf("sink %s", in.A)
+	case OpPrefetch:
+		g := ""
+		if in.Guarded {
+			g = ".guarded"
+		}
+		return fmt.Sprintf("prefetch%s %s", g, in.Addr)
+	case OpSpecLoad:
+		return fmt.Sprintf("%s = specload %s", in.Dst, in.Addr)
+	}
+	return fmt.Sprintf("?%s", in.Op)
+}
+
+func regList(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"strider/internal/classfile"
+	"strider/internal/value"
+)
+
+// Method is an IR method. Parameters occupy registers 0..len(Params)-1 on
+// entry; for instance methods register 0 is the receiver by convention.
+type Method struct {
+	Class   *classfile.Class // nil for free functions
+	Name    string
+	Params  []value.Kind
+	Returns value.Kind // KindInvalid for void
+	NumRegs int
+	Code    []Instr
+}
+
+// QName returns "Class::name" or "::name".
+func (m *Method) QName() string {
+	if m.Class != nil {
+		return m.Class.Name + "::" + m.Name
+	}
+	return "::" + m.Name
+}
+
+// Disassemble renders the whole method.
+func (m *Method) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "method %s(%d params, %d regs)\n", m.QName(), len(m.Params), m.NumRegs)
+	for i := range m.Code {
+		fmt.Fprintf(&sb, "  %4d: %s\n", i, m.Code[i].String())
+	}
+	return sb.String()
+}
+
+// Program is a complete IR program: a class universe plus its methods.
+type Program struct {
+	Universe *classfile.Universe
+	Entry    *Method
+
+	methods  []*Method
+	byKey    map[string]*Method
+	virtuals map[virtKey]*Method
+}
+
+type virtKey struct {
+	class *classfile.Class
+	name  string
+}
+
+// NewProgram creates an empty program over a universe.
+func NewProgram(u *classfile.Universe) *Program {
+	return &Program{
+		Universe: u,
+		byKey:    make(map[string]*Method),
+		virtuals: make(map[virtKey]*Method),
+	}
+}
+
+// Define registers a method. Defining two methods with the same qualified
+// name panics: programs are built by trusted workload code.
+func (p *Program) Define(m *Method) *Method {
+	key := m.QName()
+	if _, dup := p.byKey[key]; dup {
+		panic("ir: duplicate method " + key)
+	}
+	p.byKey[key] = m
+	p.methods = append(p.methods, m)
+	if m.Class != nil {
+		p.virtuals[virtKey{m.Class, m.Name}] = m
+	}
+	return m
+}
+
+// Methods returns all methods in definition order.
+func (p *Program) Methods() []*Method { return p.methods }
+
+// MethodByName returns the method with the given qualified name, or nil.
+func (p *Program) MethodByName(qname string) *Method { return p.byKey[qname] }
+
+// LookupVirtual resolves a virtual call on a receiver of dynamic class c,
+// walking the superclass chain. Returns nil if unresolved.
+func (p *Program) LookupVirtual(c *classfile.Class, name string) *Method {
+	for k := c; k != nil; k = k.Super {
+		if m, ok := p.virtuals[virtKey{k, name}]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// Validate validates every method in the program.
+func (p *Program) Validate() error {
+	if p.Entry == nil {
+		return fmt.Errorf("ir: program has no entry method")
+	}
+	for _, m := range p.methods {
+		if err := Validate(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package ir defines the register-based typed intermediate representation
+// the simulated VM executes and the JIT compiler optimizes.
+//
+// The IR plays the role Java bytecode plays in the paper: it has explicit
+// field loads (OpGetField/OpGetStatic), array loads (OpArrayLoad,
+// OpArrayLen) and reference-typed operands, which is all the load
+// dependence graph construction needs (paper Sec. 3.1). Being
+// register-based rather than stack-based makes use-def chains direct.
+//
+// Two pseudo-instructions exist only in JIT-compiled code, never in source
+// programs: OpPrefetch and OpSpecLoad, the paper's `prefetch` and
+// `spec_load` (Sec. 3.3).
+package ir
+
+import "fmt"
+
+// Op is an IR opcode.
+type Op uint8
+
+// The opcodes.
+const (
+	OpNop Op = iota
+
+	// Data movement.
+	OpConst // Dst = immediate (Imm for int/long/ref-null, F for float/double)
+	OpMove  // Dst = A
+
+	// Arithmetic and logic, typed by Kind.
+	OpAdd  // Dst = A + B
+	OpSub  // Dst = A - B
+	OpMul  // Dst = A * B
+	OpDiv  // Dst = A / B
+	OpRem  // Dst = A % B (int/long only)
+	OpNeg  // Dst = -A
+	OpAnd  // Dst = A & B (int/long)
+	OpOr   // Dst = A | B (int/long)
+	OpXor  // Dst = A ^ B (int/long)
+	OpShl  // Dst = A << (B & 31|63) (int/long)
+	OpShr  // Dst = A >> B, arithmetic (int/long)
+	OpUshr // Dst = A >>> B, logical (int/long)
+	OpConv // Dst = convert A to Kind
+
+	// Control flow.
+	OpGoto   // goto Target
+	OpBr     // if A <Cond> B (Kind) goto Target
+	OpReturn // return A (A == NoReg for void)
+
+	// Heap access (the loads below are load-dependence-graph candidates).
+	OpGetField   // Dst = (A: objref).Field
+	OpPutField   // (A: objref).Field = B
+	OpGetStatic  // Dst = static Field
+	OpPutStatic  // static Field = A
+	OpArrayLoad  // Dst = (A: arrayref)[B], element kind = Kind
+	OpArrayStore // (A: arrayref)[B] = C, element kind = Kind
+	OpArrayLen   // Dst = length of (A: arrayref)
+
+	// Allocation.
+	OpNew      // Dst = new Class
+	OpNewArray // Dst = new Kind[A]
+
+	// Calls.
+	OpCall     // Dst = Callee(Args...), direct
+	OpCallVirt // Dst = virtual Name(Args...), receiver = Args[0]
+
+	// Observable output: folds A into the run checksum. Used instead of
+	// I/O so that semantics preservation is a testable invariant.
+	OpSink
+
+	// JIT-inserted prefetching (paper Sec. 3.3).
+	OpPrefetch // prefetch Addr; Guarded selects the guarded-load mapping
+	OpSpecLoad // Dst = speculative 4-byte load of Addr (never faults)
+
+	opCount
+)
+
+var opNames = [opCount]string{
+	OpNop:        "nop",
+	OpConst:      "const",
+	OpMove:       "move",
+	OpAdd:        "add",
+	OpSub:        "sub",
+	OpMul:        "mul",
+	OpDiv:        "div",
+	OpRem:        "rem",
+	OpNeg:        "neg",
+	OpAnd:        "and",
+	OpOr:         "or",
+	OpXor:        "xor",
+	OpShl:        "shl",
+	OpShr:        "shr",
+	OpUshr:       "ushr",
+	OpConv:       "conv",
+	OpGoto:       "goto",
+	OpBr:         "br",
+	OpReturn:     "return",
+	OpGetField:   "getfield",
+	OpPutField:   "putfield",
+	OpGetStatic:  "getstatic",
+	OpPutStatic:  "putstatic",
+	OpArrayLoad:  "arrayload",
+	OpArrayStore: "arraystore",
+	OpArrayLen:   "arraylen",
+	OpNew:        "new",
+	OpNewArray:   "newarray",
+	OpCall:       "call",
+	OpCallVirt:   "callvirt",
+	OpSink:       "sink",
+	OpPrefetch:   "prefetch",
+	OpSpecLoad:   "specload",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op transfers control (conditionally or not).
+func (o Op) IsBranch() bool { return o == OpGoto || o == OpBr || o == OpReturn }
+
+// IsHeapLoad reports whether the op reads simulated heap memory.
+func (o Op) IsHeapLoad() bool {
+	switch o {
+	case OpGetField, OpArrayLoad, OpArrayLen, OpSpecLoad:
+		return true
+	}
+	return false
+}
+
+// IsLDGCandidate reports whether the op can be a node of a load dependence
+// graph: "Each node of the graph is a load instruction using a reference as
+// an operand" plus getstatic, which the paper lists as a possible (non-leaf)
+// node (Sec. 3.1).
+func (o Op) IsLDGCandidate() bool {
+	switch o {
+	case OpGetField, OpGetStatic, OpArrayLoad, OpArrayLen:
+		return true
+	}
+	return false
+}
+
+// Cond is a comparison condition for OpBr.
+type Cond uint8
+
+// The branch conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the condition mnemonic.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Negate returns the opposite condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	default:
+		return CondLT
+	}
+}

@@ -1,0 +1,56 @@
+package ir
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	// Every defined opcode must have a mnemonic.
+	for op := OpNop; op < opCount; op++ {
+		s := op.String()
+		if s == "" || s[0] == 'o' && len(s) > 3 && s[:3] == "op(" {
+			t.Errorf("opcode %d has no mnemonic", uint8(op))
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("unknown opcode rendering")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := map[Op]bool{OpGoto: true, OpBr: true, OpReturn: true}
+	for op := OpNop; op < opCount; op++ {
+		if op.IsBranch() != branches[op] {
+			t.Errorf("%s IsBranch = %v", op, op.IsBranch())
+		}
+	}
+	heapLoads := map[Op]bool{OpGetField: true, OpArrayLoad: true, OpArrayLen: true, OpSpecLoad: true}
+	for op := OpNop; op < opCount; op++ {
+		if op.IsHeapLoad() != heapLoads[op] {
+			t.Errorf("%s IsHeapLoad = %v", op, op.IsHeapLoad())
+		}
+	}
+	// LDG candidates per Sec. 3.1: getfield, getstatic, array loads,
+	// arraylength. Not spec_load (JIT-inserted), not stores.
+	ldg := map[Op]bool{OpGetField: true, OpGetStatic: true, OpArrayLoad: true, OpArrayLen: true}
+	for op := OpNop; op < opCount; op++ {
+		if op.IsLDGCandidate() != ldg[op] {
+			t.Errorf("%s IsLDGCandidate = %v", op, op.IsLDGCandidate())
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(3).String() != "r3" || NoReg.String() != "_" {
+		t.Error("register rendering")
+	}
+}
+
+func TestAddrExprString(t *testing.T) {
+	a := AddrExpr{Base: 1, Index: NoReg, Disp: 0}
+	if a.String() != "[r1]" {
+		t.Errorf("plain base = %q", a.String())
+	}
+	a = AddrExpr{Base: 1, Index: 2, Scale: 8, Disp: -16}
+	if a.String() != "[r1+r2*8-16]" {
+		t.Errorf("full form = %q", a.String())
+	}
+}

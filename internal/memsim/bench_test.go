@@ -1,0 +1,33 @@
+package memsim
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+)
+
+func BenchmarkLoadHit(b *testing.B) {
+	m := New(arch.Pentium4())
+	m.Load(0x10000, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load(0x10000, 4, uint64(i)+1000)
+	}
+}
+
+func BenchmarkLoadStreamMiss(b *testing.B) {
+	m := New(arch.AthlonMP())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load(uint32(i)*64, 4, uint64(i)*100)
+	}
+}
+
+func BenchmarkPrefetch(b *testing.B) {
+	m := New(arch.AthlonMP())
+	m.Load(0x10000, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prefetch(0x10000+uint32(i%60)*64, false, uint64(i)*100)
+	}
+}

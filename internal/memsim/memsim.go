@@ -1,0 +1,430 @@
+// Package memsim simulates the memory hierarchy of the evaluation machines:
+// an L1 data cache, a unified L2, and a data TLB, all set-associative with
+// LRU replacement, plus the software-prefetch semantics the paper relies on
+// (Sec. 3.3 and 4):
+//
+//   - a hardware prefetch instruction is cancelled when it would miss the
+//     DTLB (so it cannot prime TLB entries);
+//   - a prefetch fills the machine's target level — L2 on the Pentium 4,
+//     L1 (and L2, inclusively) on the Athlon MP;
+//   - a guarded load ("TLB priming") behaves like a non-blocking load: it
+//     fills the DTLB and both cache levels;
+//   - prefetched lines have an arrival time; a demand access that arrives
+//     before the line does stalls for the remainder, so prefetching too
+//     late helps only partially, and prefetching uselessly still costs
+//     issue slots and queue capacity;
+//   - the number of in-flight prefetches is bounded; overflow drops.
+package memsim
+
+import (
+	"strider/internal/arch"
+)
+
+// Counters accumulates the events the paper reports (MPIs are computed by
+// the harness as misses / retired instructions).
+type Counters struct {
+	Loads  uint64
+	Stores uint64
+
+	L1LoadMisses   uint64
+	L2LoadMisses   uint64
+	DTLBLoadMisses uint64
+
+	L1StoreMisses   uint64
+	L2StoreMisses   uint64
+	DTLBStoreMisses uint64
+
+	HWPrefetches      uint64
+	PrefetchesIssued  uint64
+	PrefetchesGuarded uint64
+	PrefetchesDropped uint64 // DTLB-cancelled or queue-full
+	PrefetchesUseless uint64 // line already present at or above target level
+
+	LoadStallCycles  uint64
+	StoreStallCycles uint64
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	readyAt uint64
+	lastUse uint64
+}
+
+type cache struct {
+	sets      [][]line
+	lineShift uint
+	setMask   uint64
+	useTick   uint64
+}
+
+func newCache(p arch.CacheParams) *cache {
+	c := &cache{
+		sets:    make([][]line, p.Sets()),
+		setMask: uint64(p.Sets() - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, p.Assoc)
+	}
+	for s := uint32(1); s < p.LineBytes; s <<= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+func (c *cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return lineAddr & c.setMask, lineAddr
+}
+
+// lookup returns the line if present (updating LRU), else nil.
+func (c *cache) lookup(addr uint64) *line {
+	set, tag := c.index(addr)
+	c.useTick++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.useTick
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// probe is lookup without LRU update (used by prefetch presence checks).
+func (c *cache) probe(addr uint64) *line {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// fill installs addr's line with the given arrival time, evicting LRU.
+func (c *cache) fill(addr uint64, readyAt uint64) *line {
+	set, tag := c.index(addr)
+	c.useTick++
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, readyAt: readyAt, lastUse: c.useTick}
+	return &ways[victim]
+}
+
+func (c *cache) flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// hwStream is one tracked stream of the hardware prefetcher. Both
+// evaluation machines "provide ... software and hardware prefetching
+// mechanisms" (Sec. 4), and the profitability analysis exists because
+// "prefetching for such a load instruction will not be profitable,
+// especially on processors with hardware prefetching" (Sec. 3.3): small
+// constant strides are already covered in hardware. The model is a
+// per-page next-line stream detector that trains on two same-delta demand
+// misses, prefetches a fixed distance ahead into the L2, and — like the
+// real units — cannot cross a page boundary and cannot follow pointers.
+type hwStream struct {
+	page     uint64
+	lastLine uint64
+	delta    int64
+	conf     int8
+	lastUse  uint64
+	valid    bool
+}
+
+const hwStreams = 16
+
+// Memory is the simulated memory hierarchy of one machine.
+type Memory struct {
+	Arch *arch.Machine
+
+	l1, l2 *cache
+	tlb    *cache // reuses the cache structure with page-size lines
+
+	C Counters
+
+	// inflight holds arrival times of outstanding prefetches (a small
+	// ring; entries with readyAt <= now are reclaimed lazily).
+	inflight []uint64
+
+	streams [hwStreams]hwStream
+	useTick uint64
+}
+
+// New creates the memory system for a machine.
+func New(m *arch.Machine) *Memory {
+	tlbParams := arch.CacheParams{
+		SizeBytes: m.DTLB.Entries * m.DTLB.PageSize,
+		LineBytes: m.DTLB.PageSize,
+		Assoc:     m.DTLB.Assoc,
+	}
+	return &Memory{
+		Arch:     m,
+		l1:       newCache(m.L1D),
+		l2:       newCache(m.L2U),
+		tlb:      newCache(tlbParams),
+		inflight: make([]uint64, 0, m.PrefetchQueue),
+	}
+}
+
+// Reset clears all cache, TLB, and counter state.
+func (mem *Memory) Reset() {
+	mem.l1.flush()
+	mem.l2.flush()
+	mem.tlb.flush()
+	mem.C = Counters{}
+	mem.inflight = mem.inflight[:0]
+	mem.streams = [hwStreams]hwStream{}
+}
+
+// hwTrain observes a demand L1 miss and, once a stream is established,
+// prefetches the next lines of the stream into the L2.
+func (mem *Memory) hwTrain(addr uint64, now uint64) {
+	const pageShift = 12
+	page := addr >> pageShift
+	line := addr >> mem.l2.lineShift
+	mem.useTick++
+
+	victim := 0
+	var s *hwStream
+	for i := range mem.streams {
+		e := &mem.streams[i]
+		if e.valid && e.page == page {
+			s = e
+			break
+		}
+		if !e.valid {
+			victim = i
+		} else if mem.streams[victim].valid && e.lastUse < mem.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	if s == nil {
+		mem.streams[victim] = hwStream{page: page, lastLine: line, lastUse: mem.useTick, valid: true}
+		return
+	}
+	s.lastUse = mem.useTick
+	d := int64(line) - int64(s.lastLine)
+	s.lastLine = line
+	if d == 0 {
+		return
+	}
+	if d == s.delta {
+		if s.conf < 4 {
+			s.conf++
+		}
+	} else {
+		s.delta = d
+		s.conf = 1
+		return
+	}
+	if s.conf < 2 || s.delta > 2 || s.delta < -2 {
+		return // only near-sequential streams, after confirmation
+	}
+	// Prefetch one line ahead along the stream, within the page.
+	next := int64(line) + s.delta
+	nextAddr := uint64(next) << mem.l2.lineShift
+	if nextAddr>>pageShift != page {
+		return // hardware prefetchers stop at page boundaries
+	}
+	if mem.l2.probe(nextAddr) != nil {
+		return
+	}
+	mem.C.HWPrefetches++
+	mem.l2.fill(nextAddr, now+mem.Arch.L2HitCycles+mem.Arch.MemCycles)
+}
+
+// ResetCounters clears counters but keeps cache contents (used between a
+// warmup run and a measured run).
+func (mem *Memory) ResetCounters() { mem.C = Counters{} }
+
+func (mem *Memory) tlbAccess(addr uint64, fill bool) (miss bool) {
+	if mem.tlb.lookup(addr) != nil {
+		return false
+	}
+	if fill {
+		mem.tlb.fill(addr, 0)
+	}
+	return true
+}
+
+// overlapDiv discounts the visible wait for a line that is present but
+// still in flight: the out-of-order core overlaps an *anticipated* miss
+// (one with a prefetch or an earlier demand fill already outstanding) far
+// better than a cold stall, since independent work keeps issuing while the
+// line arrives. Cold misses are charged in full; in-flight remainders are
+// charged at 1/overlapDiv.
+const overlapDiv = 4
+
+// extraWait returns the visible remaining wait if the line is present but
+// still arriving.
+func extraWait(l *line, now uint64) uint64 {
+	if l.readyAt > now {
+		return (l.readyAt - now) / overlapDiv
+	}
+	return 0
+}
+
+// Load simulates a demand load of `size` bytes at addr issued at cycle
+// `now` and returns the stall cycles. Accesses are assumed not to cross
+// line boundaries (the VM's objects are 4/8-byte aligned and lines are
+// >= 64 bytes).
+func (mem *Memory) Load(addr uint32, size uint32, now uint64) uint64 {
+	mem.C.Loads++
+	a := mem.Arch
+	stall := a.L1HitCycles
+	if mem.tlbAccess(uint64(addr), true) {
+		mem.C.DTLBLoadMisses++
+		stall += a.DTLBMissCycles
+	}
+	if l := mem.l1.lookup(uint64(addr)); l != nil {
+		stall += extraWait(l, now)
+		mem.C.LoadStallCycles += stall
+		return stall
+	}
+	mem.C.L1LoadMisses++
+	mem.hwTrain(uint64(addr), now)
+	if l := mem.l2.lookup(uint64(addr)); l != nil {
+		stall += a.L2HitCycles + extraWait(l, now)
+		mem.l1.fill(uint64(addr), now+stall)
+		mem.C.LoadStallCycles += stall
+		return stall
+	}
+	mem.C.L2LoadMisses++
+	stall += a.L2HitCycles + a.MemCycles
+	mem.l2.fill(uint64(addr), now+stall)
+	mem.l1.fill(uint64(addr), now+stall)
+	mem.C.LoadStallCycles += stall
+	return stall
+}
+
+// Store simulates a demand store. Write-allocate, write-back; store misses
+// stall 1/StoreFactor of the corresponding load penalty (store buffers hide
+// most of it).
+func (mem *Memory) Store(addr uint32, size uint32, now uint64) uint64 {
+	mem.C.Stores++
+	a := mem.Arch
+	var stall uint64
+	if mem.tlbAccess(uint64(addr), true) {
+		mem.C.DTLBStoreMisses++
+		stall += a.DTLBMissCycles
+	}
+	if l := mem.l1.lookup(uint64(addr)); l != nil {
+		stall += extraWait(l, now)
+		stall /= a.StoreFactor
+		mem.C.StoreStallCycles += stall
+		return stall
+	}
+	mem.C.L1StoreMisses++
+	if l := mem.l2.lookup(uint64(addr)); l != nil {
+		stall += a.L2HitCycles + extraWait(l, now)
+		mem.l1.fill(uint64(addr), now+stall)
+		stall /= a.StoreFactor
+		mem.C.StoreStallCycles += stall
+		return stall
+	}
+	mem.C.L2StoreMisses++
+	stall += a.L2HitCycles + a.MemCycles
+	mem.l2.fill(uint64(addr), now+stall)
+	mem.l1.fill(uint64(addr), now+stall)
+	stall /= a.StoreFactor
+	mem.C.StoreStallCycles += stall
+	return stall
+}
+
+// queueFull reports whether the prefetch queue is saturated at `now`,
+// reclaiming completed entries.
+func (mem *Memory) queueFull(now uint64) bool {
+	live := mem.inflight[:0]
+	for _, t := range mem.inflight {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	mem.inflight = live
+	return len(mem.inflight) >= mem.Arch.PrefetchQueue
+}
+
+// Prefetch simulates a software prefetch issued at cycle `now`.
+//
+// guarded selects the guarded-load mapping: it fills the DTLB (TLB priming,
+// paper Sec. 3.3) and installs the line into both cache levels. A plain
+// hardware prefetch is cancelled on a DTLB miss and fills only the
+// machine's target level. The returned stall is always 0 — prefetches are
+// asynchronous; their cost is modelled by the instruction issue cycles the
+// engine charges plus queue occupancy.
+func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) {
+	a := mem.Arch
+	mem.C.PrefetchesIssued++
+	if guarded {
+		mem.C.PrefetchesGuarded++
+	}
+	if !guarded && mem.tlbAccess(uint64(addr), false) {
+		// Hardware prefetch cancelled on DTLB miss.
+		mem.C.PrefetchesDropped++
+		return
+	}
+	if mem.queueFull(now) {
+		mem.C.PrefetchesDropped++
+		return
+	}
+	if guarded {
+		mem.tlbAccess(uint64(addr), true)
+	}
+	// The hardware prefetcher trains on the L2 reference stream, which
+	// includes software prefetch requests — the two mechanisms cooperate
+	// (software prefetches of a dense object stream keep the hardware
+	// stream alive, covering the lines the compile-time line-dedup filter
+	// skipped).
+	mem.hwTrain(uint64(addr), now)
+	target := a.PrefetchTarget
+	if guarded {
+		target = arch.L1 // a real load fills L1
+	}
+	// Determine where the data currently lives to compute arrival time.
+	inL1 := mem.l1.probe(uint64(addr)) != nil
+	l2line := mem.l2.probe(uint64(addr))
+	switch {
+	case target == arch.L1 && inL1, target == arch.L2 && (l2line != nil || inL1):
+		mem.C.PrefetchesUseless++
+		return
+	}
+	var lat uint64
+	if l2line != nil {
+		lat = a.L2HitCycles
+		if l2line.readyAt > now {
+			// The L2 copy is itself still in flight; data cannot reach the
+			// L1 before it arrives.
+			lat += l2line.readyAt - now
+		}
+	} else {
+		lat = a.L2HitCycles + a.MemCycles
+	}
+	ready := now + lat
+	if l2line == nil {
+		mem.l2.fill(uint64(addr), ready)
+	}
+	if target == arch.L1 {
+		mem.l1.fill(uint64(addr), ready)
+	}
+	mem.inflight = append(mem.inflight, ready)
+}
+
+// LineSize returns the L1 line size (the profitability analysis granule).
+func (mem *Memory) LineSize() uint32 { return mem.Arch.L1D.LineBytes }

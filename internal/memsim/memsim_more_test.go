@@ -1,0 +1,129 @@
+package memsim
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+)
+
+// TestInFlightOverlapDiscount: a demand access to a line that is present
+// but still arriving is charged the discounted remainder, not the full
+// wait — the out-of-order overlap model.
+func TestInFlightOverlapDiscount(t *testing.T) {
+	m := freshAt()
+	a := m.Arch
+	m.Load(0x50000, 4, 0) // prime the page
+	m.Prefetch(0x50400, false, 1000)
+	full := a.L2HitCycles + a.MemCycles // the line's flight time
+	// Demand halfway through the flight.
+	stall := m.Load(0x50400, 4, 1000+full/2)
+	remainder := full - full/2
+	want := a.L1HitCycles + remainder/overlapDiv
+	if stall != want {
+		t.Errorf("overlap-discounted stall = %d, want %d", stall, want)
+	}
+}
+
+// TestPrefetchOfInFlightL2Line: prefetching into L1 a line whose L2 copy
+// is still arriving cannot make the data available before the L2 copy
+// lands.
+func TestPrefetchOfInFlightL2Line(t *testing.T) {
+	m := freshAt()
+	m.Load(0x60000, 4, 0)
+	// A demand miss at t=1000 puts the line in flight (arrives ~1180).
+	m.Load(0x61000>>0, 4, 0) // prime second page
+	m.Load(0x60040, 4, 1000) // in-flight fill of L1+L2
+	// Evict nothing; prefetch the same line again at t=1010: useless.
+	m.Prefetch(0x60040, false, 1010)
+	if m.C.PrefetchesUseless == 0 {
+		t.Error("prefetch of an already-present line must be useless")
+	}
+}
+
+// TestGuardedPrefetchOnAthlonActsLikeL1Fill: on the Athlon the plain
+// prefetch already targets L1, so guarded and plain differ only in TLB
+// behaviour.
+func TestGuardedPrefetchOnAthlonActsLikeL1Fill(t *testing.T) {
+	plain := freshAt()
+	plain.Load(0x70000, 4, 0) // prime page
+	plain.Prefetch(0x70400, false, 100)
+	s1 := plain.Load(0x70400, 4, 1_000_000)
+
+	guarded := freshAt()
+	guarded.Load(0x70000, 4, 0)
+	guarded.Prefetch(0x70400, true, 100)
+	s2 := guarded.Load(0x70400, 4, 1_000_000)
+	if s1 != s2 {
+		t.Errorf("same-page guarded vs plain on Athlon: %d vs %d", s1, s2)
+	}
+	// On a cold page only the guarded form survives.
+	coldPlain := freshAt()
+	coldPlain.Prefetch(0x90000, false, 0)
+	if coldPlain.C.PrefetchesDropped != 1 {
+		t.Error("plain prefetch on cold page must be cancelled")
+	}
+	coldGuarded := freshAt()
+	coldGuarded.Prefetch(0x90000, true, 0)
+	if coldGuarded.C.PrefetchesDropped != 0 {
+		t.Error("guarded prefetch must survive a cold page")
+	}
+}
+
+// TestStoreAfterPrefetchHitsL1 exercises the store path against prefetched
+// lines.
+func TestStoreAfterPrefetchHitsL1(t *testing.T) {
+	m := freshAt()
+	m.Load(0x80000, 4, 0)
+	m.Prefetch(0x80040, false, 10)
+	st := m.Store(0x80040, 4, 1_000_000)
+	if st > m.Arch.L1HitCycles {
+		t.Errorf("store to prefetched line stalled %d", st)
+	}
+	if m.C.L1StoreMisses != 0 {
+		t.Error("store to prefetched line must not miss")
+	}
+}
+
+// TestInclusionOnDemandFill: demand misses fill both levels, so a line
+// evicted from L1 by capacity still hits in L2.
+func TestInclusionOnDemandFill(t *testing.T) {
+	m := New(arch.Pentium4())
+	m.Load(0xA0000, 4, 0)
+	// Evict from tiny P4 L1 (8K): stream 16K.
+	for i := uint32(1); i <= 256; i++ {
+		m.Load(0xA0000+i*64, 4, uint64(i)*1000)
+	}
+	l2m := m.C.L2LoadMisses
+	m.Load(0xA0000, 4, 10_000_000)
+	if m.C.L2LoadMisses != l2m {
+		t.Error("line evicted from L1 must still hit L2 (inclusive fill)")
+	}
+}
+
+// TestHWPrefetcherBackwardStream: descending scans train too.
+func TestHWPrefetcherBackwardStream(t *testing.T) {
+	m := freshAt()
+	now := uint64(0)
+	for i := 0; i < 20; i++ {
+		now += 500
+		m.Load(uint32(0xB0F00-i*64), 4, now)
+	}
+	if m.C.HWPrefetches == 0 {
+		t.Error("hardware prefetcher must follow descending streams")
+	}
+}
+
+// TestCounterAccumulation sanity-checks the aggregate counters.
+func TestCounterAccumulation(t *testing.T) {
+	m := freshP4()
+	for i := uint32(0); i < 10; i++ {
+		m.Load(0xC0000+i*256, 4, uint64(i)*1000)
+		m.Store(0xC8000+i*256, 4, uint64(i)*1000+500)
+	}
+	if m.C.Loads != 10 || m.C.Stores != 10 {
+		t.Errorf("access counters: %+v", m.C)
+	}
+	if m.C.LoadStallCycles == 0 || m.C.StoreStallCycles == 0 {
+		t.Error("stall accounting missing")
+	}
+}

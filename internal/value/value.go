@@ -1,0 +1,147 @@
+// Package value defines the tagged runtime values used throughout the VM,
+// the JIT compiler, and the object-inspection partial interpreter.
+//
+// A Value is a (kind, 64-bit payload) pair. The interpreter only ever
+// produces fully known values; the object-inspection interpreter
+// additionally uses KindUnknown as the lattice top: any operation with an
+// unknown operand yields an unknown result (paper, Sec. 3.2).
+package value
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds. KindRef payloads are 32-bit simulated heap addresses
+// (0 is null). KindUnknown appears only during object inspection.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindLong
+	KindFloat
+	KindDouble
+	KindRef
+	KindUnknown
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	KindInt:     "int",
+	KindLong:    "long",
+	KindFloat:   "float",
+	KindDouble:  "double",
+	KindRef:     "ref",
+	KindUnknown: "unknown",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsNumeric reports whether the kind is one of the four arithmetic kinds.
+func (k Kind) IsNumeric() bool {
+	switch k {
+	case KindInt, KindLong, KindFloat, KindDouble:
+		return true
+	}
+	return false
+}
+
+// Slots returns the number of 4-byte field slots a value of this kind
+// occupies in an object (long and double take two, as on a 32-bit JVM).
+func (k Kind) Slots() uint32 {
+	if k == KindLong || k == KindDouble {
+		return 2
+	}
+	return 1
+}
+
+// Size returns the in-heap byte size of a value of this kind.
+func (k Kind) Size() uint32 { return 4 * k.Slots() }
+
+// Value is a tagged runtime value.
+type Value struct {
+	K Kind
+	B uint64
+}
+
+// Unknown is the object-inspection lattice top.
+var Unknown = Value{K: KindUnknown}
+
+// Null is the null reference.
+var Null = Value{K: KindRef, B: 0}
+
+// Int constructs an int value.
+func Int(v int32) Value { return Value{K: KindInt, B: uint64(uint32(v))} }
+
+// Long constructs a long value.
+func Long(v int64) Value { return Value{K: KindLong, B: uint64(v)} }
+
+// Float constructs a float value.
+func Float(v float32) Value { return Value{K: KindFloat, B: uint64(math.Float32bits(v))} }
+
+// Double constructs a double value.
+func Double(v float64) Value { return Value{K: KindDouble, B: math.Float64bits(v)} }
+
+// Ref constructs a reference value from a simulated heap address.
+func Ref(addr uint32) Value { return Value{K: KindRef, B: uint64(addr)} }
+
+// IsUnknown reports whether the value is the inspection lattice top.
+func (v Value) IsUnknown() bool { return v.K == KindUnknown }
+
+// IsRef reports whether the value is a reference.
+func (v Value) IsRef() bool { return v.K == KindRef }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.K == KindRef && v.B == 0 }
+
+// Int returns the int payload. The kind must be KindInt.
+func (v Value) Int() int32 { return int32(uint32(v.B)) }
+
+// Long returns the long payload. The kind must be KindLong.
+func (v Value) Long() int64 { return int64(v.B) }
+
+// Float returns the float payload. The kind must be KindFloat.
+func (v Value) Float() float32 { return math.Float32frombits(uint32(v.B)) }
+
+// Double returns the double payload. The kind must be KindDouble.
+func (v Value) Double() float64 { return math.Float64frombits(v.B) }
+
+// Ref returns the reference payload (a heap address). The kind must be KindRef.
+func (v Value) Ref() uint32 { return uint32(v.B) }
+
+// Bits returns the raw 32-bit heap image of the value for 4-byte kinds and
+// the low word for 8-byte kinds.
+func (v Value) Bits() uint32 { return uint32(v.B) }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.K {
+	case KindInt:
+		return fmt.Sprintf("int:%d", v.Int())
+	case KindLong:
+		return fmt.Sprintf("long:%d", v.Long())
+	case KindFloat:
+		return fmt.Sprintf("float:%g", v.Float())
+	case KindDouble:
+		return fmt.Sprintf("double:%g", v.Double())
+	case KindRef:
+		if v.B == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("ref:0x%x", v.Ref())
+	case KindUnknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+// Equal reports exact equality of kind and payload.
+func (v Value) Equal(o Value) bool { return v.K == o.K && v.B == o.B }

@@ -1,0 +1,169 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInvalid: "invalid",
+		KindInt:     "int",
+		KindLong:    "long",
+		KindFloat:   "float",
+		KindDouble:  "double",
+		KindRef:     "ref",
+		KindUnknown: "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindLong, KindFloat, KindDouble} {
+		if !k.IsNumeric() {
+			t.Errorf("%s should be numeric", k)
+		}
+	}
+	for _, k := range []Kind{KindInvalid, KindRef, KindUnknown} {
+		if k.IsNumeric() {
+			t.Errorf("%s should not be numeric", k)
+		}
+	}
+	if KindInt.Slots() != 1 || KindRef.Slots() != 1 || KindFloat.Slots() != 1 {
+		t.Error("narrow kinds must take one slot")
+	}
+	if KindLong.Slots() != 2 || KindDouble.Slots() != 2 {
+		t.Error("wide kinds must take two slots")
+	}
+	if KindInt.Size() != 4 || KindDouble.Size() != 8 {
+		t.Error("sizes must be 4 bytes per slot")
+	}
+}
+
+func TestIntRoundtrip(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 42, -12345} {
+		got := Int(v)
+		if got.K != KindInt || got.Int() != v {
+			t.Errorf("Int(%d) roundtrip failed: %v", v, got)
+		}
+	}
+}
+
+func TestLongRoundtrip(t *testing.T) {
+	for _, v := range []int64{0, -1, math.MaxInt64, math.MinInt64, 1 << 40} {
+		got := Long(v)
+		if got.K != KindLong || got.Long() != v {
+			t.Errorf("Long(%d) roundtrip failed: %v", v, got)
+		}
+	}
+}
+
+func TestFloatRoundtrip(t *testing.T) {
+	for _, v := range []float32{0, -0, 1.5, -3.25, math.MaxFloat32} {
+		got := Float(v)
+		if got.K != KindFloat || got.Float() != v {
+			t.Errorf("Float(%g) roundtrip failed: %v", v, got)
+		}
+	}
+	nan := Float(float32(math.NaN()))
+	if !math.IsNaN(float64(nan.Float())) {
+		t.Error("NaN float did not roundtrip")
+	}
+}
+
+func TestDoubleRoundtrip(t *testing.T) {
+	for _, v := range []float64{0, 2.5, -1e300, math.SmallestNonzeroFloat64} {
+		got := Double(v)
+		if got.K != KindDouble || got.Double() != v {
+			t.Errorf("Double(%g) roundtrip failed: %v", v, got)
+		}
+	}
+}
+
+func TestRefAndNull(t *testing.T) {
+	r := Ref(0x1234)
+	if !r.IsRef() || r.Ref() != 0x1234 || r.IsNull() {
+		t.Errorf("Ref(0x1234) broken: %v", r)
+	}
+	if !Null.IsNull() || !Null.IsRef() {
+		t.Error("Null must be a null reference")
+	}
+	if Ref(0) != Null {
+		t.Error("Ref(0) must equal Null")
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	if !Unknown.IsUnknown() {
+		t.Error("Unknown.IsUnknown() = false")
+	}
+	if Int(0).IsUnknown() || Null.IsUnknown() {
+		t.Error("known values report unknown")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Value]string{
+		Int(-7):      "int:-7",
+		Long(9):      "long:9",
+		Ref(0x10):    "ref:0x10",
+		Null:         "null",
+		Unknown:      "unknown",
+		Double(2.5):  "double:2.5",
+		Float(0.25):  "float:0.25",
+		{K: 0, B: 0}: "invalid",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Int(3).Equal(Int(3)) {
+		t.Error("Int(3) != Int(3)")
+	}
+	if Int(3).Equal(Long(3)) {
+		t.Error("kinds must participate in equality")
+	}
+}
+
+// Property: every int32 and int64 roundtrips through a Value.
+func TestQuickRoundtrip(t *testing.T) {
+	if err := quick.Check(func(v int32) bool {
+		return Int(v).Int() == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v int64) bool {
+		return Long(v).Long() == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v uint32) bool {
+		return Ref(v).Ref() == v && Ref(v).Bits() == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: non-NaN doubles roundtrip bit-exactly.
+func TestQuickDoubleRoundtrip(t *testing.T) {
+	if err := quick.Check(func(v float64) bool {
+		if math.IsNaN(v) {
+			return math.IsNaN(Double(v).Double())
+		}
+		return Double(v).Double() == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

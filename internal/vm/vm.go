@@ -1,0 +1,221 @@
+// Package vm assembles the full simulated runtime: heap, memory system,
+// execution engine, and the mixed-mode JIT dispatcher. Methods start out
+// interpreted; when a method's invocation count reaches the compile
+// threshold it is JIT-compiled *at that invocation, with the actual
+// argument values* — the contract object inspection depends on (paper
+// Sec. 3: "the JIT compiler is invoked for a method when the method is
+// about to be executed ... actual values for the parameters are available
+// at compile time").
+package vm
+
+import (
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/core/prefetch"
+	"strider/internal/heap"
+	"strider/internal/interp"
+	"strider/internal/ir"
+	"strider/internal/memsim"
+	"strider/internal/value"
+)
+
+// Config configures a VM instance.
+type Config struct {
+	Machine *arch.Machine
+	Mode    jit.Mode
+
+	// HeapBytes sizes the simulated heap (default 64 MiB).
+	HeapBytes uint32
+	// CompileThreshold is the invocation count that triggers JIT
+	// compilation (default 2: first invocation interpreted, second
+	// compiled — a minimal mixed mode).
+	CompileThreshold int
+	// GC selects the collector (default: sliding compaction, as in the
+	// paper's JVM).
+	GC heap.GCMode
+
+	// JIT optionally overrides the paper-default jit.Options; leave the
+	// zero value to use jit.DefaultOptions(Machine, Mode).
+	JIT *jit.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == nil {
+		c.Machine = arch.Pentium4()
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 64 << 20
+	}
+	if c.CompileThreshold == 0 {
+		c.CompileThreshold = 2
+	}
+	return c
+}
+
+// RunStats is the outcome of one VM run.
+type RunStats struct {
+	Checksum     uint64
+	Result       value.Value
+	Cycles       uint64
+	Instructions uint64
+
+	CompiledCycles       uint64
+	CompiledInstructions uint64
+	GCs                  uint64
+	GCCycles             uint64
+
+	Mem memsim.Counters
+
+	// Cumulative JIT ledger for the VM (Figure 11).
+	JITUnits        uint64
+	PrefetchUnits   uint64
+	CompiledMethods int
+	Prefetch        prefetch.Stats
+	InspectSteps    int
+}
+
+// L1LoadMPI returns L1 load misses per retired instruction.
+func (r RunStats) L1LoadMPI() float64 { return mpi(r.Mem.L1LoadMisses, r.Instructions) }
+
+// L2LoadMPI returns L2 load misses per retired instruction.
+func (r RunStats) L2LoadMPI() float64 { return mpi(r.Mem.L2LoadMisses, r.Instructions) }
+
+// DTLBLoadMPI returns DTLB load misses per retired instruction.
+func (r RunStats) DTLBLoadMPI() float64 { return mpi(r.Mem.DTLBLoadMisses, r.Instructions) }
+
+// CompiledFraction returns the share of cycles spent in compiled code.
+func (r RunStats) CompiledFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.CompiledCycles) / float64(r.Cycles)
+}
+
+func mpi(misses, instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return float64(misses) / float64(instrs)
+}
+
+// VM is a simulated Java-style virtual machine with a JIT compiler.
+type VM struct {
+	Config  Config
+	Prog    *ir.Program
+	Heap    *heap.Heap
+	Mem     *memsim.Memory
+	Engine  *interp.Engine
+	JITOpts jit.Options
+
+	compiled map[*ir.Method]*jit.Compiled
+	counts   map[*ir.Method]int
+
+	jitUnits      uint64
+	prefetchUnits uint64
+	inspectSteps  int
+	prefetchStats prefetch.Stats
+}
+
+// New creates a VM for a program.
+func New(prog *ir.Program, cfg Config) *VM {
+	cfg = cfg.withDefaults()
+	h := heap.New(cfg.HeapBytes, prog.Universe)
+	h.SetGCMode(cfg.GC)
+	mem := memsim.New(cfg.Machine)
+	v := &VM{
+		Config:   cfg,
+		Prog:     prog,
+		Heap:     h,
+		Mem:      mem,
+		compiled: make(map[*ir.Method]*jit.Compiled),
+		counts:   make(map[*ir.Method]int),
+	}
+	if cfg.JIT != nil {
+		v.JITOpts = *cfg.JIT
+	} else {
+		v.JITOpts = jit.DefaultOptions(cfg.Machine, cfg.Mode)
+	}
+	v.Engine = interp.New(prog, h, mem, v, cfg.Machine)
+	return v
+}
+
+// Invoke implements interp.Dispatcher: mixed-mode dispatch with
+// compile-at-threshold using the live argument values.
+func (v *VM) Invoke(m *ir.Method, args []value.Value) *interp.Code {
+	if c, ok := v.compiled[m]; ok {
+		return &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+	}
+	v.counts[m]++
+	if v.counts[m] < v.Config.CompileThreshold {
+		return &interp.Code{Instrs: m.Code, NumRegs: m.NumRegs, Compiled: false}
+	}
+	c := jit.Compile(v.Prog, v.Heap, m, args, v.JITOpts)
+	v.compiled[m] = c
+	v.jitUnits += c.TotalUnits()
+	v.prefetchUnits += c.PrefetchUnits
+	v.inspectSteps += c.InspectSteps
+	addStats(&v.prefetchStats, c.Prefetch)
+	return &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+}
+
+func addStats(dst *prefetch.Stats, s prefetch.Stats) {
+	dst.InterPrefetches += s.InterPrefetches
+	dst.SpecLoads += s.SpecLoads
+	dst.DerefPrefetches += s.DerefPrefetches
+	dst.IntraPrefetches += s.IntraPrefetches
+	dst.FilteredLine += s.FilteredLine
+	dst.FilteredDup += s.FilteredDup
+	dst.FilteredUse += s.FilteredUse
+	dst.WorkUnits += s.WorkUnits
+}
+
+// CompiledFor returns the JIT artifact for a method, or nil. Diagnostics
+// (Table 1) use it to show annotated load dependence graphs.
+func (v *VM) CompiledFor(m *ir.Method) *jit.Compiled { return v.compiled[m] }
+
+// ResetRun prepares the VM for a fresh run of the program while keeping
+// JIT state (compiled code and invocation counts), mirroring the paper's
+// "best run under continuous execution" methodology: after the warmup run,
+// the measured run executes mostly compiled code and no JIT activity.
+func (v *VM) ResetRun() {
+	v.Heap.Reset()
+	v.Prog.Universe.ResetStatics()
+	v.Mem.Reset()
+	v.Engine.ResetStats()
+}
+
+// Run executes the program's entry method once and returns the run's
+// statistics.
+func (v *VM) Run(args []value.Value) (RunStats, error) {
+	res, err := v.Engine.Run(v.Prog.Entry, args)
+	s := v.Engine.S
+	stats := RunStats{
+		Checksum:             s.Checksum,
+		Result:               res,
+		Cycles:               s.Cycles,
+		Instructions:         s.Instructions,
+		CompiledCycles:       s.CompiledCycles,
+		CompiledInstructions: s.CompiledInstructions,
+		GCs:                  s.GCs,
+		GCCycles:             s.GCCycles,
+		Mem:                  v.Mem.C,
+		JITUnits:             v.jitUnits,
+		PrefetchUnits:        v.prefetchUnits,
+		CompiledMethods:      len(v.compiled),
+		Prefetch:             v.prefetchStats,
+		InspectSteps:         v.inspectSteps,
+	}
+	return stats, err
+}
+
+// Measure runs the program warmups+1 times, resetting between runs, and
+// returns the statistics of the final (steady-state) run.
+func (v *VM) Measure(args []value.Value, warmups int) (RunStats, error) {
+	for i := 0; i < warmups; i++ {
+		if _, err := v.Run(args); err != nil {
+			return RunStats{}, err
+		}
+		v.ResetRun()
+	}
+	return v.Run(args)
+}

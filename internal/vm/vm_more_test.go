@@ -1,0 +1,137 @@
+package vm_test
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+// TestCompileUsesLiveArguments is the contract object inspection depends
+// on: the JIT compiles a method at its threshold invocation *with that
+// invocation's argument values*, and the compiled artifact reflects the
+// heap those arguments point into.
+func TestCompileUsesLiveArguments(t *testing.T) {
+	w, _ := workloads.ByName("db")
+	prog := w.Build(workloads.SizeSmall)
+	v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra})
+	if _, err := v.Measure(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := v.CompiledFor(prog.MethodByName("::sortPass"))
+	if c == nil {
+		t.Fatal("sortPass not compiled")
+	}
+	if len(c.Graphs) == 0 {
+		t.Fatal("no load dependence graphs — inspection saw no live data")
+	}
+	found := false
+	for _, g := range c.Graphs {
+		for _, n := range g.Nodes {
+			for _, e := range n.Succs {
+				if e.HasIntra && e.Intra == 136 {
+					found = true // Record -> Vector co-allocation distance
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("the record-cluster intra stride (+136) was not discovered from live arguments")
+	}
+}
+
+// TestCompiledCodeIsCached: the second invocation after compilation must
+// reuse the artifact (pointer identity).
+func TestCompiledCodeIsCached(t *testing.T) {
+	p := counterProgram(5, 10)
+	v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline})
+	if _, err := v.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	work := p.MethodByName("::work")
+	c1 := v.CompiledFor(work)
+	if _, err := v.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.CompiledFor(work) != c1 {
+		t.Error("method recompiled")
+	}
+}
+
+// TestGCModeConfig: the VM passes the collector choice through.
+func TestGCModeConfig(t *testing.T) {
+	p := counterProgram(1, 1)
+	v := vm.New(p, vm.Config{GC: heap.GCMarkSweepFreeList})
+	if v.Heap == nil {
+		t.Fatal("no heap")
+	}
+	// Indirect check: a collection with no roots on a freelist heap must
+	// not move anything.
+	a, _ := v.Heap.AllocArray(value.Int(0).K, 4)
+	_ = a
+	v.Heap.Collect(func(func(*value.Value)) {})
+	if v.Heap.Stats().Moved != 0 {
+		t.Error("freelist mode must not move objects")
+	}
+}
+
+// TestJITLedgerAccumulates: compiling more methods grows the ledger
+// monotonically, and the prefetch share is a subset.
+func TestJITLedgerAccumulates(t *testing.T) {
+	w, _ := workloads.ByName("euler")
+	prog := w.Build(workloads.SizeSmall)
+	v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra})
+	s1, err := v.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ResetRun()
+	s2, err := v.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.JITUnits < s1.JITUnits {
+		t.Error("the JIT ledger must be cumulative")
+	}
+	if s2.PrefetchUnits > s2.JITUnits {
+		t.Error("prefetch units cannot exceed total JIT units")
+	}
+	if s2.InspectSteps == 0 {
+		t.Error("euler compilation must have inspected loops")
+	}
+}
+
+// TestModeChangesCodeNotResults compares compiled code size across modes.
+func TestModeChangesCodeNotResults(t *testing.T) {
+	w, _ := workloads.ByName("euler")
+	sizes := map[jit.Mode]int{}
+	var chk uint64
+	for _, mode := range []jit.Mode{jit.Baseline, jit.InterIntra} {
+		prog := w.Build(workloads.SizeSmall)
+		v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: mode})
+		s, err := v.Measure(nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chk == 0 {
+			chk = s.Checksum
+		} else if chk != s.Checksum {
+			t.Error("mode changed results")
+		}
+		c := v.CompiledFor(prog.MethodByName("::sweep"))
+		if c == nil {
+			t.Fatal("sweep not compiled")
+		}
+		sizes[mode] = len(c.Code)
+	}
+	if sizes[jit.InterIntra] <= sizes[jit.Baseline] {
+		t.Error("INTER+INTRA must insert instructions into sweep")
+	}
+}
+
+var _ = ir.OpNop // keep the import if helpers change

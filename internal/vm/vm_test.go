@@ -1,0 +1,135 @@
+package vm_test
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+	"strider/internal/core/jit"
+	"strider/internal/ir"
+	"strider/internal/value"
+	"strider/internal/vm"
+)
+
+// counterProgram: main() calls work(k) `calls` times; work loops k times.
+func counterProgram(calls, k int32) *ir.Program {
+	u := classfile.NewUniverse()
+	p := ir.NewProgram(u)
+
+	wb := ir.NewBuilder(p, nil, "work", value.KindInt, value.KindInt)
+	n := wb.Param(0)
+	i := wb.ConstInt(0)
+	cond := wb.NewLabel()
+	body := wb.NewLabel()
+	wb.Goto(cond)
+	wb.Bind(body)
+	wb.IncInt(i, 1)
+	wb.Bind(cond)
+	wb.Br(value.KindInt, ir.CondLT, i, n, body)
+	wb.Return(i)
+	work := wb.Finish()
+
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	kk := b.ConstInt(k)
+	total := b.ConstInt(0)
+	c := b.ConstInt(0)
+	nn := b.ConstInt(calls)
+	cond2 := b.NewLabel()
+	body2 := b.NewLabel()
+	b.Goto(cond2)
+	b.Bind(body2)
+	r := b.Call(work, kk)
+	b.ArithTo(total, ir.OpAdd, value.KindInt, total, r)
+	b.IncInt(c, 1)
+	b.Bind(cond2)
+	b.Br(value.KindInt, ir.CondLT, c, nn, body2)
+	b.Sink(total)
+	b.Return(total)
+	p.Entry = b.Finish()
+	return p
+}
+
+func TestMixedModeCompilesAtThreshold(t *testing.T) {
+	p := counterProgram(5, 10)
+	v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline, CompileThreshold: 2})
+	stats, err := v.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Result.Int() != 50 {
+		t.Errorf("result = %v", stats.Result)
+	}
+	// work invoked 5 times with threshold 2: compiled from the 2nd call.
+	work := p.MethodByName("::work")
+	if v.CompiledFor(work) == nil {
+		t.Error("work must be compiled")
+	}
+	// main invoked once: still interpreted.
+	if v.CompiledFor(p.Entry) != nil {
+		t.Error("main must not be compiled after one invocation")
+	}
+	if stats.CompiledMethods != 1 {
+		t.Errorf("compiled methods = %d", stats.CompiledMethods)
+	}
+	if stats.CompiledCycles == 0 || stats.CompiledCycles >= stats.Cycles {
+		t.Errorf("mixed-mode cycle split wrong: %d of %d", stats.CompiledCycles, stats.Cycles)
+	}
+}
+
+func TestMeasureWarmupMakesSteadyState(t *testing.T) {
+	p := counterProgram(3, 10)
+	v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline})
+	stats, err := v.Measure(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After a warmup run, main too is compiled.
+	if v.CompiledFor(p.Entry) == nil {
+		t.Error("after warmup, main must be compiled")
+	}
+	if stats.CompiledFraction() < 0.9 {
+		t.Errorf("steady state compiled fraction = %.2f", stats.CompiledFraction())
+	}
+}
+
+func TestResetRunKeepsJITState(t *testing.T) {
+	p := counterProgram(3, 10)
+	v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline})
+	s1, err := v.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ResetRun()
+	s2, err := v.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Checksum != s2.Checksum {
+		t.Error("re-run changed semantics")
+	}
+	if s2.Cycles >= s1.Cycles {
+		t.Error("second run (compiled) must be faster than first (interpreted)")
+	}
+}
+
+func TestRunStatsAccessors(t *testing.T) {
+	var r vm.RunStats
+	if r.L1LoadMPI() != 0 || r.CompiledFraction() != 0 {
+		t.Error("zero-value stats must not divide by zero")
+	}
+	r.Instructions = 1000
+	r.Mem.L1LoadMisses = 50
+	r.Mem.L2LoadMisses = 10
+	r.Mem.DTLBLoadMisses = 5
+	if r.L1LoadMPI() != 0.05 || r.L2LoadMPI() != 0.01 || r.DTLBLoadMPI() != 0.005 {
+		t.Error("MPI math wrong")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := counterProgram(1, 1)
+	v := vm.New(p, vm.Config{})
+	if v.Config.Machine == nil || v.Config.HeapBytes == 0 || v.Config.CompileThreshold == 0 {
+		t.Error("defaults not applied")
+	}
+}

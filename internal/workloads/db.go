@@ -1,0 +1,218 @@
+// The _209_db analog: the paper's headline result (18.9% on the Pentium 4,
+// 25.1% on the Athlon MP, while INTER alone was ineffective).
+//
+// "This program spends more than 85% of its execution time in a shell sort
+// loop that reorders a number of large records and frequently causes cache
+// misses and DTLB misses. Each record contains a number of Vector and
+// String objects, and they only have intra-iteration constant strides
+// between the containing records in the sorting loop." (Sec. 4)
+//
+// Our analog allocates each record as a cluster — Record, then its String
+// character array, then its Vector, then the Vector's data array — so the
+// distances from a record to its children are compile-time constants
+// (intra-iteration strides), while the sort permutes the record references
+// so the records themselves have no inter-iteration stride. The record
+// cluster is larger than even the Pentium 4's 128-byte L2 line, so the
+// intra-iteration prefetches survive the cache-line dedup filter.
+//
+// The sort key is reached through record.vec.data[0]: three dependent
+// loads per comparison, each a cache and DTLB miss on a cold record —
+// which is what dereference-based + intra-iteration prefetching attacks.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// dbParams returns (records, name chars as ints, vector payload ints).
+func dbParams(size Size) (int32, int32, int32) {
+	if size == SizeFull {
+		return 3000, 24, 6
+	}
+	return 700, 24, 6
+}
+
+func buildDB(size Size) *ir.Program {
+	nRecords, nameLen, vecLen := dbParams(size)
+
+	u := classfile.NewUniverse()
+	vecClass := u.MustDefineClass("Vector", nil,
+		classfile.FieldSpec{Name: "data", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "size", Kind: value.KindInt},
+	)
+	recClass := u.MustDefineClass("Record", nil,
+		classfile.FieldSpec{Name: "id", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "name", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "vec", Kind: value.KindRef},
+	)
+	dbClass := u.MustDefineClass("Database", nil,
+		classfile.FieldSpec{Name: "entries", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "n", Kind: value.KindInt},
+	)
+	fData := vecClass.FieldByName("data")
+	fSize := vecClass.FieldByName("size")
+	fID := recClass.FieldByName("id")
+	fName := recClass.FieldByName("name")
+	fVec := recClass.FieldByName("vec")
+	fEntries := dbClass.FieldByName("entries")
+	fN := dbClass.FieldByName("n")
+
+	p := ir.NewProgram(u)
+
+	// ::newRecord(id, key) -> Record — the co-allocating constructor:
+	// Record, name chars, Vector, vector data, in one cluster.
+	newRecord := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "newRecord", value.KindRef, value.KindInt, value.KindInt)
+		id, key := b.Param(0), b.Param(1)
+		r := b.New(recClass)
+		b.PutField(r, fID, id)
+		nl := b.ConstInt(nameLen)
+		name := b.NewArray(value.KindInt, nl)
+		b.PutField(r, fName, name)
+		// Fill the name with derived characters.
+		i, endName := forInt(b, 0, nl)
+		ch := b.AddInt(id, i)
+		b.ArrayStore(value.KindInt, name, i, ch)
+		endName()
+		v := b.New(vecClass)
+		b.PutField(r, fVec, v)
+		vl := b.ConstInt(vecLen)
+		data := b.NewArray(value.KindInt, vl)
+		b.PutField(v, fData, data)
+		b.PutField(v, fSize, vl)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, data, zero, key)
+		j, endVec := forInt(b, 1, vl)
+		x := b.AddInt(key, j)
+		b.ArrayStore(value.KindInt, data, j, x)
+		endVec()
+		b.Return(r)
+		return b.Finish()
+	}()
+
+	// ::sortPass(entries, n) -> int — insertion sort (the dominant final
+	// pass of 209_db's shell sort) keyed on entries[j].vec.data[0].
+	// Returns the number of element moves (sunk for the checksum).
+	sortPass := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "sortPass", value.KindInt, value.KindRef, value.KindInt)
+		e, n := b.Param(0), b.Param(1)
+		moves := b.ConstInt(0)
+		one := b.ConstInt(1)
+		zero := b.ConstInt(0)
+
+		i, endI := forInt(b, 1, n)
+		cur := b.ArrayLoad(value.KindRef, e, i)
+		cv := b.GetField(cur, fVec)
+		cd := b.GetField(cv, fData)
+		ckey := b.ArrayLoad(value.KindInt, cd, zero)
+
+		j := b.NewReg()
+		b.MoveTo(j, i)
+		innerCond := b.NewLabel()
+		innerBody := b.NewLabel()
+		innerDone := b.NewLabel()
+		b.Goto(innerCond)
+
+		b.Bind(innerBody)
+		// prev = e[j-1]; key(prev) via the dependent-load chain.
+		jm1 := b.Arith(ir.OpSub, value.KindInt, j, one)
+		prev := b.ArrayLoad(value.KindRef, e, jm1) // Lx: inter stride -4
+		pv := b.GetField(prev, fVec)               // Ly: no inter (permuted records)
+		pd := b.GetField(pv, fData)                // Lz: intra with Ly
+		pkey := b.ArrayLoad(value.KindInt, pd, zero)
+		b.Br(value.KindInt, ir.CondLE, pkey, ckey, innerDone)
+		b.ArrayStore(value.KindRef, e, j, prev)
+		b.ArithTo(j, ir.OpSub, value.KindInt, j, one)
+		b.ArithTo(moves, ir.OpAdd, value.KindInt, moves, one)
+		b.Bind(innerCond)
+		b.Br(value.KindInt, ir.CondGE, j, one, innerBody)
+		b.Bind(innerDone)
+		b.ArrayStore(value.KindRef, e, j, cur)
+		endI()
+		b.Return(moves)
+		return b.Finish()
+	}()
+
+	// ::checkSorted(entries, n) -> int — returns the number of adjacent
+	// inversions left (must be 0) xor a key sample; used as the oracle.
+	checkSorted := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "checkSorted", value.KindInt, value.KindRef, value.KindInt)
+		e, n := b.Param(0), b.Param(1)
+		zero := b.ConstInt(0)
+		bad := b.ConstInt(0)
+		acc := b.ConstInt(0)
+		i, endI := forInt(b, 1, n)
+		one := b.ConstInt(1)
+		im1 := b.Arith(ir.OpSub, value.KindInt, i, one)
+		ra := b.ArrayLoad(value.KindRef, e, im1)
+		rb := b.ArrayLoad(value.KindRef, e, i)
+		va := b.GetField(ra, fVec)
+		vb := b.GetField(rb, fVec)
+		da := b.GetField(va, fData)
+		db := b.GetField(vb, fData)
+		ka := b.ArrayLoad(value.KindInt, da, zero)
+		kb := b.ArrayLoad(value.KindInt, db, zero)
+		skip := b.NewLabel()
+		b.Br(value.KindInt, ir.CondLE, ka, kb, skip)
+		b.IncInt(bad, 1)
+		b.Bind(skip)
+		b.ArithTo(acc, ir.OpXor, value.KindInt, acc, kb)
+		endI()
+		sh := b.ConstInt(16)
+		hi := b.Arith(ir.OpShl, value.KindInt, bad, sh)
+		out := b.Arith(ir.OpXor, value.KindInt, hi, acc)
+		b.Return(out)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		db := b.New(dbClass)
+		n := b.ConstInt(nRecords)
+		arr := b.NewArray(value.KindRef, n)
+		b.PutField(db, fEntries, arr)
+		b.PutField(db, fN, n)
+
+		seed := b.ConstInt(12345)
+		i, endBuild := forInt(b, 0, n)
+		key := emitLCGStep(b, seed, 0x7FFF)
+		r := b.Call(newRecord, i, key)
+		b.ArrayStore(value.KindRef, arr, i, r)
+		endBuild()
+
+		// Shuffle phase: the real 209_db performs adds, deletes, and finds
+		// before sorting, so the record references are thoroughly permuted
+		// by the time the sort runs — the reason the records "only have
+		// intra-iteration constant strides" (Sec. 4). Random swaps model
+		// that churn.
+		j, endShuffle := forInt(b, 0, n)
+		r1 := emitLCGStep(b, seed, 0x7FFFFFF)
+		k := b.Arith(ir.OpRem, value.KindInt, r1, n)
+		a0 := b.ArrayLoad(value.KindRef, arr, j)
+		a1 := b.ArrayLoad(value.KindRef, arr, k)
+		b.ArrayStore(value.KindRef, arr, j, a1)
+		b.ArrayStore(value.KindRef, arr, k, a0)
+		endShuffle()
+
+		moves := b.Call(sortPass, arr, n)
+		b.Sink(moves)
+		chk := b.Call(checkSorted, arr, n)
+		b.Sink(chk)
+		b.Return(chk)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "db",
+		Suite:            "SPECjvm98",
+		Description:      "Memory resident database",
+		PaperCompiledPct: 92.3,
+		Build:            buildDB,
+	})
+}

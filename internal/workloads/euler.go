@@ -1,0 +1,146 @@
+// The JavaGrande Euler analog: computational fluid dynamics over a large
+// grid of state-vector cells.
+//
+// "Since the benchmark Euler has inter-iteration constant strides in its
+// main data structures, large two-dimensional arrays of vectors, both
+// algorithms achieved similar speedups on the Pentium 4 and the Athlon MP"
+// (Sec. 4). The cells are allocated consecutively and never reordered, so
+// every field load in the sweep has an inter-iteration stride equal to the
+// cell size (80 bytes — larger than half a line on both machines), and
+// plain inter-iteration prefetching captures all of them: INTER and
+// INTER+INTRA should perform alike, and both should win.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func eulerParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 9000, 8 // cells, sweeps
+	}
+	return 1500, 3
+}
+
+func buildEuler(size Size) *ir.Program {
+	nCells, nSweeps := eulerParams(size)
+
+	u := classfile.NewUniverse()
+	// 8 doubles -> 16 + 64 = 80-byte cells.
+	cellClass := u.MustDefineClass("Statevector", nil,
+		classfile.FieldSpec{Name: "a", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "b", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "c", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "d", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fa", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fb", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fc", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fd", Kind: value.KindDouble},
+	)
+	fA := cellClass.FieldByName("a")
+	fB := cellClass.FieldByName("b")
+	fC := cellClass.FieldByName("c")
+	fD := cellClass.FieldByName("d")
+	fFA := cellClass.FieldByName("fa")
+	fFB := cellClass.FieldByName("fb")
+
+	p := ir.NewProgram(u)
+
+	// ::sweep(cells, n) -> double — one relaxation sweep: each cell reads
+	// its left neighbour and updates its fluxes.
+	sweep := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "sweep", value.KindDouble, value.KindRef, value.KindInt)
+		cells, n := b.Param(0), b.Param(1)
+		res := b.ConstDouble(0)
+		one := b.ConstInt(1)
+		half := b.ConstDouble(0.5)
+
+		i, endI := forInt(b, 1, n)
+		im1 := b.Arith(ir.OpSub, value.KindInt, i, one)
+		cl := b.ArrayLoad(value.KindRef, cells, im1)
+		cr := b.ArrayLoad(value.KindRef, cells, i)
+		la := b.GetField(cl, fA) // inter stride 80: prefetched
+		lb := b.GetField(cl, fB)
+		ra := b.GetField(cr, fA)
+		rb := b.GetField(cr, fB)
+		rc := b.GetField(cr, fC)
+		rd := b.GetField(cr, fD)
+		d0 := b.Arith(ir.OpSub, value.KindDouble, la, ra)
+		d1 := b.Arith(ir.OpSub, value.KindDouble, lb, rb)
+		f0 := b.Arith(ir.OpMul, value.KindDouble, d0, half)
+		f1 := b.Arith(ir.OpMul, value.KindDouble, d1, half)
+		s0 := b.Arith(ir.OpAdd, value.KindDouble, rc, f0)
+		s1 := b.Arith(ir.OpAdd, value.KindDouble, rd, f1)
+		b.PutField(cr, fFA, s0)
+		b.PutField(cr, fFB, s1)
+		b.ArithTo(res, ir.OpAdd, value.KindDouble, res, f0)
+		endI()
+		b.Return(res)
+		return b.Finish()
+	}()
+
+	// ::apply(cells, n) -> void — fold the fluxes back into the state.
+	apply := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "apply", value.KindInvalid, value.KindRef, value.KindInt)
+		cells, n := b.Param(0), b.Param(1)
+		i, endI := forInt(b, 0, n)
+		c := b.ArrayLoad(value.KindRef, cells, i)
+		a := b.GetField(c, fA)
+		fa := b.GetField(c, fFA)
+		bb := b.GetField(c, fB)
+		fb2 := b.GetField(c, fFB)
+		na := b.Arith(ir.OpAdd, value.KindDouble, a, fa)
+		nb := b.Arith(ir.OpAdd, value.KindDouble, bb, fb2)
+		b.PutField(c, fA, na)
+		b.PutField(c, fB, nb)
+		endI()
+		b.ReturnVoid()
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(nCells)
+		cells := b.NewArray(value.KindRef, n)
+
+		thousand := b.ConstDouble(1000)
+		i, endBuild := forInt(b, 0, n)
+		c := b.New(cellClass)
+		fi := b.Conv(value.KindDouble, i)
+		va := b.Arith(ir.OpDiv, value.KindDouble, fi, thousand)
+		b.PutField(c, fA, va)
+		vb := b.Arith(ir.OpSub, value.KindDouble, thousand, va)
+		b.PutField(c, fB, vb)
+		b.PutField(c, fC, va)
+		b.PutField(c, fD, vb)
+		b.ArrayStore(value.KindRef, cells, i, c)
+		endBuild()
+
+		total := b.ConstDouble(0)
+		ns := b.ConstInt(nSweeps)
+		s, endS := forInt(b, 0, ns)
+		_ = s
+		r := b.Call(sweep, cells, n)
+		b.Call(apply, cells, n)
+		b.ArithTo(total, ir.OpAdd, value.KindDouble, total, r)
+		endS()
+		b.Sink(total)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "euler",
+		Suite:            "JavaGrande",
+		Description:      "Computational fluid dynamics",
+		PaperCompiledPct: 79.5,
+		Build:            buildEuler,
+	})
+}

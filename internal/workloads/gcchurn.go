@@ -1,0 +1,183 @@
+// gcchurn is the dedicated workload of the garbage-collection ablation.
+// It is not part of the Table 3 suite (it is registered separately via
+// GCChurn) — it exists to demonstrate the paper's observation that the
+// collector's *sliding compaction* is what keeps intra-iteration strides
+// alive (Sec. 4):
+//
+//	"Live objects are packed by sliding compaction, which does not change
+//	their internal order on the heap. Thus, the garbage collector usually
+//	preserves constant strides among the live objects."
+//
+// The program allocates record clusters interleaved with short-lived
+// garbage, runs through a collection, allocates a second batch of
+// clusters, and then repeatedly scans all records through their payload
+// arrays. Under sliding compaction the second batch is allocated from the
+// compacted frontier, so every cluster stays contiguous and INTER+INTRA
+// prefetching fires; under the non-moving free-list collector the second
+// batch is carved from fragmented holes, the record-to-payload distances
+// become irregular, the 75% majority test fails, and intra-iteration
+// prefetching evaporates.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// GCChurn is the ablation workload. HeapBytes is sized so the build phase
+// triggers at least one collection between the two batches.
+var GCChurn = &Workload{
+	Name:        "gcchurn",
+	Suite:       "ablation",
+	Description: "stride survival across garbage collection",
+	HeapBytes:   800 << 10,
+	Build:       buildGCChurn,
+}
+
+func gcChurnParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 2600, 12 // records per batch, scan rounds
+	}
+	return 2600, 4
+}
+
+func buildGCChurn(size Size) *ir.Program {
+	batch, rounds := gcChurnParams(size)
+
+	u := classfile.NewUniverse()
+	// 72-byte records so the record-to-payload distance exceeds the cache
+	// line (otherwise the intra prefetch would be line-deduped anyway).
+	recClass := u.MustDefineClass("Rec", nil,
+		classfile.FieldSpec{Name: "key", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "data", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "p0", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "p1", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "p2", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "p3", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "p4", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "p5", Kind: value.KindLong},
+	)
+	fKey := recClass.FieldByName("key")
+	fData := recClass.FieldByName("data")
+
+	p := ir.NewProgram(u)
+
+	// ::newRec(k) -> Rec — cluster: Rec then its int[20] payload (96 B).
+	newRec := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "newRec", value.KindRef, value.KindInt)
+		k := b.Param(0)
+		r := b.New(recClass)
+		b.PutField(r, fKey, k)
+		twenty := b.ConstInt(20)
+		d := b.NewArray(value.KindInt, twenty)
+		b.PutField(r, fData, d)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, d, zero, k)
+		b.Return(r)
+		return b.Finish()
+	}()
+
+	// ::scan(arr, start, n) -> int — the prefetchable loop over
+	// arr[start..n): the window holding equal parts pre- and post-GC
+	// clusters. The array is shuffled, so only dereference-based +
+	// intra-iteration prefetching can help.
+	scan := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "scan", value.KindInt,
+			value.KindRef, value.KindInt, value.KindInt)
+		arr, start, n := b.Param(0), b.Param(1), b.Param(2)
+		acc := b.ConstInt(0)
+		zero := b.ConstInt(0)
+		i := b.NewReg()
+		b.MoveTo(i, start)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		endI := func() {
+			b.IncInt(i, 1)
+			b.Bind(cond)
+			b.Br(value.KindInt, ir.CondLT, i, n, body)
+		}
+		r := b.ArrayLoad(value.KindRef, arr, i) // Lx: inter stride 4
+		d := b.GetField(r, fData)               // Ly: no inter
+		x := b.ArrayLoad(value.KindInt, d, zero)
+		k := b.GetField(r, fKey)
+		s := b.Arith(ir.OpAdd, value.KindInt, x, k)
+		b.ArithTo(acc, ir.OpXor, value.KindInt, acc, s)
+		endI()
+		b.Return(acc)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		// All batch-1 records stay live (so the collector's holes are
+		// exactly the garbage chunks); the scanned window [batch/2, 3/2
+		// batch) holds equal parts pre-GC and post-GC clusters — under
+		// the free-list collector the intra-stride samples then fail the
+		// 75% majority decisively.
+		n := b.ConstInt(batch + batch/2)
+		arr := b.NewArray(value.KindRef, n)
+		half := b.ConstInt(batch)
+		quarter := b.ConstInt(batch / 2)
+
+		// Batch 1: clusters with interleaved short-lived garbage of
+		// varying size (88..160 bytes). The garbage is what the collection
+		// reclaims; the varying hole sizes guarantee that the free-list
+		// collector cannot place a whole cluster in one hole, so batch 2's
+		// record-to-payload distances become irregular.
+		i, end1 := forInt(b, 0, half)
+		r := b.Call(newRec, i)
+		b.ArrayStore(value.KindRef, arr, i, r)
+		three := b.ConstInt(3)
+		six := b.ConstInt(6)
+		base18 := b.ConstInt(18)
+		m0 := b.Arith(ir.OpAnd, value.KindInt, i, three)
+		m1 := b.Arith(ir.OpMul, value.KindInt, m0, six)
+		gsz := b.Arith(ir.OpAdd, value.KindInt, base18, m1)
+		g := b.NewArray(value.KindInt, gsz)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, g, zero, i)
+		end1()
+
+		// Batch 2: allocated after the collection that the garbage
+		// forced (heap sizing guarantees it).
+		j, end2 := forInt(b, 0, quarter)
+		k2 := b.AddInt(j, half)
+		r2 := b.Call(newRec, k2)
+		b.ArrayStore(value.KindRef, arr, k2, r2)
+		end2()
+
+		// Shuffle within the scan window [batch/2, n) so the scan's
+		// record loads have no inter-iteration stride.
+		seed := b.ConstInt(31415)
+		s2, endS := forInt(b, 0, half)
+		sIdx := b.AddInt(s2, quarter)
+		rr := emitLCGStep(b, seed, 0x7FFFFFF)
+		kk0 := b.Arith(ir.OpRem, value.KindInt, rr, half)
+		kk := b.AddInt(kk0, quarter)
+		a0 := b.ArrayLoad(value.KindRef, arr, sIdx)
+		a1 := b.ArrayLoad(value.KindRef, arr, kk)
+		b.ArrayStore(value.KindRef, arr, sIdx, a1)
+		b.ArrayStore(value.KindRef, arr, kk, a0)
+		endS()
+
+		total := b.ConstInt(0)
+		nr := b.ConstInt(rounds)
+		q, endQ := forInt(b, 0, nr)
+		_ = q
+		v := b.Call(scan, arr, quarter, n)
+		b.ArithTo(total, ir.OpXor, value.KindInt, total, v)
+		endQ()
+		b.Sink(total)
+		b.Return(total)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	registerExtra(GCChurn)
+}

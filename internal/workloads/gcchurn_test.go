@@ -1,0 +1,63 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/heap"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+// TestGCChurnAblation formalizes the compaction ablation: sliding
+// compaction preserves the co-allocation stride across a collection
+// (intra prefetch generated), the free-list collector destroys it (no
+// intra prefetch), and semantics are identical either way.
+func TestGCChurnAblation(t *testing.T) {
+	type result struct {
+		chk   uint64
+		gcs   uint64
+		intra int
+	}
+	run := func(gc heap.GCMode, mode jit.Mode) result {
+		t.Helper()
+		prog := workloads.GCChurn.Build(workloads.SizeSmall)
+		v := vm.New(prog, vm.Config{
+			Machine: arch.AthlonMP(), Mode: mode,
+			HeapBytes: workloads.GCChurn.HeapBytes, GC: gc,
+		})
+		s, err := v.Measure(nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{s.Checksum, s.GCs, s.Prefetch.IntraPrefetches}
+	}
+
+	compact := run(heap.GCSlidingCompact, jit.InterIntra)
+	freelist := run(heap.GCMarkSweepFreeList, jit.InterIntra)
+	if compact.gcs == 0 || freelist.gcs == 0 {
+		t.Fatalf("the scenario must collect at least once (%d/%d)", compact.gcs, freelist.gcs)
+	}
+	if compact.intra == 0 {
+		t.Error("sliding compaction must preserve the intra-iteration stride")
+	}
+	if freelist.intra != 0 {
+		t.Error("the free-list collector must destroy the intra-iteration stride")
+	}
+	if compact.chk != freelist.chk {
+		t.Error("collector choice must not change semantics")
+	}
+	base := run(heap.GCSlidingCompact, jit.Baseline)
+	if base.chk != compact.chk {
+		t.Error("prefetching must not change semantics")
+	}
+	if _, err := workloads.ByName("gcchurn"); err != nil {
+		t.Error("gcchurn must be addressable by name")
+	}
+	for _, w := range workloads.All() {
+		if w.Name == "gcchurn" {
+			t.Error("gcchurn must not be part of the Table 3 suite")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// The _228_jack analog: a parser generator — token interning into hash
+// chains with heavy short-lived allocation.
+//
+// jack's time is dominated by parsing machinery and allocation, with only
+// 36.2% of it in compiled code (Table 3); its pointer chasing follows hash
+// chains whose node order is effectively random, so no stride patterns
+// pass the 75% majority test and stride prefetching leaves it unchanged.
+// The analog interns pseudo-random tokens into buckets (chains in random
+// interleaving), allocates parser scratch per token (garbage that forces
+// collections on a small heap), and then sums over the chains.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func jackParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 60000, 1 << 10 // tokens, buckets
+	}
+	return 6000, 1 << 8
+}
+
+func buildJack(size Size) *ir.Program {
+	nTokens, nBuckets := jackParams(size)
+
+	u := classfile.NewUniverse()
+	nodeClass := u.MustDefineClass("TokenNode", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "count", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	fVal := nodeClass.FieldByName("val")
+	fCount := nodeClass.FieldByName("count")
+	fNext := nodeClass.FieldByName("next")
+
+	p := ir.NewProgram(u)
+
+	// ::intern(buckets, h, val) -> void — find val in chain h or prepend a
+	// new node. The chain walk is pattern-free pointer chasing.
+	intern := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "intern", value.KindInvalid,
+			value.KindRef, value.KindInt, value.KindInt)
+		buckets, h, val := b.Param(0), b.Param(1), b.Param(2)
+		head := b.ArrayLoad(value.KindRef, buckets, h)
+		cur := b.NewReg()
+		b.MoveTo(cur, head)
+		null := b.ConstNull()
+		loop := b.Here()
+		miss := b.NewLabel()
+		found := b.NewLabel()
+		next := b.NewLabel()
+		b.Br(value.KindRef, ir.CondEQ, cur, null, miss)
+		v := b.GetField(cur, fVal) // chain chase: no stride pattern
+		b.Br(value.KindInt, ir.CondEQ, v, val, found)
+		nx := b.GetField(cur, fNext)
+		b.MoveTo(cur, nx)
+		b.Goto(loop)
+		b.Bind(found)
+		c := b.GetField(cur, fCount)
+		one := b.ConstInt(1)
+		c2 := b.Arith(ir.OpAdd, value.KindInt, c, one)
+		b.PutField(cur, fCount, c2)
+		b.Goto(next)
+		b.Bind(miss)
+		n := b.New(nodeClass)
+		b.PutField(n, fVal, val)
+		one2 := b.ConstInt(1)
+		b.PutField(n, fCount, one2)
+		b.PutField(n, fNext, head)
+		b.ArrayStore(value.KindRef, buckets, h, n)
+		b.Bind(next)
+		b.ReturnVoid()
+		return b.Finish()
+	}()
+
+	// ::scanChains(buckets, nb) -> int — fold counts over all chains.
+	scanChains := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "scanChains", value.KindInt,
+			value.KindRef, value.KindInt)
+		buckets, nb := b.Param(0), b.Param(1)
+		acc := b.ConstInt(0)
+		null := b.ConstNull()
+		h, endH := forInt(b, 0, nb)
+		cur := b.NewReg()
+		b.ArrayLoadTo(cur, value.KindRef, buckets, h)
+		walk := b.Here()
+		done := b.NewLabel()
+		b.Br(value.KindRef, ir.CondEQ, cur, null, done)
+		v := b.GetField(cur, fVal)
+		c := b.GetField(cur, fCount)
+		vc := b.Arith(ir.OpMul, value.KindInt, v, c)
+		b.ArithTo(acc, ir.OpXor, value.KindInt, acc, vc)
+		nx := b.GetField(cur, fNext)
+		b.MoveTo(cur, nx)
+		b.Goto(walk)
+		b.Bind(done)
+		endH()
+		b.Return(acc)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		nb := b.ConstInt(nBuckets)
+		buckets := b.NewArray(value.KindRef, nb)
+		mask := nBuckets - 1
+
+		seed := b.ConstInt(777)
+		scratchLen := b.ConstInt(24)
+		n := b.ConstInt(nTokens)
+		i, endI := forInt(b, 0, n)
+		tok := emitLCGStep(b, seed, 0x3FFF)
+		h := b.Arith(ir.OpAnd, value.KindInt, tok, b.ConstInt(mask))
+		// Parser scratch: garbage that pressures the collector.
+		scratch := b.NewArray(value.KindInt, scratchLen)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, scratch, zero, tok)
+		b.Call(intern, buckets, h, tok)
+		endI()
+		_ = i
+
+		sum := b.Call(scanChains, buckets, nb)
+		b.Sink(sum)
+		b.Return(sum)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "jack",
+		Suite:            "SPECjvm98",
+		Description:      "Java parser generator",
+		PaperCompiledPct: 36.2,
+		HeapBytes:        3 << 20,
+		Build:            buildJack,
+	})
+}

@@ -1,0 +1,120 @@
+// The _213_javac analog: a compiler front end — AST construction and
+// recursive evaluation.
+//
+// javac's hot code walks trees *recursively*: its loads are out-of-loop
+// loads, which the paper's algorithm deliberately does not handle
+// ("handling out-of-loop loads in recursive methods ... remains as an open
+// problem", Sec. 6), so stride prefetching finds nothing applicable. The
+// analog builds expression trees recursively per compilation unit and
+// folds them recursively, discarding each tree afterwards (allocation
+// pressure lowers the compiled-code fraction toward Table 3's 51.9%).
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func javacParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 110, 11 // compilation units, tree depth
+	}
+	return 16, 9
+}
+
+func buildJavac(size Size) *ir.Program {
+	nUnits, depth := javacParams(size)
+
+	u := classfile.NewUniverse()
+	nodeClass := u.MustDefineClass("TreeNode", nil,
+		classfile.FieldSpec{Name: "op", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "left", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "right", Kind: value.KindRef},
+	)
+	fOp := nodeClass.FieldByName("op")
+	fLeft := nodeClass.FieldByName("left")
+	fRight := nodeClass.FieldByName("right")
+
+	p := ir.NewProgram(u)
+
+	// ::build(depth, seed) -> TreeNode — recursive descent "parsing".
+	var build *ir.Method
+	{
+		b := ir.NewBuilder(p, nil, "build", value.KindRef, value.KindInt, value.KindInt)
+		d, seed := b.Param(0), b.Param(1)
+		leaf := b.NewLabel()
+		zero := b.ConstInt(0)
+		b.Br(value.KindInt, ir.CondLE, d, zero, leaf)
+		n := b.New(nodeClass)
+		op := b.Arith(ir.OpAnd, value.KindInt, seed, b.ConstInt(3))
+		b.PutField(n, fOp, op)
+		one := b.ConstInt(1)
+		dm1 := b.Arith(ir.OpSub, value.KindInt, d, one)
+		s2 := b.Arith(ir.OpMul, value.KindInt, seed, b.ConstInt(1103515245))
+		s3 := b.Arith(ir.OpAdd, value.KindInt, s2, b.ConstInt(12345))
+		lRes := b.Call(b.Self(), dm1, s3)
+		b.PutField(n, fLeft, lRes)
+		s4 := b.Arith(ir.OpXor, value.KindInt, s3, d)
+		rRes := b.Call(b.Self(), dm1, s4)
+		b.PutField(n, fRight, rRes)
+		b.Return(n)
+		b.Bind(leaf)
+		nl := b.ConstNull()
+		b.Return(nl)
+		build = b.Finish()
+	}
+
+	// ::eval(node) -> int — recursive folding (out-of-loop loads).
+	var eval *ir.Method
+	{
+		b := ir.NewBuilder(p, nil, "eval", value.KindInt, value.KindRef)
+		n := b.Param(0)
+		null := b.ConstNull()
+		leaf := b.NewLabel()
+		b.Br(value.KindRef, ir.CondEQ, n, null, leaf)
+		op := b.GetField(n, fOp)
+		l := b.GetField(n, fLeft)
+		r := b.GetField(n, fRight)
+		lv := b.Call(b.Self(), l)
+		rv := b.Call(b.Self(), r)
+		s := b.Arith(ir.OpAdd, value.KindInt, lv, rv)
+		t := b.Arith(ir.OpXor, value.KindInt, s, op)
+		three := b.ConstInt(3)
+		t2 := b.Arith(ir.OpMul, value.KindInt, t, three)
+		b.Return(t2)
+		b.Bind(leaf)
+		one := b.ConstInt(1)
+		b.Return(one)
+		eval = b.Finish()
+	}
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		total := b.ConstInt(0)
+		nu := b.ConstInt(nUnits)
+		d := b.ConstInt(depth)
+		i, endI := forInt(b, 0, nu)
+		seed := b.Arith(ir.OpMul, value.KindInt, i, b.ConstInt(7919))
+		root := b.Call(build, d, seed)
+		v := b.Call(eval, root)
+		b.ArithTo(total, ir.OpXor, value.KindInt, total, v)
+		endI()
+		b.Sink(total)
+		b.Return(total)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "javac",
+		Suite:            "SPECjvm98",
+		Description:      "Java compiler from JDK 1.0.2",
+		PaperCompiledPct: 51.9,
+		HeapBytes:        6 << 20,
+		Build:            buildJavac,
+	})
+}

@@ -1,0 +1,302 @@
+// The _202_jess analog: the paper's motivating example (Sec. 2, Figure 1).
+//
+// A TokenVector holds Token objects; each Token's constructor allocates its
+// facts array and ValueVector facts immediately after the Token itself
+// (the co-allocation that produces intra-iteration strides). Tokens are
+// appended and then partially removed with removeElement's move-the-last-
+// element-into-the-hole trick, which destroys any inter-iteration stride
+// of the Token references themselves — only L4 (&tv.v[i]) retains an
+// inter-iteration stride, exactly as the paper reports for this benchmark.
+// findInMemory is the doubly nested query loop of Figure 1 with all eleven
+// loads of Table 1, including the array-bound-check arraylength loads.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// jessParams returns (tokens, facts per token, queries).
+//
+// The query count is deliberately low relative to the rule-base build:
+// the paper notes that findInMemory "is hot, but not dominant. The hottest
+// method ... uses only about 25% of the compiled code execution time"
+// (Sec. 4), which is why jess's overall speedup is small even though the
+// prefetching works.
+func jessParams(size Size) (int32, int32, int32) {
+	if size == SizeFull {
+		return 20000, 3, 2
+	}
+	return 1200, 3, 4
+}
+
+func buildJess(size Size) *ir.Program {
+	nTokens, nFacts, nQueries := jessParams(size)
+
+	u := classfile.NewUniverse()
+	vvClass := u.MustDefineClass("ValueVector", nil,
+		classfile.FieldSpec{Name: "v0", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "v1", Kind: value.KindInt},
+	)
+	tokClass := u.MustDefineClass("Token", nil,
+		classfile.FieldSpec{Name: "size", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "facts", Kind: value.KindRef},
+	)
+	tvClass := u.MustDefineClass("TokenVector", nil,
+		classfile.FieldSpec{Name: "v", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "ptr", Kind: value.KindInt},
+	)
+	fV0 := vvClass.FieldByName("v0")
+	fV1 := vvClass.FieldByName("v1")
+	fSize := tokClass.FieldByName("size")
+	fFacts := tokClass.FieldByName("facts")
+	fV := tvClass.FieldByName("v")
+	fPtr := tvClass.FieldByName("ptr")
+
+	p := ir.NewProgram(u)
+
+	// ValueVector::equals(this, other) -> int (0/1)
+	{
+		b := ir.NewBuilder(p, vvClass, "equals", value.KindInt, value.KindRef, value.KindRef)
+		this, other := b.Param(0), b.Param(1)
+		fail := b.NewLabel()
+		a0 := b.GetField(this, fV0)
+		b0 := b.GetField(other, fV0)
+		b.Br(value.KindInt, ir.CondNE, a0, b0, fail)
+		a1 := b.GetField(this, fV1)
+		b1 := b.GetField(other, fV1)
+		b.Br(value.KindInt, ir.CondNE, a1, b1, fail)
+		one := b.ConstInt(1)
+		b.Return(one)
+		b.Bind(fail)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		b.Finish()
+	}
+
+	// ::newToken(nfacts, tag) -> Token
+	// Token constructor pattern: Token, then facts array, then the
+	// ValueVector facts, all co-allocated.
+	newToken := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "newToken", value.KindRef, value.KindInt, value.KindInt)
+		nf, tag := b.Param(0), b.Param(1)
+		t := b.New(tokClass)
+		b.PutField(t, fSize, nf)
+		five := b.ConstInt(5)
+		arr := b.NewArray(value.KindRef, five)
+		b.PutField(t, fFacts, arr)
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		done := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		vv := b.New(vvClass)
+		b.PutField(vv, fV0, tag)
+		sum := b.AddInt(tag, i)
+		b.PutField(vv, fV1, sum)
+		b.ArrayStore(value.KindRef, arr, i, vv)
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, nf, body)
+		b.Goto(done)
+		b.Bind(done)
+		b.Return(t)
+		return b.Finish()
+	}()
+
+	// ::addElement(tv, tok)
+	addElement := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "addElement", value.KindInvalid, value.KindRef, value.KindRef)
+		tv, tok := b.Param(0), b.Param(1)
+		v := b.GetField(tv, fV)
+		ptr := b.GetField(tv, fPtr)
+		n := b.ArrayLen(v)
+		store := b.NewLabel()
+		b.Br(value.KindInt, ir.CondLT, ptr, n, store)
+		// grow: nv = new ref[2n]; copy; tv.v = nv
+		two := b.ConstInt(2)
+		nn := b.Arith(ir.OpMul, value.KindInt, n, two)
+		nv := b.NewArray(value.KindRef, nn)
+		i := b.ConstInt(0)
+		ccond := b.NewLabel()
+		cbody := b.NewLabel()
+		b.Goto(ccond)
+		b.Bind(cbody)
+		x := b.NewReg()
+		b.ArrayLoadTo(x, value.KindRef, v, i)
+		b.ArrayStore(value.KindRef, nv, i, x)
+		b.IncInt(i, 1)
+		b.Bind(ccond)
+		b.Br(value.KindInt, ir.CondLT, i, n, cbody)
+		b.PutField(tv, fV, nv)
+		b.MoveTo(v, nv)
+		b.Bind(store)
+		b.ArrayStore(value.KindRef, v, ptr, tok)
+		b.IncInt(ptr, 1)
+		b.PutField(tv, fPtr, ptr)
+		b.ReturnVoid()
+		return b.Finish()
+	}()
+
+	// ::removeAt(tv, idx) — removeElement's core: move the last element
+	// into the hole (paper Sec. 2).
+	removeAt := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "removeAt", value.KindInvalid, value.KindRef, value.KindInt)
+		tv, idx := b.Param(0), b.Param(1)
+		v := b.GetField(tv, fV)
+		ptr := b.GetField(tv, fPtr)
+		b.IncInt(ptr, -1)
+		last := b.ArrayLoad(value.KindRef, v, ptr)
+		b.ArrayStore(value.KindRef, v, idx, last)
+		null := b.ConstNull()
+		b.ArrayStore(value.KindRef, v, ptr, null)
+		b.PutField(tv, fPtr, ptr)
+		b.ReturnVoid()
+		return b.Finish()
+	}()
+
+	// ::findInMemory(tv, t) -> Token — Figure 1, with the eleven loads of
+	// Table 1 (including the bound-check arraylength loads L3, L7, L10).
+	findInMemory := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "findInMemory", value.KindRef, value.KindRef, value.KindRef)
+		tv, t := b.Param(0), b.Param(1)
+		i := b.ConstInt(0)
+		j := b.NewReg()
+		outerCond := b.NewLabel()
+		outerBody := b.NewLabel()
+		outerCont := b.NewLabel()
+		innerCond := b.NewLabel()
+		innerBody := b.NewLabel()
+		retNull := b.NewLabel()
+		b.Goto(outerCond)
+
+		b.Bind(outerBody)
+		v := b.GetField(tv, fV) // L2  &tv.v
+		vl := b.ArrayLen(v)     // L3  &tv.v.length (bound check)
+		b.Br(value.KindInt, ir.CondGE, i, vl, retNull)
+		tmp := b.ArrayLoad(value.KindRef, v, i) // L4  &tv.v[i]
+		b.SetInt(j, 0)
+		b.Goto(innerCond)
+
+		b.Bind(innerBody)
+		tf := b.GetField(t, fFacts) // L6  &t.facts
+		tfl := b.ArrayLen(tf)       // L7  &t.facts.length (bound check)
+		b.Br(value.KindInt, ir.CondGE, j, tfl, outerCont)
+		a := b.ArrayLoad(value.KindRef, tf, j) // L8  &t.facts[j]
+		mf := b.GetField(tmp, fFacts)          // L9  &tmp.facts
+		mfl := b.ArrayLen(mf)                  // L10 &tmp.facts.length (bound check)
+		b.Br(value.KindInt, ir.CondGE, j, mfl, outerCont)
+		bb := b.ArrayLoad(value.KindRef, mf, j) // L11 &tmp.facts[j]
+		eq := b.CallVirt("equals", true, a, bb)
+		zero := b.ConstInt(0)
+		b.Br(value.KindInt, ir.CondEQ, eq, zero, outerCont) // continue TokenLoop
+		b.IncInt(j, 1)
+
+		b.Bind(innerCond)
+		sz := b.GetField(t, fSize) // L5  &t.size
+		b.Br(value.KindInt, ir.CondLT, j, sz, innerBody)
+		b.Return(tmp) // all facts matched
+
+		b.Bind(outerCont)
+		b.IncInt(i, 1)
+		b.Bind(outerCond)
+		ptr := b.GetField(tv, fPtr) // L1  &tv.ptr
+		b.Br(value.KindInt, ir.CondLT, i, ptr, outerBody)
+		b.Bind(retNull)
+		null := b.ConstNull()
+		b.Return(null)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		tv := b.New(tvClass)
+		cap0 := b.ConstInt(16)
+		v0 := b.NewArray(value.KindRef, cap0)
+		b.PutField(tv, fV, v0)
+		zero := b.ConstInt(0)
+		b.PutField(tv, fPtr, zero)
+
+		nf := b.ConstInt(nFacts)
+		n := b.ConstInt(nTokens)
+
+		// Build phase: append nTokens tokens.
+		k := b.ConstInt(0)
+		bCond := b.NewLabel()
+		bBody := b.NewLabel()
+		b.Goto(bCond)
+		b.Bind(bBody)
+		tok := b.Call(newToken, nf, k)
+		b.Call(addElement, tv, tok)
+		b.IncInt(k, 1)
+		b.Bind(bCond)
+		b.Br(value.KindInt, ir.CondLT, k, n, bBody)
+
+		// Churn phase: remove every third element, shuffling order.
+		i := b.ConstInt(0)
+		three := b.ConstInt(3)
+		cCond := b.NewLabel()
+		cBody := b.NewLabel()
+		cSkip := b.NewLabel()
+		cDone := b.NewLabel()
+		b.Goto(cCond)
+		b.Bind(cBody)
+		rem := b.Arith(ir.OpRem, value.KindInt, i, three)
+		b.BrIntZero(ir.CondNE, rem, cSkip)
+		b.Call(removeAt, tv, i)
+		b.Bind(cSkip)
+		b.IncInt(i, 1)
+		b.Bind(cCond)
+		ptr := b.GetField(tv, fPtr)
+		b.Br(value.KindInt, ir.CondLT, i, ptr, cBody)
+		b.Goto(cDone)
+		b.Bind(cDone)
+
+		// Query phase: Q lookups by content.
+		found := b.ConstInt(0)
+		q := b.ConstInt(0)
+		nq := b.ConstInt(nQueries)
+		step := b.ConstInt(2377)
+		qCond := b.NewLabel()
+		qBody := b.NewLabel()
+		qMiss := b.NewLabel()
+		qNext := b.NewLabel()
+		b.Goto(qCond)
+		b.Bind(qBody)
+		tag0 := b.Arith(ir.OpMul, value.KindInt, q, step)
+		tag := b.Arith(ir.OpRem, value.KindInt, tag0, n)
+		t := b.Call(newToken, nf, tag)
+		r := b.Call(findInMemory, tv, t)
+		nullR := b.ConstNull()
+		b.Br(value.KindRef, ir.CondEQ, r, nullR, qMiss)
+		sz := b.GetField(r, fSize)
+		b.ArithTo(found, ir.OpAdd, value.KindInt, found, sz)
+		b.Goto(qNext)
+		b.Bind(qMiss)
+		b.IncInt(found, -1)
+		b.Bind(qNext)
+		b.Sink(found)
+		b.IncInt(q, 1)
+		b.Bind(qCond)
+		b.Br(value.KindInt, ir.CondLT, q, nq, qBody)
+
+		fp := b.GetField(tv, fPtr)
+		b.Sink(fp)
+		b.Return(found)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "jess",
+		Suite:            "SPECjvm98",
+		Description:      "Java expert shell system",
+		PaperCompiledPct: 70.3,
+		Build:            buildJess,
+	})
+}

@@ -1,0 +1,134 @@
+// The JavaGrande MolDyn analog: molecular dynamics over a one-dimensional
+// array of molecule objects.
+//
+// The paper's key observation (Sec. 4): "the main data structure of MolDyn
+// is a one-dimensional array of molecule objects that fits in the L2 cache
+// given the problem size in this experiment", so prefetching into the L2
+// (the Pentium 4's prefetch target) buys nothing, while on the Athlon MP —
+// where software prefetch fills the L1 — "both algorithms achieved small
+// speedups, since the molecule objects are prefetched into the L1 cache."
+// The molecule array is sized between the two machines' L1 and L2
+// capacities to reproduce exactly that asymmetry.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func moldynParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 1100, 2 // molecules (1100 * 80 B = 88 KB: > 64 KB L1, < 256 KB L2), timesteps
+	}
+	return 300, 1
+}
+
+func buildMoldyn(size Size) *ir.Program {
+	nMol, nSteps := moldynParams(size)
+
+	u := classfile.NewUniverse()
+	molClass := u.MustDefineClass("Molecule", nil,
+		classfile.FieldSpec{Name: "x", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "y", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "z", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fx", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fy", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "fz", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "m", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "q", Kind: value.KindDouble},
+	) // 80-byte molecules
+	fX := molClass.FieldByName("x")
+	fY := molClass.FieldByName("y")
+	fZ := molClass.FieldByName("z")
+	fFX := molClass.FieldByName("fx")
+
+	p := ir.NewProgram(u)
+
+	// ::forces(mols, n, i) -> double — the pairwise force inner loop for
+	// particle i against all j > i. Molecule objects are consecutive in
+	// allocation order, so the field loads stride by 80 bytes.
+	forces := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "forces", value.KindDouble,
+			value.KindRef, value.KindInt, value.KindInt)
+		mols, n, iIdx := b.Param(0), b.Param(1), b.Param(2)
+		mi := b.ArrayLoad(value.KindRef, mols, iIdx)
+		xi := b.GetField(mi, fX)
+		yi := b.GetField(mi, fY)
+		zi := b.GetField(mi, fZ)
+		acc := b.ConstDouble(0)
+		one := b.ConstDouble(1)
+
+		j := b.Arith(ir.OpAdd, value.KindInt, iIdx, b.ConstInt(1))
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		mj := b.ArrayLoad(value.KindRef, mols, j)
+		xj := b.GetField(mj, fX) // inter stride 80: prefetched
+		yj := b.GetField(mj, fY)
+		zj := b.GetField(mj, fZ)
+		dx := b.Arith(ir.OpSub, value.KindDouble, xi, xj)
+		dy := b.Arith(ir.OpSub, value.KindDouble, yi, yj)
+		dz := b.Arith(ir.OpSub, value.KindDouble, zi, zj)
+		dx2 := b.Arith(ir.OpMul, value.KindDouble, dx, dx)
+		dy2 := b.Arith(ir.OpMul, value.KindDouble, dy, dy)
+		dz2 := b.Arith(ir.OpMul, value.KindDouble, dz, dz)
+		r0 := b.Arith(ir.OpAdd, value.KindDouble, dx2, dy2)
+		r1 := b.Arith(ir.OpAdd, value.KindDouble, r0, dz2)
+		r2 := b.Arith(ir.OpAdd, value.KindDouble, r1, one)
+		f := b.Arith(ir.OpDiv, value.KindDouble, one, r2)
+		b.ArithTo(acc, ir.OpAdd, value.KindDouble, acc, f)
+		b.IncInt(j, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, j, n, body)
+		b.PutField(mi, fFX, acc)
+		b.Return(acc)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(nMol)
+		mols := b.NewArray(value.KindRef, n)
+
+		scale := b.ConstDouble(0.001)
+		i, endBuild := forInt(b, 0, n)
+		m := b.New(molClass)
+		fi := b.Conv(value.KindDouble, i)
+		x := b.Arith(ir.OpMul, value.KindDouble, fi, scale)
+		b.PutField(m, fX, x)
+		y := b.Arith(ir.OpMul, value.KindDouble, x, x)
+		b.PutField(m, fY, y)
+		z := b.Arith(ir.OpAdd, value.KindDouble, x, y)
+		b.PutField(m, fZ, z)
+		b.ArrayStore(value.KindRef, mols, i, m)
+		endBuild()
+
+		total := b.ConstDouble(0)
+		ns := b.ConstInt(nSteps)
+		s, endS := forInt(b, 0, ns)
+		_ = s
+		ii, endII := forInt(b, 0, n)
+		f := b.Call(forces, mols, n, ii)
+		b.ArithTo(total, ir.OpAdd, value.KindDouble, total, f)
+		endII()
+		endS()
+		b.Sink(total)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "moldyn",
+		Suite:            "JavaGrande",
+		Description:      "Molecular dynamics simulation",
+		PaperCompiledPct: 85.4,
+		Build:            buildMoldyn,
+	})
+}

@@ -1,0 +1,97 @@
+// The JavaGrande MonteCarlo analog: repeated stochastic walks, each
+// allocating a fresh result object and sample path.
+//
+// MonteCarlo runs only 48% of its time in compiled code (Table 3) — the
+// rest is allocation and collection. Its sample paths are walked with an
+// 8-byte stride (below half a cache line on every configuration), so the
+// profitability analysis rejects prefetching and the benchmark is
+// unchanged under both algorithms.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func montecarloParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 18000, 64 // samples, path length
+	}
+	return 1600, 64
+}
+
+func buildMontecarlo(size Size) *ir.Program {
+	nSamples, pathLen := montecarloParams(size)
+
+	u := classfile.NewUniverse()
+	resClass := u.MustDefineClass("Result", nil,
+		classfile.FieldSpec{Name: "sum", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "path", Kind: value.KindRef},
+	)
+	fSum := resClass.FieldByName("sum")
+	fPath := resClass.FieldByName("path")
+
+	p := ir.NewProgram(u)
+
+	// ::walk(seed) -> Result — one stochastic path: allocate, fill, fold.
+	walk := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "walk", value.KindRef, value.KindInt)
+		seed := b.NewReg()
+		b.MoveTo(seed, b.Param(0))
+		r := b.New(resClass)
+		pl := b.ConstInt(pathLen)
+		path := b.NewArray(value.KindDouble, pl)
+		b.PutField(r, fPath, path)
+		scale := b.ConstDouble(1.0 / 32768.0)
+		level := b.ConstDouble(0)
+
+		i, endFill := forInt(b, 0, pl)
+		rv := emitLCGStep(b, seed, 0x7FFF)
+		fv := b.Conv(value.KindDouble, rv)
+		d := b.Arith(ir.OpMul, value.KindDouble, fv, scale)
+		b.ArithTo(level, ir.OpAdd, value.KindDouble, level, d)
+		b.ArrayStore(value.KindDouble, path, i, level)
+		endFill()
+
+		// Fold the path (8-byte stride: rejected by profitability).
+		acc := b.ConstDouble(0)
+		j, endFold := forInt(b, 0, pl)
+		x := b.ArrayLoad(value.KindDouble, path, j)
+		b.ArithTo(acc, ir.OpAdd, value.KindDouble, acc, x)
+		endFold()
+		_ = j
+		b.PutField(r, fSum, acc)
+		b.Return(r)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		total := b.ConstDouble(0)
+		ns := b.ConstInt(nSamples)
+		s, endS := forInt(b, 0, ns)
+		seed0 := b.Arith(ir.OpMul, value.KindInt, s, b.ConstInt(1640531527))
+		r := b.Call(walk, seed0)
+		v := b.GetField(r, fSum)
+		b.ArithTo(total, ir.OpAdd, value.KindDouble, total, v)
+		endS()
+		b.Sink(total)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "montecarlo",
+		Suite:            "JavaGrande",
+		Description:      "Monte Carlo simulation",
+		PaperCompiledPct: 48.0,
+		HeapBytes:        3 << 20,
+		Build:            buildMontecarlo,
+	})
+}

@@ -1,0 +1,130 @@
+// The _227_mtrt analog: ray tracing against a large scene of sphere
+// objects with inlined coordinate fields.
+//
+// The spheres are allocated consecutively and scanned in order per ray, so
+// their field loads carry an inter-iteration stride of the object size
+// (72 bytes — above half a line on both machines). Plain inter-iteration
+// prefetching therefore applies; the paper reports a modest L2-MPI
+// reduction and small speedups for mtrt.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func mtrtParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 5200, 60 // spheres, rays
+	}
+	return 900, 12
+}
+
+func buildMtrt(size Size) *ir.Program {
+	nSpheres, nRays := mtrtParams(size)
+
+	u := classfile.NewUniverse()
+	// 7 doubles -> 16 + 56 = 72-byte spheres.
+	sphClass := u.MustDefineClass("Sphere", nil,
+		classfile.FieldSpec{Name: "cx", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "cy", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "cz", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "r2", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "kd", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "ks", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "em", Kind: value.KindDouble},
+	)
+	fCX := sphClass.FieldByName("cx")
+	fCY := sphClass.FieldByName("cy")
+	fCZ := sphClass.FieldByName("cz")
+	fR2 := sphClass.FieldByName("r2")
+	fKD := sphClass.FieldByName("kd")
+
+	p := ir.NewProgram(u)
+
+	// ::trace(scene, n, ox, oy, oz) -> double — find the best
+	// ray-sphere intersection score scanning the whole scene.
+	trace := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "trace", value.KindDouble,
+			value.KindRef, value.KindInt,
+			value.KindDouble, value.KindDouble, value.KindDouble)
+		scene, n := b.Param(0), b.Param(1)
+		ox, oy, oz := b.Param(2), b.Param(3), b.Param(4)
+		best := b.ConstDouble(0)
+		one := b.ConstDouble(1)
+
+		s, endS := forInt(b, 0, n)
+		sp := b.ArrayLoad(value.KindRef, scene, s)
+		cx := b.GetField(sp, fCX) // inter stride 72: prefetched
+		cy := b.GetField(sp, fCY)
+		cz := b.GetField(sp, fCZ)
+		r2 := b.GetField(sp, fR2)
+		kd := b.GetField(sp, fKD)
+		dx := b.Arith(ir.OpSub, value.KindDouble, cx, ox)
+		dy := b.Arith(ir.OpSub, value.KindDouble, cy, oy)
+		dz := b.Arith(ir.OpSub, value.KindDouble, cz, oz)
+		dx2 := b.Arith(ir.OpMul, value.KindDouble, dx, dx)
+		dy2 := b.Arith(ir.OpMul, value.KindDouble, dy, dy)
+		dz2 := b.Arith(ir.OpMul, value.KindDouble, dz, dz)
+		t0 := b.Arith(ir.OpAdd, value.KindDouble, dx2, dy2)
+		d2 := b.Arith(ir.OpAdd, value.KindDouble, t0, dz2)
+		miss := b.NewLabel()
+		b.Br(value.KindDouble, ir.CondGT, d2, r2, miss)
+		den := b.Arith(ir.OpAdd, value.KindDouble, d2, one)
+		sc := b.Arith(ir.OpDiv, value.KindDouble, kd, den)
+		b.ArithTo(best, ir.OpAdd, value.KindDouble, best, sc)
+		b.Bind(miss)
+		endS()
+		b.Return(best)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(nSpheres)
+		scene := b.NewArray(value.KindRef, n)
+
+		scale := b.ConstDouble(0.01)
+		big := b.ConstDouble(400)
+		i, endBuild := forInt(b, 0, n)
+		sp := b.New(sphClass)
+		fi := b.Conv(value.KindDouble, i)
+		x := b.Arith(ir.OpMul, value.KindDouble, fi, scale)
+		b.PutField(sp, fCX, x)
+		y := b.Arith(ir.OpSub, value.KindDouble, big, x)
+		b.PutField(sp, fCY, y)
+		b.PutField(sp, fCZ, fi)
+		r2 := b.ConstDouble(2500)
+		b.PutField(sp, fR2, r2)
+		kd := b.Arith(ir.OpAdd, value.KindDouble, x, scale)
+		b.PutField(sp, fKD, kd)
+		b.ArrayStore(value.KindRef, scene, i, sp)
+		endBuild()
+
+		total := b.ConstDouble(0)
+		nr := b.ConstInt(nRays)
+		q, endQ := forInt(b, 0, nr)
+		fq := b.Conv(value.KindDouble, q)
+		oy := b.Arith(ir.OpMul, value.KindDouble, fq, scale)
+		r := b.Call(trace, scene, n, fq, oy, scale)
+		b.ArithTo(total, ir.OpAdd, value.KindDouble, total, r)
+		endQ()
+		b.Sink(total)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "mtrt",
+		Suite:            "SPECjvm98",
+		Description:      "Two threaded ray tracing",
+		PaperCompiledPct: 75.1,
+		Build:            buildMtrt,
+	})
+}

@@ -1,0 +1,212 @@
+// The JavaGrande RayTracer analog: a 3-D ray tracer whose spheres hold
+// *references* to co-allocated vector objects — the intra-iteration
+// opportunity mtrt (inlined fields) does not have.
+//
+// The scene array is shuffled after construction (spatial sorting in the
+// real tracer), so sphere field loads have no inter-iteration stride; only
+// the scene aaload does. INTER therefore finds nothing effective, while
+// INTER+INTRA performs dereference-based prefetching through the scene
+// array plus intra-iteration prefetches of each sphere's co-allocated
+// center and colour vectors. The paper observes an asymmetric outcome —
+// improvement on the Pentium 4, slight degradation on the Athlon MP
+// (Sec. 4, "an anomaly").
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func raytracerParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 4200, 55 // spheres, rays
+	}
+	return 800, 10
+}
+
+func buildRaytracer(size Size) *ir.Program {
+	nSpheres, nRays := raytracerParams(size)
+
+	u := classfile.NewUniverse()
+	vecClass := u.MustDefineClass("Vec3", nil,
+		classfile.FieldSpec{Name: "x", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "y", Kind: value.KindDouble},
+		classfile.FieldSpec{Name: "z", Kind: value.KindDouble},
+	) // 40 bytes
+	sphClass := u.MustDefineClass("Sphere", nil,
+		classfile.FieldSpec{Name: "center", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "color", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "r2", Kind: value.KindDouble},
+	) // 32 bytes; cluster = 32 + 40 + 40 = 112 bytes
+	fX := vecClass.FieldByName("x")
+	fY := vecClass.FieldByName("y")
+	fZ := vecClass.FieldByName("z")
+	fCenter := sphClass.FieldByName("center")
+	fColor := sphClass.FieldByName("color")
+	fR2 := sphClass.FieldByName("r2")
+
+	p := ir.NewProgram(u)
+
+	// ::bounce(table, idx, depth) -> double — the recursive method invoked
+	// from the target loop. The paper attributes RayTracer's asymmetric
+	// result to exactly this shape: "One of the target loops of RayTracer
+	// contains an invocation of a recursive method" (Sec. 4). The
+	// recursion has its own working set (the radiance table), which
+	// competes with the prefetched scene data in the L1.
+	var bounce *ir.Method
+	{
+		const tblMask = 4095 // 4096 doubles = 32 KB
+		b := ir.NewBuilder(p, nil, "bounce", value.KindDouble,
+			value.KindRef, value.KindInt, value.KindInt)
+		table, idx, depth := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstInt(tblMask)
+		i := b.Arith(ir.OpAnd, value.KindInt, idx, mask)
+		x := b.ArrayLoad(value.KindDouble, table, i)
+		leaf := b.NewLabel()
+		zero := b.ConstInt(0)
+		b.Br(value.KindInt, ir.CondLE, depth, zero, leaf)
+		m := b.ConstInt(31)
+		i2a := b.Arith(ir.OpMul, value.KindInt, idx, m)
+		seven := b.ConstInt(7)
+		i2 := b.Arith(ir.OpAdd, value.KindInt, i2a, seven)
+		one := b.ConstInt(1)
+		d2 := b.Arith(ir.OpSub, value.KindInt, depth, one)
+		sub := b.Call(b.Self(), table, i2, d2)
+		half := b.ConstDouble(0.5)
+		att := b.Arith(ir.OpMul, value.KindDouble, sub, half)
+		r := b.Arith(ir.OpAdd, value.KindDouble, x, att)
+		b.Return(r)
+		b.Bind(leaf)
+		b.Return(x)
+		bounce = b.Finish()
+	}
+
+	// ::newSphere(i) -> Sphere — co-allocates Sphere, center, colour.
+	newSphere := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "newSphere", value.KindRef, value.KindInt)
+		i := b.Param(0)
+		s := b.New(sphClass)
+		c := b.New(vecClass)
+		b.PutField(s, fCenter, c)
+		col := b.New(vecClass)
+		b.PutField(s, fColor, col)
+		fi := b.Conv(value.KindDouble, i)
+		scale := b.ConstDouble(0.05)
+		x := b.Arith(ir.OpMul, value.KindDouble, fi, scale)
+		b.PutField(c, fX, x)
+		y := b.Arith(ir.OpMul, value.KindDouble, x, scale)
+		b.PutField(c, fY, y)
+		b.PutField(c, fZ, fi)
+		one := b.ConstDouble(1)
+		cr := b.Arith(ir.OpDiv, value.KindDouble, one, b.Arith(ir.OpAdd, value.KindDouble, fi, one))
+		b.PutField(col, fX, cr)
+		b.PutField(col, fY, cr)
+		b.PutField(col, fZ, cr)
+		r2 := b.ConstDouble(4000)
+		b.PutField(s, fR2, r2)
+		b.Return(s)
+		return b.Finish()
+	}()
+
+	// ::shade(scene, n, table, ox, oy) -> double — scan the scene,
+	// accumulate shading for hits through the co-allocated center/colour
+	// vectors, with a recursive bounce per hit.
+	shade := func() *ir.Method {
+		b := ir.NewBuilder(p, nil, "shade", value.KindDouble,
+			value.KindRef, value.KindInt, value.KindRef,
+			value.KindDouble, value.KindDouble)
+		scene, n, table := b.Param(0), b.Param(1), b.Param(2)
+		ox, oy := b.Param(3), b.Param(4)
+		acc := b.ConstDouble(0)
+		one := b.ConstDouble(1)
+
+		s, endS := forInt(b, 0, n)
+		sp := b.ArrayLoad(value.KindRef, scene, s) // Lx: inter stride 4
+		c := b.GetField(sp, fCenter)               // Ly: no inter (shuffled scene)
+		cx := b.GetField(c, fX)                    // Lz: intra +? within cluster
+		cy := b.GetField(c, fY)
+		dx := b.Arith(ir.OpSub, value.KindDouble, cx, ox)
+		dy := b.Arith(ir.OpSub, value.KindDouble, cy, oy)
+		dx2 := b.Arith(ir.OpMul, value.KindDouble, dx, dx)
+		dy2 := b.Arith(ir.OpMul, value.KindDouble, dy, dy)
+		d2 := b.Arith(ir.OpAdd, value.KindDouble, dx2, dy2)
+		r2 := b.GetField(sp, fR2)
+		miss := b.NewLabel()
+		b.Br(value.KindDouble, ir.CondGT, d2, r2, miss)
+		col := b.GetField(sp, fColor) // intra with Ly (colour vec co-allocated)
+		cr := b.GetField(col, fX)
+		cg := b.GetField(col, fY)
+		den := b.Arith(ir.OpAdd, value.KindDouble, d2, one)
+		lum := b.Arith(ir.OpAdd, value.KindDouble, cr, cg)
+		sc := b.Arith(ir.OpDiv, value.KindDouble, lum, den)
+		depth := b.ConstInt(8)
+		seed := b.Arith(ir.OpMul, value.KindInt, s, b.ConstInt(2654435))
+		ind := b.Call(bounce, table, seed, depth)
+		lit := b.Arith(ir.OpMul, value.KindDouble, sc, ind)
+		b.ArithTo(acc, ir.OpAdd, value.KindDouble, acc, lit)
+		b.Bind(miss)
+		endS()
+		b.Return(acc)
+		return b.Finish()
+	}()
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(nSpheres)
+		scene := b.NewArray(value.KindRef, n)
+
+		i, endBuild := forInt(b, 0, n)
+		sp := b.Call(newSphere, i)
+		b.ArrayStore(value.KindRef, scene, i, sp)
+		endBuild()
+
+		// Spatial shuffle: the tracer orders objects by bounding volume,
+		// not allocation order.
+		seed := b.ConstInt(424242)
+		j, endShuffle := forInt(b, 0, n)
+		r1 := emitLCGStep(b, seed, 0x7FFFFFF)
+		k := b.Arith(ir.OpRem, value.KindInt, r1, n)
+		a0 := b.ArrayLoad(value.KindRef, scene, j)
+		a1 := b.ArrayLoad(value.KindRef, scene, k)
+		b.ArrayStore(value.KindRef, scene, j, a1)
+		b.ArrayStore(value.KindRef, scene, k, a0)
+		endShuffle()
+
+		// Radiance table for the recursive bounces.
+		tlen := b.ConstInt(4096)
+		table := b.NewArray(value.KindDouble, tlen)
+		dot1 := b.ConstDouble(0.001)
+		ti, endTI := forInt(b, 0, tlen)
+		fti := b.Conv(value.KindDouble, ti)
+		tv := b.Arith(ir.OpMul, value.KindDouble, fti, dot1)
+		b.ArrayStore(value.KindDouble, table, ti, tv)
+		endTI()
+
+		total := b.ConstDouble(0)
+		nr := b.ConstInt(nRays)
+		q, endQ := forInt(b, 0, nr)
+		fq := b.Conv(value.KindDouble, q)
+		half := b.ConstDouble(0.5)
+		oy := b.Arith(ir.OpMul, value.KindDouble, fq, half)
+		v := b.Call(shade, scene, n, table, fq, oy)
+		b.ArithTo(total, ir.OpAdd, value.KindDouble, total, v)
+		endQ()
+		b.Sink(total)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "raytracer",
+		Suite:            "JavaGrande",
+		Description:      "3D ray tracer",
+		PaperCompiledPct: 79.8,
+		Build:            buildRaytracer,
+	})
+}

@@ -1,0 +1,150 @@
+// The JavaGrande Search analog: alpha-beta pruned game-tree search over a
+// small board with a transposition table.
+//
+// Like compress and javac, Search "does not contain code fragments where
+// either intra- or inter-iteration stride prefetching are applicable"
+// (Sec. 4): its state is a small board (cache resident), its recursion
+// keeps loads out of loops, and its transposition-table probes are at
+// hash-distributed (pattern-free) addresses.
+package workloads
+
+import (
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+func searchParams(size Size) (int32, int32) {
+	if size == SizeFull {
+		return 9, 1 << 15 // search depth, transposition table entries
+	}
+	return 7, 1 << 12
+}
+
+func buildSearch(size Size) *ir.Program {
+	depth, ttSize := searchParams(size)
+	const cols = 7
+
+	u := classfile.NewUniverse()
+	gameClass := u.MustDefineClass("Game", nil,
+		classfile.FieldSpec{Name: "heights", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "tt", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "nodes", Kind: value.KindInt, Static: true},
+	)
+	fHeights := gameClass.FieldByName("heights")
+	fTT := gameClass.FieldByName("tt")
+	fNodes := gameClass.FieldByName("nodes")
+
+	p := ir.NewProgram(u)
+
+	// ::negamax(g, depth, hash, alpha) -> int
+	var negamax *ir.Method
+	{
+		b := ir.NewBuilder(p, nil, "negamax", value.KindInt,
+			value.KindRef, value.KindInt, value.KindInt, value.KindInt)
+		g, d, hash, alpha := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+		nodes := b.GetStatic(fNodes)
+		one := b.ConstInt(1)
+		n2 := b.Arith(ir.OpAdd, value.KindInt, nodes, one)
+		b.PutStatic(fNodes, n2)
+
+		leaf := b.NewLabel()
+		zero := b.ConstInt(0)
+		b.Br(value.KindInt, ir.CondLE, d, zero, leaf)
+
+		// Transposition-table probe at a hash-distributed address.
+		tt := b.GetField(g, fTT)
+		mask := b.ConstInt(ttSize - 1)
+		idx := b.Arith(ir.OpAnd, value.KindInt, hash, mask)
+		hit := b.ArrayLoad(value.KindInt, tt, idx) // pattern-free
+		useHit := b.NewLabel()
+		b.Br(value.KindInt, ir.CondEQ, hit, hash, useHit)
+
+		heights := b.GetField(g, fHeights)
+		best := b.NewReg()
+		b.SetInt(best, -30000)
+		// Pruned width: deep plies explore two candidate moves, shallow
+		// plies four (the effect of alpha-beta move ordering).
+		width := b.NewReg()
+		b.SetInt(width, 4)
+		fourW := b.NewLabel()
+		b.Br(value.KindInt, ir.CondLE, d, b.ConstInt(4), fourW)
+		b.SetInt(width, 2)
+		b.Bind(fourW)
+		c, endC := forInt(b, 0, width)
+		h := b.ArrayLoad(value.KindInt, heights, c) // small board: cache hot
+		full := b.NewLabel()
+		six := b.ConstInt(6)
+		b.Br(value.KindInt, ir.CondGE, h, six, full)
+		// make move
+		h1 := b.Arith(ir.OpAdd, value.KindInt, h, one)
+		b.ArrayStore(value.KindInt, heights, c, h1)
+		dm1 := b.Arith(ir.OpSub, value.KindInt, d, one)
+		m1 := b.ConstInt(31)
+		hh0 := b.Arith(ir.OpMul, value.KindInt, hash, m1)
+		cc := b.Arith(ir.OpAdd, value.KindInt, c, h1)
+		hh := b.Arith(ir.OpXor, value.KindInt, hh0, cc)
+		na := b.Neg(value.KindInt, alpha)
+		sub := b.Call(b.Self(), g, dm1, hh, na)
+		score := b.Neg(value.KindInt, sub)
+		// unmake move
+		b.ArrayStore(value.KindInt, heights, c, h)
+		keep := b.NewLabel()
+		b.Br(value.KindInt, ir.CondLE, score, best, keep)
+		b.MoveTo(best, score)
+		b.Bind(keep)
+		b.Bind(full)
+		endC()
+		b.ArrayStore(value.KindInt, tt, idx, hash)
+		b.Return(best)
+
+		b.Bind(useHit)
+		m2 := b.ConstInt(255)
+		ev0 := b.Arith(ir.OpAnd, value.KindInt, hash, m2)
+		b.Return(ev0)
+
+		b.Bind(leaf)
+		m3 := b.ConstInt(127)
+		ev := b.Arith(ir.OpAnd, value.KindInt, hash, m3)
+		b.Return(ev)
+		negamax = b.Finish()
+	}
+
+	// ::main() -> int
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		g := b.New(gameClass)
+		nc := b.ConstInt(cols)
+		heights := b.NewArray(value.KindInt, nc)
+		b.PutField(g, fHeights, heights)
+		ts := b.ConstInt(ttSize)
+		tt := b.NewArray(value.KindInt, ts)
+		b.PutField(g, fTT, tt)
+
+		total := b.ConstInt(0)
+		d := b.ConstInt(depth)
+		four := b.ConstInt(4)
+		i, endI := forInt(b, 0, four)
+		h0 := b.Arith(ir.OpMul, value.KindInt, i, b.ConstInt(7907))
+		alpha := b.ConstInt(-29000)
+		v := b.Call(negamax, g, d, h0, alpha)
+		b.ArithTo(total, ir.OpXor, value.KindInt, total, v)
+		endI()
+		nodes := b.GetStatic(fNodes)
+		b.Sink(nodes)
+		b.Sink(total)
+		b.Return(total)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Name:             "search",
+		Suite:            "JavaGrande",
+		Description:      "Alpha-beta pruned search",
+		PaperCompiledPct: 73.4,
+		Build:            buildSearch,
+	})
+}

@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// emitLCGStep emits a linear-congruential step on the int register seed
+// (seed = seed*1103515245 + 12345) and returns a fresh register holding
+// (seed >>> 16) & mask — the deterministic pseudo-random source every
+// workload uses.
+func emitLCGStep(b *ir.Builder, seed ir.Reg, mask int32) ir.Reg {
+	m := b.ConstInt(1103515245)
+	c := b.ConstInt(12345)
+	t := b.Arith(ir.OpMul, value.KindInt, seed, m)
+	b.ArithTo(seed, ir.OpAdd, value.KindInt, t, c)
+	sh := b.ConstInt(16)
+	u := b.Arith(ir.OpUshr, value.KindInt, seed, sh)
+	mk := b.ConstInt(mask)
+	return b.Arith(ir.OpAnd, value.KindInt, u, mk)
+}
+
+// forInt opens a canonical counted loop `for i = start; i < limit; i += 1`
+// and returns the loop variable plus a closer. Usage:
+//
+//	i, end := forInt(b, 0, limitReg)
+//	... body using i ...
+//	end()
+func forInt(b *ir.Builder, start int32, limit ir.Reg) (ir.Reg, func()) {
+	i := b.ConstInt(start)
+	cond := b.NewLabel()
+	body := b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	return i, func() {
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, limit, body)
+	}
+}

@@ -1,0 +1,93 @@
+// Package workloads defines the benchmark programs of the evaluation:
+// IR analogs of the SPECjvm98 suite and Section 3 of the JavaGrande v2.0
+// suite (Table 3 of the paper). Each analog reproduces the memory-access
+// structure Sec. 4 attributes the corresponding benchmark's behaviour to —
+// see the per-file comments — at a scaled-down size that exceeds the
+// simulated caches where the paper's analysis requires it.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"strider/internal/ir"
+)
+
+// Size selects the problem scale.
+type Size int
+
+// The problem scales.
+const (
+	// SizeSmall keeps unit/integration tests fast.
+	SizeSmall Size = iota
+	// SizeFull is the evaluation scale used by the benchmark harness.
+	SizeFull
+)
+
+// String returns "small" or "full".
+func (s Size) String() string {
+	if s == SizeFull {
+		return "full"
+	}
+	return "small"
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Suite       string // "SPECjvm98" or "JavaGrande"
+	Description string // Table 3 description
+
+	// PaperCompiledPct is Table 3's "Compiled code (%)" column.
+	PaperCompiledPct float64
+
+	// HeapBytes, when non-zero, is the simulated heap size the workload
+	// wants (allocation-heavy analogs use a small heap so the collector
+	// runs, reproducing their lower compiled-code fractions).
+	HeapBytes uint32
+
+	// Build constructs a fresh program (universe + methods) at the given
+	// size. Programs are single-entry and take no arguments.
+	Build func(size Size) *ir.Program
+}
+
+var registry []*Workload
+var byName = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	registerExtra(w)
+	registry = append(registry, w)
+	return w
+}
+
+// registerExtra makes a workload addressable by name without adding it to
+// the Table 3 suite (used by ablation-only workloads).
+func registerExtra(w *Workload) *Workload {
+	if _, dup := byName[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	byName[w.Name] = w
+	return w
+}
+
+// All returns the workloads in Table 3 order.
+func All() []*Workload { return registry }
+
+// Names returns all workload names in Table 3 order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, w := range registry {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// ByName returns a workload, or an error listing valid names.
+func ByName(name string) (*Workload, error) {
+	if w, ok := byName[name]; ok {
+		return w, nil
+	}
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %v)", name, names)
+}

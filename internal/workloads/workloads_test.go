@@ -1,0 +1,225 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+func runSmall(t *testing.T, name string, machine *arch.Machine, mode jit.Mode) vm.RunStats {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := w.Build(workloads.SizeSmall)
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	v := vm.New(prog, vm.Config{Machine: machine, Mode: mode, HeapBytes: w.HeapBytes})
+	stats, err := v.Measure(nil, 1)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: %v", name, machine.Name, mode, err)
+	}
+	return stats
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := workloads.Names()
+	if len(names) != 12 {
+		t.Fatalf("Table 3 has 12 benchmarks, registry has %d: %v", len(names), names)
+	}
+	for _, want := range []string{"mtrt", "jess", "compress", "db", "mpegaudio",
+		"jack", "javac", "euler", "moldyn", "montecarlo", "raytracer", "search"} {
+		if _, err := workloads.ByName(want); err != nil {
+			t.Errorf("missing workload %q", want)
+		}
+	}
+	if _, err := workloads.ByName("doom"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	for _, w := range workloads.All() {
+		if w.Description == "" || w.Suite == "" || w.PaperCompiledPct == 0 {
+			t.Errorf("%s: incomplete Table 3 metadata", w.Name)
+		}
+	}
+}
+
+// TestSemanticsPreservedEverywhere is the central safety property: stride
+// prefetching must never change program results — on either machine, under
+// either algorithm.
+func TestSemanticsPreservedEverywhere(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var chk uint64
+			first := true
+			for _, machine := range arch.Machines() {
+				for _, mode := range []jit.Mode{jit.Baseline, jit.Inter, jit.InterIntra} {
+					s := runSmall(t, w.Name, machine, mode)
+					if s.Checksum == 0 {
+						t.Fatalf("%s sinks nothing", w.Name)
+					}
+					if first {
+						chk = s.Checksum
+						first = false
+					} else if s.Checksum != chk {
+						t.Errorf("%s/%s: checksum %x != %x", machine.Name, mode, s.Checksum, chk)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, w := range workloads.All() {
+		a := runSmall(t, w.Name, arch.Pentium4(), jit.Baseline)
+		b := runSmall(t, w.Name, arch.Pentium4(), jit.Baseline)
+		if a.Checksum != b.Checksum || a.Cycles != b.Cycles {
+			t.Errorf("%s not deterministic", w.Name)
+		}
+	}
+}
+
+// TestPaperClaimDB: "INTER was ineffective on both processors" while
+// INTER+INTRA prefetches through the record clusters and wins (Sec. 4).
+func TestPaperClaimDB(t *testing.T) {
+	for _, machine := range arch.Machines() {
+		base := runSmall(t, "db", machine, jit.Baseline)
+		inter := runSmall(t, "db", machine, jit.Inter)
+		both := runSmall(t, "db", machine, jit.InterIntra)
+		if inter.Prefetch.InterPrefetches != 0 {
+			t.Errorf("%s: INTER generated %d prefetches for db (stride 4 must be filtered)",
+				machine.Name, inter.Prefetch.InterPrefetches)
+		}
+		if both.Prefetch.SpecLoads == 0 || both.Prefetch.IntraPrefetches == 0 {
+			t.Errorf("%s: INTER+INTRA must use deref+intra prefetching: %+v", machine.Name, both.Prefetch)
+		}
+		if both.Cycles >= base.Cycles {
+			t.Errorf("%s: INTER+INTRA must speed db up (%d vs %d cycles)",
+				machine.Name, both.Cycles, base.Cycles)
+		}
+	}
+}
+
+// TestPaperClaimJess: only L4 has an inter-iteration stride (4 bytes,
+// filtered), so INTER does nothing; INTER+INTRA adds dereference-based
+// prefetching via the load dependence graph.
+func TestPaperClaimJess(t *testing.T) {
+	inter := runSmall(t, "jess", arch.Pentium4(), jit.Inter)
+	both := runSmall(t, "jess", arch.Pentium4(), jit.InterIntra)
+	if inter.Prefetch.Total() != 0 {
+		t.Errorf("INTER generated code for jess: %+v", inter.Prefetch)
+	}
+	if both.Prefetch.SpecLoads == 0 || both.Prefetch.DerefPrefetches == 0 {
+		t.Errorf("INTER+INTRA must generate deref prefetching for jess: %+v", both.Prefetch)
+	}
+	// The paper's explanation for the small gain: the co-allocated facts
+	// array shares the cache line, so the intra prefetches are deduped.
+	if both.Prefetch.FilteredDup == 0 {
+		t.Error("intra prefetches should be line-deduped in jess")
+	}
+}
+
+// TestPaperClaimNoApplicableFragments: compress, javac, and Search
+// "do not contain code fragments where either intra- or inter-iteration
+// stride prefetching are applicable" (Sec. 4); jack and MonteCarlo show
+// no change either.
+func TestPaperClaimNoApplicableFragments(t *testing.T) {
+	for _, name := range []string{"compress", "javac", "search", "jack", "montecarlo"} {
+		s := runSmall(t, name, arch.Pentium4(), jit.InterIntra)
+		if s.Prefetch.Total() != 0 {
+			t.Errorf("%s: expected no prefetch sites, got %+v", name, s.Prefetch)
+		}
+	}
+}
+
+// TestPaperClaimEuler: inter-iteration strides in the main data structure;
+// INTER and INTER+INTRA generate the same code.
+func TestPaperClaimEuler(t *testing.T) {
+	inter := runSmall(t, "euler", arch.AthlonMP(), jit.Inter)
+	both := runSmall(t, "euler", arch.AthlonMP(), jit.InterIntra)
+	if inter.Prefetch.InterPrefetches == 0 {
+		t.Errorf("euler must get inter prefetches: %+v", inter.Prefetch)
+	}
+	if inter.Prefetch != both.Prefetch {
+		t.Errorf("euler: INTER and INTER+INTRA must coincide: %+v vs %+v",
+			inter.Prefetch, both.Prefetch)
+	}
+	base := runSmall(t, "euler", arch.AthlonMP(), jit.Baseline)
+	if both.Cycles >= base.Cycles {
+		t.Error("euler must speed up on the Athlon MP")
+	}
+}
+
+// TestPaperClaimMoldynAsymmetry: prefetch-to-L2 on the Pentium 4 cannot
+// help an L2-resident working set; prefetch-to-L1 on the Athlon MP can.
+// (At the small size the array is L1-resident on the Athlon too, so only
+// the P4 no-gain half is asserted here; the full-size asymmetry is
+// exercised by the benchmark harness.)
+func TestPaperClaimMoldynP4NoGain(t *testing.T) {
+	base := runSmall(t, "moldyn", arch.Pentium4(), jit.Baseline)
+	both := runSmall(t, "moldyn", arch.Pentium4(), jit.InterIntra)
+	if both.Prefetch.InterPrefetches == 0 {
+		t.Error("moldyn must generate prefetches")
+	}
+	speedup := float64(base.Cycles)/float64(both.Cycles) - 1
+	if speedup > 0.01 {
+		t.Errorf("moldyn must not improve on the Pentium 4 (L2-resident): %+.2f%%", 100*speedup)
+	}
+}
+
+// TestPaperClaimMpegaudioOverhead: prefetchable strides over cache-resident
+// data are pure overhead ("slightly degraded").
+func TestPaperClaimMpegaudioOverhead(t *testing.T) {
+	base := runSmall(t, "mpegaudio", arch.Pentium4(), jit.Baseline)
+	both := runSmall(t, "mpegaudio", arch.Pentium4(), jit.InterIntra)
+	if both.Prefetch.Total() == 0 {
+		t.Error("mpegaudio's filterbank strides must be prefetched")
+	}
+	if both.Cycles < base.Cycles {
+		t.Error("mpegaudio should not improve (cache-resident data)")
+	}
+	if float64(both.Cycles) > float64(base.Cycles)*1.10 {
+		t.Errorf("mpegaudio degradation too large: %d vs %d", both.Cycles, base.Cycles)
+	}
+}
+
+// TestPaperClaimRaytracerIntra: the scene is spatially shuffled, so only
+// INTER+INTRA (deref + co-allocated vectors) generates prefetching.
+func TestPaperClaimRaytracerIntra(t *testing.T) {
+	inter := runSmall(t, "raytracer", arch.Pentium4(), jit.Inter)
+	both := runSmall(t, "raytracer", arch.Pentium4(), jit.InterIntra)
+	if inter.Prefetch.Total() != 0 {
+		t.Errorf("raytracer INTER must find nothing: %+v", inter.Prefetch)
+	}
+	if both.Prefetch.SpecLoads == 0 {
+		t.Errorf("raytracer INTER+INTRA must use deref prefetching: %+v", both.Prefetch)
+	}
+}
+
+// TestGCWorkloadsCollect: the allocation-heavy analogs actually exercise
+// the collector at full size (their lower compiled fractions in Table 3
+// come from GC time).
+func TestGCWorkloadsCollect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size run")
+	}
+	for _, name := range []string{"jack", "montecarlo", "javac"} {
+		w, _ := workloads.ByName(name)
+		prog := w.Build(workloads.SizeFull)
+		v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline, HeapBytes: w.HeapBytes})
+		s, err := v.Measure(nil, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.GCs == 0 {
+			t.Errorf("%s: expected collections at full size", name)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package strider is a reproduction of "Stride Prefetching by Dynamically
+// Inspecting Objects" (Inagaki, Onodera, Komatsu, Nakatani; PLDI 2003).
+//
+// It contains a complete simulated Java-style runtime — typed register IR,
+// class universe, garbage-collected heap with sliding compaction, a mixed-
+// mode VM with a JIT compiler — plus the paper's contribution: stride
+// prefetching driven by object inspection (compile-time partial
+// interpretation with the actual argument values), discovering both
+// inter-iteration and intra-iteration stride patterns over a load
+// dependence graph, and a two-machine memory-system simulator (Pentium 4
+// and Athlon MP, Table 2) that executes the generated prefetches.
+//
+// This package is the public facade: build or pick a workload, run it on a
+// machine under a prefetching mode, and read the paper's metrics back.
+// See the examples/ directory and cmd/experiments for usage.
+package strider
+
+import (
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/harness"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+// Mode selects the prefetching configuration (the paper's evaluation axes).
+type Mode = jit.Mode
+
+// The evaluation configurations of Sec. 4.
+const (
+	// Baseline disables stride prefetching.
+	Baseline = jit.Baseline
+	// Inter enables inter-iteration stride prefetching only (the paper's
+	// emulation of Wu's algorithm).
+	Inter = jit.Inter
+	// InterIntra enables the paper's full algorithm.
+	InterIntra = jit.InterIntra
+)
+
+// Size selects a workload's problem scale.
+type Size = workloads.Size
+
+// Problem scales.
+const (
+	// SizeSmall is a fast test scale.
+	SizeSmall = workloads.SizeSmall
+	// SizeFull is the evaluation scale.
+	SizeFull = workloads.SizeFull
+)
+
+// Machine is a simulated machine description.
+type Machine = arch.Machine
+
+// Pentium4 returns the Pentium 4 machine of Table 2.
+func Pentium4() *Machine { return arch.Pentium4() }
+
+// AthlonMP returns the Athlon MP machine of Table 2.
+func AthlonMP() *Machine { return arch.AthlonMP() }
+
+// Machines returns both evaluation machines.
+func Machines() []*Machine { return arch.Machines() }
+
+// Workload is one benchmark analog (see internal/workloads).
+type Workload = workloads.Workload
+
+// Workloads returns the twelve benchmark analogs in Table 3 order.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName returns a workload by its Table 3 name.
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Spec identifies one experimental run.
+type Spec = harness.Spec
+
+// RunStats is the result of one measured run.
+type RunStats = vm.RunStats
+
+// Run executes one experiment spec (results are cached per process).
+func Run(s Spec) (RunStats, error) { return harness.Run(s) }
+
+// Speedups measures the INTER and INTER+INTRA speedups (percent) of a
+// workload over BASELINE on the named machine.
+func Speedups(workload, machine string, size Size) (inter, interIntra float64, err error) {
+	return harness.Speedups(workload, machine, size)
+}
+
+// Program is an IR program; VM executes them. Exposed so examples can
+// build custom programs against the VM directly.
+type Program = ir.Program
+
+// VM is the simulated virtual machine.
+type VM = vm.VM
+
+// VMConfig configures a VM.
+type VMConfig = vm.Config
+
+// NewVM creates a VM for a program.
+func NewVM(p *Program, cfg VMConfig) *VM { return vm.New(p, cfg) }
+
+// GCMode selects the collector behaviour.
+type GCMode = heap.GCMode
+
+// Collector modes.
+const (
+	// GCSlidingCompact is the paper's order-preserving collector.
+	GCSlidingCompact = heap.GCSlidingCompact
+	// GCMarkSweepFreeList is the non-moving ablation collector.
+	GCMarkSweepFreeList = heap.GCMarkSweepFreeList
+)

@@ -1,0 +1,55 @@
+package strider_test
+
+import (
+	"testing"
+
+	"strider"
+)
+
+func TestFacadeSmoke(t *testing.T) {
+	if len(strider.Workloads()) != 12 {
+		t.Fatal("twelve Table 3 workloads")
+	}
+	if len(strider.Machines()) != 2 {
+		t.Fatal("two machines")
+	}
+	if strider.Pentium4().Name != "Pentium4" || strider.AthlonMP().Name != "AthlonMP" {
+		t.Fatal("machine constructors")
+	}
+	w, err := strider.WorkloadByName("jess")
+	if err != nil || w.Name != "jess" {
+		t.Fatal(err)
+	}
+	stats, err := strider.Run(strider.Spec{
+		Workload: "search", Machine: "AthlonMP", Mode: strider.Baseline, Size: strider.SizeSmall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles == 0 || stats.Checksum == 0 {
+		t.Error("empty run stats")
+	}
+	inter, both, err := strider.Speedups("search", "AthlonMP", strider.SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter != 0 || both != 0 {
+		t.Errorf("search must be unaffected: %f, %f", inter, both)
+	}
+}
+
+func TestFacadeCustomVM(t *testing.T) {
+	w, _ := strider.WorkloadByName("jess")
+	prog := w.Build(strider.SizeSmall)
+	v := strider.NewVM(prog, strider.VMConfig{Machine: strider.Pentium4(), Mode: strider.InterIntra})
+	stats, err := v.Measure(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Prefetch.SpecLoads == 0 {
+		t.Error("jess under INTER+INTRA must compile spec_loads")
+	}
+	if v.CompiledFor(prog.MethodByName("::findInMemory")) == nil {
+		t.Error("findInMemory must be JIT-compiled")
+	}
+}
