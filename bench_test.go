@@ -146,17 +146,27 @@ func dbSpecWith(mod func(*jit.Options)) (harness.Spec, harness.Spec) {
 
 var benchSizeGlobal workloads.Size
 
+// speedupOf runs the (base, opt) pair as one batch and returns the
+// percentage speedup of opt over base.
 func speedupOf(b *testing.B, base, opt harness.Spec) float64 {
 	b.Helper()
-	bs, err := harness.Run(base)
+	results, err := harness.RunAll([]harness.Spec{base, opt})
 	if err != nil {
 		b.Fatal(err)
 	}
-	os, err := harness.Run(opt)
+	return harness.SpeedupPct(results[0].Stats, results[1].Stats)
+}
+
+// sweep schedules every (base, opt) pair of an ablation as one grid so the
+// worker pool (and the dedup of the repeated base cells) applies across
+// the whole sweep, then returns the per-pair results in order.
+func sweep(b *testing.B, pairs []harness.Spec) []harness.Result {
+	b.Helper()
+	results, err := harness.RunAll(pairs)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return harness.SpeedupPct(bs, os)
+	return results
 }
 
 // BenchmarkAblationSchedulingDistance sweeps the prefetch scheduling
@@ -164,9 +174,15 @@ func speedupOf(b *testing.B, base, opt harness.Spec) float64 {
 // depends on the loop body).
 func BenchmarkAblationSchedulingDistance(b *testing.B) {
 	benchSizeGlobal = benchSize()
-	for _, c := range []int{1, 2, 4, 8} {
+	cs := []int{1, 2, 4, 8}
+	var specs []harness.Spec
+	for _, c := range cs {
 		base, opt := dbSpecWith(func(o *jit.Options) { o.C = c })
-		sp := speedupOf(b, base, opt)
+		specs = append(specs, base, opt)
+	}
+	results := sweep(b, specs)
+	for i, c := range cs {
+		sp := harness.SpeedupPct(results[2*i].Stats, results[2*i+1].Stats)
 		b.Logf("db, Pentium4, c=%d: %+6.2f%%", c, sp)
 		b.ReportMetric(sp, fmt.Sprintf("c%d_speedup_%%", c))
 	}
@@ -177,11 +193,17 @@ func BenchmarkAblationSchedulingDistance(b *testing.B) {
 // object inspection observes (paper: 20).
 func BenchmarkAblationInspectionIterations(b *testing.B) {
 	benchSizeGlobal = benchSize()
-	for _, k := range []int{5, 10, 20, 40} {
+	ks := []int{5, 10, 20, 40}
+	var specs []harness.Spec
+	for _, k := range ks {
 		base, opt := dbSpecWith(func(o *jit.Options) { o.Inspect.Iterations = k })
-		sp := speedupOf(b, base, opt)
-		os, _ := harness.Run(opt)
-		b.Logf("db, Pentium4, K=%d: %+6.2f%% (inspection steps %d)", k, sp, os.InspectSteps)
+		specs = append(specs, base, opt)
+	}
+	results := sweep(b, specs)
+	for i, k := range ks {
+		sp := harness.SpeedupPct(results[2*i].Stats, results[2*i+1].Stats)
+		b.Logf("db, Pentium4, K=%d: %+6.2f%% (inspection steps %d)",
+			k, sp, results[2*i+1].Stats.InspectSteps)
 		b.ReportMetric(sp, fmt.Sprintf("k%d_speedup_%%", k))
 	}
 	spin(b)
@@ -192,12 +214,17 @@ func BenchmarkAblationInspectionIterations(b *testing.B) {
 // stride just above 75%, so a stricter threshold destroys the pattern.
 func BenchmarkAblationMajorityThreshold(b *testing.B) {
 	benchSizeGlobal = benchSize()
-	for _, th := range []float64{0.5, 0.65, 0.75, 0.9} {
+	ths := []float64{0.5, 0.65, 0.75, 0.9}
+	var specs []harness.Spec
+	for _, th := range ths {
 		base, opt := dbSpecWith(func(o *jit.Options) { o.Threshold = th })
-		sp := speedupOf(b, base, opt)
-		os, _ := harness.Run(opt)
+		specs = append(specs, base, opt)
+	}
+	results := sweep(b, specs)
+	for i, th := range ths {
+		sp := harness.SpeedupPct(results[2*i].Stats, results[2*i+1].Stats)
 		b.Logf("db, Pentium4, threshold=%.2f: %+6.2f%% (prefetch sites %d)",
-			th, sp, os.Prefetch.Total())
+			th, sp, results[2*i+1].Stats.Prefetch.Total())
 		b.ReportMetric(sp, fmt.Sprintf("t%02.0f_speedup_%%", th*100))
 	}
 	spin(b)
@@ -271,6 +298,12 @@ func BenchmarkAblationCompaction(b *testing.B) {
 // object inspection — the trade-off the paper leaves open (Sec. 3.2).
 func BenchmarkAblationInterprocedural(b *testing.B) {
 	benchSizeGlobal = benchSize()
+	type cell struct {
+		wl string
+		ip bool
+	}
+	var cells []cell
+	var specs []harness.Spec
 	for _, ip := range []bool{false, true} {
 		for _, wl := range []string{"db", "jess"} {
 			base := harness.Spec{Workload: wl, Size: benchSizeGlobal, Machine: "Pentium4", Mode: jit.Baseline}
@@ -279,12 +312,16 @@ func BenchmarkAblationInterprocedural(b *testing.B) {
 			o := jit.DefaultOptions(arch.Pentium4(), jit.InterIntra)
 			o.Inspect.Interprocedural = ip
 			opt.JIT = &o
-			sp := speedupOf(b, base, opt)
-			os, _ := harness.Run(opt)
-			b.Logf("%s, Pentium4, interprocedural=%v: %+6.2f%% (inspection steps %d)",
-				wl, ip, sp, os.InspectSteps)
-			b.ReportMetric(sp, fmt.Sprintf("%s_ip_%v_speedup_%%", wl, ip))
+			cells = append(cells, cell{wl, ip})
+			specs = append(specs, base, opt)
 		}
+	}
+	results := sweep(b, specs)
+	for i, c := range cells {
+		sp := harness.SpeedupPct(results[2*i].Stats, results[2*i+1].Stats)
+		b.Logf("%s, Pentium4, interprocedural=%v: %+6.2f%% (inspection steps %d)",
+			c.wl, c.ip, sp, results[2*i+1].Stats.InspectSteps)
+		b.ReportMetric(sp, fmt.Sprintf("%s_ip_%v_speedup_%%", c.wl, c.ip))
 	}
 	spin(b)
 }
@@ -294,6 +331,12 @@ func BenchmarkAblationInterprocedural(b *testing.B) {
 // streaming workloads, whose tight loop bodies make c = 1 too late.
 func BenchmarkAblationAdaptiveC(b *testing.B) {
 	benchSizeGlobal = benchSize()
+	type cell struct {
+		wl       string
+		adaptive bool
+	}
+	var cells []cell
+	var specs []harness.Spec
 	for _, wl := range []string{"euler", "mtrt", "db"} {
 		for _, adaptive := range []bool{false, true} {
 			base := harness.Spec{Workload: wl, Size: benchSizeGlobal, Machine: "Pentium4", Mode: jit.Baseline}
@@ -302,10 +345,15 @@ func BenchmarkAblationAdaptiveC(b *testing.B) {
 			o := jit.DefaultOptions(arch.Pentium4(), jit.InterIntra)
 			o.AdaptiveC = adaptive
 			opt.JIT = &o
-			sp := speedupOf(b, base, opt)
-			b.Logf("%s, Pentium4, adaptiveC=%v: %+6.2f%%", wl, adaptive, sp)
-			b.ReportMetric(sp, fmt.Sprintf("%s_adaptive_%v_speedup_%%", wl, adaptive))
+			cells = append(cells, cell{wl, adaptive})
+			specs = append(specs, base, opt)
 		}
+	}
+	results := sweep(b, specs)
+	for i, c := range cells {
+		sp := harness.SpeedupPct(results[2*i].Stats, results[2*i+1].Stats)
+		b.Logf("%s, Pentium4, adaptiveC=%v: %+6.2f%%", c.wl, c.adaptive, sp)
+		b.ReportMetric(sp, fmt.Sprintf("%s_adaptive_%v_speedup_%%", c.wl, c.adaptive))
 	}
 	spin(b)
 }

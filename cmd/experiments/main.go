@@ -3,26 +3,43 @@
 //
 // Usage:
 //
-//	experiments [-size small|full] [-only table1,fig6,...]
+//	experiments [-size small|full] [-only table1,fig6,...] [-parallel N] [-json]
 //
 // Without -only it runs everything in paper order. Results are printed as
-// text tables with the paper's reported numbers alongside for comparison.
+// text tables with the paper's reported numbers alongside for comparison;
+// -json emits one JSON object per row instead (machine-readable, for
+// tracking benchmark trajectories across commits). Experiment cells are
+// scheduled across a worker pool of -parallel simulations (default
+// GOMAXPROCS); per-cell timing and progress lines go to stderr, so stdout
+// is byte-identical at every parallelism level.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"strider/internal/harness"
 	"strider/internal/workloads"
 )
 
+// artifacts is the known -only selector set, in paper order.
+var artifacts = []string{
+	"table1", "table2", "table3",
+	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+}
+
 func main() {
 	sizeFlag := flag.String("size", "full", "problem size: small or full")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig6,fig7,fig8,fig9,fig10,fig11")
+	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifacts, ","))
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+	parallel := flag.Int("parallel", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit JSON rows instead of text tables")
+	progress := flag.Bool("progress", true, "print per-cell progress and timing to stderr")
 	flag.Parse()
 
 	size := workloads.SizeFull
@@ -33,10 +50,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	known := map[string]bool{}
+	for _, a := range artifacts {
+		known[a] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
+			name := strings.TrimSpace(s)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown -only selector %q (valid: %s)\n",
+					name, strings.Join(artifacts, ","))
+				os.Exit(2)
+			}
+			want[name] = true
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
@@ -45,22 +72,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	harness.SetParallelism(*parallel)
+	if *progress {
+		harness.SetProgress(os.Stderr)
+	}
+	start := time.Now()
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(rows any) {
+		if err := enc.Encode(rows); err != nil {
+			fail(err)
+		}
+	}
+
 	if sel("table1") {
 		s, err := harness.Table1()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(s)
+		if *jsonOut {
+			emit(map[string]string{"artifact": "table1", "text": s})
+		} else {
+			fmt.Println(s)
+		}
 	}
 	if sel("table2") {
-		fmt.Println(harness.Table2())
+		if *jsonOut {
+			emit(map[string]string{"artifact": "table2", "text": harness.Table2()})
+		} else {
+			fmt.Println(harness.Table2())
+		}
 	}
 	if sel("table3") {
 		rows, err := harness.Table3(size)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(harness.FormatTable3(rows))
+		if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact         string  `json:"artifact"`
+					Workload         string  `json:"workload"`
+					Suite            string  `json:"suite"`
+					CompiledPct      float64 `json:"compiled_pct"`
+					PaperCompiledPct float64 `json:"paper_compiled_pct"`
+				}{"table3", r.Workload, r.Suite, r.CompiledPct, r.PaperCompiledPct})
+			}
+		} else {
+			fmt.Println(harness.FormatTable3(rows))
+		}
 	}
 	speedupOut := harness.FormatSpeedups
 	if *chart {
@@ -70,46 +130,88 @@ func main() {
 	if *chart {
 		mpiOut = harness.MPIChart
 	}
-	if sel("fig6") {
-		rows, err := harness.Figure6(size)
+	speedupFig := func(name, title string, fig func(workloads.Size) ([]harness.SpeedupRow, error)) {
+		if !sel(name) {
+			return
+		}
+		rows, err := fig(size)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(speedupOut("Figure 6: speedup ratios on the Pentium 4", rows))
+		if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact   string  `json:"artifact"`
+					Workload   string  `json:"workload"`
+					Inter      float64 `json:"inter_pct"`
+					InterIntra float64 `json:"inter_intra_pct"`
+					PaperInter float64 `json:"paper_inter_pct"`
+					PaperBoth  float64 `json:"paper_inter_intra_pct"`
+				}{name, r.Workload, r.Inter, r.InterIntra, r.PaperInter, r.PaperBoth})
+			}
+		} else {
+			fmt.Println(speedupOut(title, rows))
+		}
 	}
-	if sel("fig7") {
-		rows, err := harness.Figure7(size)
+	mpiFig := func(name, title string, fig func(workloads.Size) ([]harness.MPIRow, error)) {
+		if !sel(name) {
+			return
+		}
+		rows, err := fig(size)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(speedupOut("Figure 7: speedup ratios on the Athlon MP", rows))
-	}
-	if sel("fig8") {
-		rows, err := harness.Figure8(size)
-		if err != nil {
-			fail(err)
+		if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact string  `json:"artifact"`
+					Workload string  `json:"workload"`
+					Baseline float64 `json:"baseline_mpi"`
+					Opt      float64 `json:"inter_intra_mpi"`
+				}{name, r.Workload, r.Baseline, r.Opt})
+			}
+		} else {
+			fmt.Println(mpiOut(title, rows))
 		}
-		fmt.Println(mpiOut("Figure 8: L1 cache load MPIs", rows))
 	}
-	if sel("fig9") {
-		rows, err := harness.Figure9(size)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(mpiOut("Figure 9: L2 cache load MPIs", rows))
-	}
-	if sel("fig10") {
-		rows, err := harness.Figure10(size)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(mpiOut("Figure 10: DTLB load MPIs", rows))
-	}
+
+	speedupFig("fig6", "Figure 6: speedup ratios on the Pentium 4", harness.Figure6)
+	speedupFig("fig7", "Figure 7: speedup ratios on the Athlon MP", harness.Figure7)
+	mpiFig("fig8", "Figure 8: L1 cache load MPIs", harness.Figure8)
+	mpiFig("fig9", "Figure 9: L2 cache load MPIs", harness.Figure9)
+	mpiFig("fig10", "Figure 10: DTLB load MPIs", harness.Figure10)
 	if sel("fig11") {
 		rows, err := harness.Figure11(size)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(harness.FormatCompile(rows))
+		if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact         string  `json:"artifact"`
+					Workload         string  `json:"workload"`
+					PrefetchOfJITPct float64 `json:"prefetch_of_jit_pct"`
+					JITOfTotalPct    float64 `json:"jit_of_total_pct"`
+				}{"fig11", r.Workload, r.PrefetchOfJITPct, r.JITOfTotalPct})
+			}
+		} else {
+			fmt.Println(harness.FormatCompile(rows))
+		}
+	}
+
+	if *progress {
+		c := harness.EngineCounters()
+		sels := make([]string, 0, len(want))
+		for s := range want {
+			sels = append(sels, s)
+		}
+		sort.Strings(sels)
+		scope := "all artifacts"
+		if len(sels) > 0 {
+			scope = strings.Join(sels, ",")
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s in %s (%d VM executions, %d cache hits, %d deduped, %d workers)\n",
+			scope, time.Since(start).Round(time.Millisecond),
+			c.Executions, c.CacheHits, c.DedupHits, harness.Parallelism())
 	}
 }

@@ -37,8 +37,11 @@ func InterPhased(trace []Rec, threshold float64) (Phased, bool) {
 			odd = append(odd, d)
 		}
 	}
-	a, okA := Dominant(even, threshold)
-	b, okB := Dominant(odd, threshold)
+	// One phase may be zero (a pause between advances), so bypass
+	// Dominant's zero rejection; a == b covers the all-zero stream, and
+	// the sum check below rejects streams that never advance.
+	a, okA := dominant(even, threshold)
+	b, okB := dominant(odd, threshold)
 	if !okA || !okB || a == b {
 		return Phased{}, false
 	}

@@ -44,6 +44,21 @@ func TestInterPhasedRejectsPingPong(t *testing.T) {
 	}
 }
 
+// TestInterPhasedZeroPhase is the regression test for a flaky quick-check
+// failure: one phase of an alternating pattern may legitimately be zero
+// (advance, pause, advance, ...); only a stream whose period never
+// advances (a+b == 0) is unexploitable.
+func TestInterPhasedZeroPhase(t *testing.T) {
+	tr := phasedTrace(0x1000, -64, 0, 12)
+	p, ok := InterPhased(tr, DefaultThreshold)
+	if !ok {
+		t.Fatal("-64/0 alternation not detected")
+	}
+	if p.A != -64 || p.B != 0 || p.Sum() != -64 {
+		t.Errorf("phased = %+v", p)
+	}
+}
+
 func TestInterPhasedRejectsShort(t *testing.T) {
 	tr := phasedTrace(0x1000, 8, 40, 4)
 	if _, ok := InterPhased(tr, DefaultThreshold); ok {

@@ -30,6 +30,17 @@ const DefaultThreshold = 0.75
 // have no pattern; a dominant delta of 0 (loop-invariant address) is
 // reported as no pattern — invariant loads need no prefetching.
 func Dominant(deltas []int64, threshold float64) (int64, bool) {
+	d, ok := dominant(deltas, threshold)
+	if d == 0 {
+		return 0, false
+	}
+	return d, ok
+}
+
+// dominant is Dominant without the zero-value rejection: the phased
+// detector needs it, because a zero phase of an alternating pattern is
+// exploitable as long as the period still advances.
+func dominant(deltas []int64, threshold float64) (int64, bool) {
 	if len(deltas) < 2 {
 		return 0, false
 	}
@@ -40,9 +51,6 @@ func Dominant(deltas []int64, threshold float64) (int64, bool) {
 		if counts[d] > bestN {
 			best, bestN = d, counts[d]
 		}
-	}
-	if best == 0 {
-		return 0, false
 	}
 	if float64(bestN) < threshold*float64(len(deltas)) {
 		return 0, false
@@ -105,6 +113,13 @@ func Intra(from, to []Rec, threshold float64) (int64, bool) {
 		if counts[s] > bestN {
 			best, bestN = s, counts[s]
 		}
+	}
+	if best == 0 {
+		// A dominant zero stride means both loads hit the same address —
+		// and therefore the same cache line — every iteration; a prefetch
+		// for the pair would duplicate the one already issued for `from`
+		// (the Sec. 3.3 cache-line dedup filter).
+		return 0, false
 	}
 	if float64(bestN) < threshold*float64(len(samples)) {
 		return 0, false

@@ -113,6 +113,23 @@ func TestIntraUsesFirstExecutionPerIteration(t *testing.T) {
 	}
 }
 
+func TestIntraZeroStrideRejected(t *testing.T) {
+	// A pair of loads hitting the same address every iteration has a
+	// dominant stride of exactly 0: prefetching it would duplicate the
+	// cache line already fetched by `from`, which the paper's Sec. 3.3
+	// profitability filter forbids. Intra must reject it like Dominant.
+	from := []Rec{{0, 0x1000}, {1, 0x2000}, {2, 0x3000}, {3, 0x4000}}
+	to := []Rec{{0, 0x1000}, {1, 0x2000}, {2, 0x3000}, {3, 0x4000}}
+	if s, ok := Intra(from, to, DefaultThreshold); ok {
+		t.Errorf("same-address pair accepted with stride %d; zero intra strides must be rejected", s)
+	}
+	// A dominant-but-not-unanimous zero must be rejected too.
+	to[3].Addr = 0x4018
+	if s, ok := Intra(from, to, DefaultThreshold); ok {
+		t.Errorf("75%%-dominant zero stride accepted with stride %d", s)
+	}
+}
+
 func TestIntraMismatchedIterations(t *testing.T) {
 	from := []Rec{{0, 0x1000}, {2, 0x3000}}
 	to := []Rec{{1, 0x2000}, {3, 0x4000}}

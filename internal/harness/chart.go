@@ -27,6 +27,7 @@ func RenderBars(title, unit string, groups []BarGroup, width int) string {
 	}
 	maxAbs := 0.0
 	maxSeries := 0
+	anyNeg := false
 	for _, g := range groups {
 		for _, b := range g.Bars {
 			if a := math.Abs(b.Value); a > maxAbs {
@@ -35,10 +36,20 @@ func RenderBars(title, unit string, groups []BarGroup, width int) string {
 			if len(b.Series) > maxSeries {
 				maxSeries = len(b.Series)
 			}
+			if b.Value < 0 {
+				anyNeg = true
+			}
 		}
 	}
 	if maxAbs == 0 {
 		maxAbs = 1
+	}
+	// Bars on both sides share one scale (width cells = maxAbs), so the
+	// left field must be able to hold a full-scale negative bar; a narrower
+	// field would overflow and push the axis column out of alignment.
+	negField := 0
+	if anyNeg {
+		negField = width
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s (unit: %s, full bar = %.2f)\n", title, unit, maxAbs)
@@ -58,7 +69,7 @@ func RenderBars(title, unit string, groups []BarGroup, width int) string {
 				pos = strings.Repeat("█", n)
 			}
 			fmt.Fprintf(&sb, "  %-*s %*s|%-*s %8.2f\n",
-				maxSeries, b.Series, width/2, neg, width, pos, b.Value)
+				maxSeries, b.Series, negField, neg, width, pos, b.Value)
 		}
 	}
 	return sb.String()

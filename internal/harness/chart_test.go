@@ -42,6 +42,52 @@ func TestSpeedupChartAndMPIChart(t *testing.T) {
 	}
 }
 
+// TestRenderBarsLargeNegativeAlignment is the regression test for the
+// negative-bar overflow: bars are scaled against `width` cells but used to
+// render into a width/2-wide left field, so any negative value above half
+// the maximum magnitude overflowed the field and pushed the axis column
+// out of alignment.
+func TestRenderBarsLargeNegativeAlignment(t *testing.T) {
+	const width = 20
+	out := RenderBars("t", "u", []BarGroup{
+		{Label: "g", Bars: []Bar{{"pos", 100}, {"neg", -90}, {"tiny", 1}}},
+	}, width)
+	axisCol := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		// Measure the column in runes so bar cells count like spaces.
+		col := len([]rune(line[:strings.Index(line, "|")]))
+		if axisCol == -1 {
+			axisCol = col
+		} else if col != axisCol {
+			t.Errorf("axis misaligned: %d vs %d in %q", col, axisCol, line)
+		}
+	}
+	// The -90 bar must keep its full proportional length (18 of 20 cells),
+	// not be truncated to the old width/2 field.
+	wantNeg := strings.Repeat("▒", 18)
+	if !strings.Contains(out, wantNeg) {
+		t.Errorf("negative bar truncated:\n%s", out)
+	}
+}
+
+// TestRenderBarsGolden pins the exact rendering of a mixed-sign chart.
+func TestRenderBarsGolden(t *testing.T) {
+	out := RenderBars("Fig", "pct", []BarGroup{
+		{Label: "w", Bars: []Bar{{"a", 10}, {"b", -8}}},
+	}, 10)
+	want := "" +
+		"Fig (unit: pct, full bar = 10.00)\n" +
+		"w\n" +
+		"  a           |██████████    10.00\n" +
+		"  b   ▒▒▒▒▒▒▒▒|              -8.00\n"
+	if out != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
 func TestBarsClampToWidth(t *testing.T) {
 	out := RenderBars("t", "u", []BarGroup{
 		{Label: "g", Bars: []Bar{{"a", 1e9}, {"b", 1}}},

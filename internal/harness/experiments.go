@@ -38,14 +38,20 @@ type SpeedupRow struct {
 }
 
 func speedupFigure(machine string, size workloads.Size, paper map[string][2]float64) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
-	for _, w := range workloads.All() {
-		i, x, err := Speedups(w.Name, machine, size)
-		if err != nil {
-			return nil, err
-		}
+	all := workloads.All()
+	var specs []Spec
+	for _, w := range all {
+		specs = append(specs, modeSpecs(w, machine, size)...)
+	}
+	stats, err := runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpeedupRow, len(all))
+	for i, w := range all {
+		base, inter, both := stats[3*i], stats[3*i+1], stats[3*i+2]
 		pv := paper[w.Name]
-		rows = append(rows, SpeedupRow{w.Name, i, x, pv[0], pv[1]})
+		rows[i] = SpeedupRow{w.Name, SpeedupPct(base, inter), SpeedupPct(base, both), pv[0], pv[1]}
 	}
 	return rows, nil
 }
@@ -84,17 +90,20 @@ type MPIRow struct {
 type mpiMetric func(vm.RunStats) float64
 
 func mpiFigure(size workloads.Size, metric mpiMetric) ([]MPIRow, error) {
-	var rows []MPIRow
-	for _, w := range workloads.All() {
-		base, err := Run(Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.Baseline, HeapBytes: w.HeapBytes})
-		if err != nil {
-			return nil, err
+	all := workloads.All()
+	var specs []Spec
+	for _, w := range all {
+		for _, mode := range []jit.Mode{jit.Baseline, jit.InterIntra} {
+			specs = append(specs, Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: mode, HeapBytes: w.HeapBytes})
 		}
-		opt, err := Run(Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, MPIRow{w.Name, 1000 * metric(base), 1000 * metric(opt)})
+	}
+	stats, err := runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MPIRow, len(all))
+	for i, w := range all {
+		rows[i] = MPIRow{w.Name, 1000 * metric(stats[2*i]), 1000 * metric(stats[2*i+1])}
 	}
 	return rows, nil
 }
@@ -144,12 +153,18 @@ type CompileRow struct {
 // Figure11 regenerates the compilation-time overhead figure
 // (INTER+INTRA on the Pentium 4).
 func Figure11(size workloads.Size) ([]CompileRow, error) {
-	var rows []CompileRow
-	for _, w := range workloads.All() {
-		s, err := Run(Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
-		if err != nil {
-			return nil, err
-		}
+	all := workloads.All()
+	specs := make([]Spec, len(all))
+	for i, w := range all {
+		specs[i] = Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.InterIntra, HeapBytes: w.HeapBytes}
+	}
+	stats, err := runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CompileRow, len(all))
+	for i, w := range all {
+		s := stats[i]
 		var pj, jt float64
 		if s.JITUnits > 0 {
 			pj = 100 * float64(s.PrefetchUnits) / float64(s.JITUnits)
@@ -157,7 +172,7 @@ func Figure11(size workloads.Size) ([]CompileRow, error) {
 		if s.Cycles > 0 {
 			jt = 100 * float64(s.JITUnits) / float64(s.Cycles)
 		}
-		rows = append(rows, CompileRow{w.Name, pj, jt})
+		rows[i] = CompileRow{w.Name, pj, jt}
 	}
 	return rows, nil
 }
@@ -230,19 +245,24 @@ type Table3Row struct {
 // Table3 regenerates the benchmark descriptions and compiled-code
 // fractions (BASELINE, Pentium 4).
 func Table3(size workloads.Size) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, w := range workloads.All() {
-		s, err := Run(Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.Baseline, HeapBytes: w.HeapBytes})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table3Row{
+	all := workloads.All()
+	specs := make([]Spec, len(all))
+	for i, w := range all {
+		specs[i] = Spec{Workload: w.Name, Size: size, Machine: "Pentium4", Mode: jit.Baseline, HeapBytes: w.HeapBytes}
+	}
+	stats, err := runBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(all))
+	for i, w := range all {
+		rows[i] = Table3Row{
 			Workload:         w.Name,
 			Suite:            w.Suite,
 			Description:      w.Description,
-			CompiledPct:      100 * s.CompiledFraction(),
+			CompiledPct:      100 * stats[i].CompiledFraction(),
 			PaperCompiledPct: w.PaperCompiledPct,
-		})
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"strider/internal/vm"
+)
+
+// Result is the outcome of one grid cell.
+type Result struct {
+	Spec  Spec
+	Stats vm.RunStats
+	Err   error
+	// Wall is the wall-clock time this cell took from the caller's point
+	// of view (near zero for cache hits).
+	Wall time.Duration
+	// Shared is true when the cell was served from the result cache or
+	// joined an execution already in flight instead of running its own VM.
+	Shared bool
+}
+
+// Grid is a batch of experiment cells scheduled across a bounded worker
+// pool. Cells are independent deterministic simulations, so any subset may
+// run concurrently; duplicate specs (within the grid or across concurrent
+// grids) collapse onto one execution via the engine's singleflight layer.
+type Grid struct {
+	Specs []Spec
+	// Parallel is the worker count; 0 uses the package default
+	// (SetParallelism, itself defaulting to GOMAXPROCS).
+	Parallel int
+	// Progress, when non-nil, is called after each cell completes with the
+	// number of completed cells so far. Calls are serialized.
+	Progress func(done, total int, r Result)
+}
+
+var (
+	parallelMu      sync.Mutex
+	defaultParallel int       // 0 = GOMAXPROCS
+	progressW       io.Writer // nil = no progress lines
+)
+
+// SetParallelism sets the default worker-pool size for grids that do not
+// specify one. n <= 0 restores the default (GOMAXPROCS).
+func SetParallelism(n int) {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	defaultParallel = n
+}
+
+// Parallelism returns the current default worker-pool size.
+func Parallelism() int {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	if defaultParallel > 0 {
+		return defaultParallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetProgress directs per-cell progress lines (cell name, wall-clock, and
+// running counts) to w; nil disables them. Progress goes to its own writer
+// precisely so that table/figure output stays byte-identical regardless of
+// parallelism.
+func SetProgress(w io.Writer) {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	progressW = w
+}
+
+func progressWriter() io.Writer {
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	return progressW
+}
+
+// Run executes every cell and returns results in Specs order.
+func (g Grid) Run() []Result {
+	results := make([]Result, len(g.Specs))
+	if len(g.Specs) == 0 {
+		return results
+	}
+	workers := g.Parallel
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > len(g.Specs) {
+		workers = len(g.Specs)
+	}
+
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	w := progressWriter()
+	report := func(r Result) {
+		if g.Progress == nil && w == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		if w != nil {
+			note := ""
+			if r.Shared {
+				note = " (shared)"
+			}
+			if r.Err != nil {
+				note = " ERROR: " + r.Err.Error()
+			}
+			fmt.Fprintf(w, "[%*d/%d] %-40s %10s%s\n",
+				len(fmt.Sprint(len(g.Specs))), done, len(g.Specs),
+				r.Spec.withDefaults().String(), r.Wall.Round(time.Millisecond), note)
+		}
+		if g.Progress != nil {
+			g.Progress(done, len(g.Specs), r)
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				stats, fresh, err := run(g.Specs[i])
+				results[i] = Result{
+					Spec:   g.Specs[i],
+					Stats:  stats,
+					Err:    err,
+					Wall:   time.Since(start),
+					Shared: !fresh,
+				}
+				report(results[i])
+			}
+		}()
+	}
+	for i := range g.Specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RunAll executes specs with the default worker pool and returns results
+// in order; the error is the first cell error in spec order, if any.
+func RunAll(specs []Spec) ([]Result, error) {
+	results := Grid{Specs: specs}.Run()
+	for _, r := range results {
+		if r.Err != nil {
+			return results, r.Err
+		}
+	}
+	return results, nil
+}
+
+// runBatch executes specs and returns just their stats in order, failing
+// on the first cell error.
+func runBatch(specs []Spec) ([]vm.RunStats, error) {
+	results, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]vm.RunStats, len(results))
+	for i, r := range results {
+		stats[i] = r.Stats
+	}
+	return stats, nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"strider/internal/core/jit"
+	"strider/internal/workloads"
+)
+
+// TestConcurrentRunSingleflight hammers one spec from many goroutines and
+// asserts the engine performed exactly one underlying VM execution, with
+// every caller observing the identical result. Run under -race in CI.
+func TestConcurrentRunSingleflight(t *testing.T) {
+	ClearCache()
+	spec := Spec{Workload: "search", Size: workloads.SizeSmall, Machine: "Pentium4", Mode: jit.Baseline}
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]struct {
+		cycles   uint64
+		checksum uint64
+		err      error
+	}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := Run(spec)
+			results[i].cycles = s.Cycles
+			results[i].checksum = uint64(s.Checksum)
+			results[i].err = err
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+		if r.cycles != results[0].cycles || r.checksum != results[0].checksum {
+			t.Errorf("caller %d observed a different result: cycles %d vs %d",
+				i, r.cycles, results[0].cycles)
+		}
+	}
+	c := EngineCounters()
+	if c.Executions != 1 {
+		t.Errorf("executions = %d, want exactly 1 (singleflight)", c.Executions)
+	}
+	if c.DedupHits+c.CacheHits != n-1 {
+		t.Errorf("dedup+cache hits = %d+%d, want %d", c.DedupHits, c.CacheHits, n-1)
+	}
+}
+
+// TestGridRunOrderAndDedup checks that Grid returns results in spec order
+// and that duplicate cells within one grid collapse onto one execution.
+func TestGridRunOrderAndDedup(t *testing.T) {
+	ClearCache()
+	a := Spec{Workload: "search", Size: workloads.SizeSmall, Machine: "Pentium4", Mode: jit.Baseline}
+	b := Spec{Workload: "search", Size: workloads.SizeSmall, Machine: "AthlonMP", Mode: jit.Baseline}
+	specs := []Spec{a, b, a, b, a}
+
+	var mu sync.Mutex
+	calls := 0
+	results := Grid{Specs: specs, Parallel: 4, Progress: func(done, total int, r Result) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if total != len(specs) {
+			t.Errorf("progress total = %d, want %d", total, len(specs))
+		}
+	}}.Run()
+
+	if len(results) != len(specs) {
+		t.Fatalf("results = %d, want %d", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		if r.Spec.Machine != specs[i].Machine {
+			t.Errorf("cell %d out of order: %s", i, r.Spec.Machine)
+		}
+	}
+	if results[0].Stats.Cycles != results[2].Stats.Cycles || results[2].Stats.Cycles != results[4].Stats.Cycles {
+		t.Error("duplicate cells returned different results")
+	}
+	if calls != len(specs) {
+		t.Errorf("progress callbacks = %d, want %d", calls, len(specs))
+	}
+	if c := EngineCounters(); c.Executions != 2 {
+		t.Errorf("executions = %d, want 2 (one per distinct cell)", c.Executions)
+	}
+}
+
+func TestGridErrorReporting(t *testing.T) {
+	ClearCache()
+	specs := []Spec{
+		{Workload: "search", Size: workloads.SizeSmall, Machine: "Pentium4", Mode: jit.Baseline},
+		{Workload: "no-such-workload"},
+	}
+	results, err := RunAll(specs)
+	if err == nil {
+		t.Fatal("RunAll must surface the cell error")
+	}
+	if results[0].Err != nil || results[1].Err == nil {
+		t.Error("per-cell errors misattributed")
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	results, err := RunAll(nil)
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(results))
+	}
+}
+
+// TestSerialParallelDeterminism asserts the acceptance criterion of the
+// parallel engine: a figure regenerated serially and with a wide worker
+// pool is byte-identical — per-run isolation means scheduling order can
+// not leak into results.
+func TestSerialParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many workloads twice")
+	}
+	render := func() string {
+		rows, err := Figure6(workloads.SizeSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, err := Table3(workloads.SizeSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatSpeedups("Figure 6", rows) + FormatTable3(t3)
+	}
+
+	SetParallelism(1)
+	ClearCache()
+	serial := render()
+
+	SetParallelism(8)
+	ClearCache()
+	parallel := render()
+	SetParallelism(0)
+	ClearCache()
+
+	if serial != parallel {
+		t.Errorf("serial and parallel tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "db") {
+		t.Error("table content missing")
+	}
+}

@@ -3,11 +3,18 @@
 // best-run-under-continuous-execution methodology), caches results within
 // the process, and regenerates every table and figure of the evaluation
 // section.
+//
+// Every run is an independent, deterministic simulation, so the harness
+// schedules batches of runs across a bounded worker pool (see grid.go) and
+// deduplicates concurrent requests for the same cell with singleflight
+// semantics layered on the result cache: N callers asking for the same Spec
+// share one VM execution.
 package harness
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"strider/internal/arch"
 	"strider/internal/core/jit"
@@ -54,29 +61,105 @@ func (s Spec) key() string {
 		s.Workload, s.Size, s.Machine, s.Mode, s.GC, s.Warmups, s.HeapBytes, j)
 }
 
+// String renders the cell for progress lines and error messages.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", s.Workload, s.Size, s.Machine, s.Mode)
+}
+
+// call is one in-flight execution other callers of the same key block on.
+type call struct {
+	done  chan struct{}
+	stats vm.RunStats
+	err   error
+}
+
 var (
-	cacheMu sync.Mutex
-	cache   = map[string]vm.RunStats{}
+	cacheMu  sync.Mutex
+	cache    = map[string]vm.RunStats{}
+	inflight = map[string]*call{}
 )
 
-// ClearCache drops all cached results (tests use it for isolation).
+// Counters reports how the engine satisfied Run requests since the last
+// ClearCache: fresh VM executions, completed-result cache hits, and
+// requests that joined an execution already in flight (singleflight).
+type Counters struct {
+	Executions uint64
+	CacheHits  uint64
+	DedupHits  uint64
+}
+
+var counters struct {
+	executions atomic.Uint64
+	cacheHits  atomic.Uint64
+	dedupHits  atomic.Uint64
+}
+
+// EngineCounters returns a snapshot of the engine's request counters.
+func EngineCounters() Counters {
+	return Counters{
+		Executions: counters.executions.Load(),
+		CacheHits:  counters.cacheHits.Load(),
+		DedupHits:  counters.dedupHits.Load(),
+	}
+}
+
+// ClearCache drops all cached results and resets the engine counters
+// (tests use it for isolation). In-flight executions are unaffected: they
+// publish into the new cache when they complete.
 func ClearCache() {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	cache = map[string]vm.RunStats{}
+	counters.executions.Store(0)
+	counters.cacheHits.Store(0)
+	counters.dedupHits.Store(0)
 }
 
-// Run executes a spec (or returns the process-cached result).
+// Run executes a spec (or returns the process-cached result). Concurrent
+// callers with the same spec share a single underlying VM execution.
 func Run(s Spec) (vm.RunStats, error) {
+	stats, _, err := run(s)
+	return stats, err
+}
+
+// run is Run plus a flag reporting whether this call performed the
+// execution itself (false: served from cache or joined an in-flight run).
+func run(s Spec) (vm.RunStats, bool, error) {
 	s = s.withDefaults()
 	k := s.key()
 	cacheMu.Lock()
 	if r, ok := cache[k]; ok {
+		counters.cacheHits.Add(1)
 		cacheMu.Unlock()
-		return r, nil
+		return r, false, nil
 	}
+	if c, ok := inflight[k]; ok {
+		counters.dedupHits.Add(1)
+		cacheMu.Unlock()
+		<-c.done
+		return c.stats, false, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	inflight[k] = c
 	cacheMu.Unlock()
 
+	counters.executions.Add(1)
+	c.stats, c.err = execute(s)
+
+	cacheMu.Lock()
+	if c.err == nil {
+		cache[k] = c.stats
+	}
+	delete(inflight, k)
+	cacheMu.Unlock()
+	close(c.done)
+	return c.stats, true, c.err
+}
+
+// execute performs one isolated run: a fresh program build, a fresh VM,
+// and (inside vm.New) a fresh memory simulation — cells share nothing, so
+// any number may run concurrently.
+func execute(s Spec) (vm.RunStats, error) {
 	w, err := workloads.ByName(s.Workload)
 	if err != nil {
 		return vm.RunStats{}, err
@@ -111,9 +194,6 @@ func Run(s Spec) (vm.RunStats, error) {
 	if err != nil {
 		return vm.RunStats{}, fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
 	}
-	cacheMu.Lock()
-	cache[k] = stats
-	cacheMu.Unlock()
 	return stats, nil
 }
 
@@ -127,23 +207,26 @@ func SpeedupPct(base, opt vm.RunStats) float64 {
 }
 
 // Speedups runs BASELINE, INTER, and INTER+INTRA for one workload on one
-// machine and returns (interPct, interIntraPct).
+// machine and returns (interPct, interIntraPct). The three cells run as
+// one batch across the worker pool.
 func Speedups(name, machine string, size workloads.Size) (float64, float64, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return 0, 0, err
 	}
-	base, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.Baseline, HeapBytes: w.HeapBytes})
+	stats, err := runBatch(modeSpecs(w, machine, size))
 	if err != nil {
 		return 0, 0, err
 	}
-	inter, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.Inter, HeapBytes: w.HeapBytes})
-	if err != nil {
-		return 0, 0, err
+	return SpeedupPct(stats[0], stats[1]), SpeedupPct(stats[0], stats[2]), nil
+}
+
+// modeSpecs builds the three evaluation cells (BASELINE, INTER,
+// INTER+INTRA) of one workload on one machine.
+func modeSpecs(w *workloads.Workload, machine string, size workloads.Size) []Spec {
+	specs := make([]Spec, 0, 3)
+	for _, mode := range []jit.Mode{jit.Baseline, jit.Inter, jit.InterIntra} {
+		specs = append(specs, Spec{Workload: w.Name, Size: size, Machine: machine, Mode: mode, HeapBytes: w.HeapBytes})
 	}
-	both, err := Run(Spec{Workload: name, Size: size, Machine: machine, Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
-	if err != nil {
-		return 0, 0, err
-	}
-	return SpeedupPct(base, inter), SpeedupPct(base, both), nil
+	return specs
 }

@@ -16,6 +16,8 @@
 package strider
 
 import (
+	"io"
+
 	"strider/internal/arch"
 	"strider/internal/core/jit"
 	"strider/internal/harness"
@@ -77,8 +79,32 @@ type Spec = harness.Spec
 // RunStats is the result of one measured run.
 type RunStats = vm.RunStats
 
-// Run executes one experiment spec (results are cached per process).
+// Run executes one experiment spec (results are cached per process;
+// concurrent callers with the same spec share one underlying execution).
 func Run(s Spec) (RunStats, error) { return harness.Run(s) }
+
+// Result is the outcome of one cell of a batch run.
+type Result = harness.Result
+
+// Grid is a batch of experiment cells scheduled across a bounded worker
+// pool with deduplication of identical cells.
+type Grid = harness.Grid
+
+// RunAll executes a batch of specs across the worker pool and returns
+// results in order; the error is the first cell error, if any.
+func RunAll(specs []Spec) ([]Result, error) { return harness.RunAll(specs) }
+
+// SetParallelism sets the default worker-pool size for batch runs
+// (n <= 0 restores the default, GOMAXPROCS).
+func SetParallelism(n int) { harness.SetParallelism(n) }
+
+// Parallelism returns the current default worker-pool size.
+func Parallelism() int { return harness.Parallelism() }
+
+// SetProgress directs per-cell progress and timing lines to w (nil, the
+// default, disables them). Table and figure output is unaffected, so
+// results stay byte-identical at every parallelism level.
+func SetProgress(w io.Writer) { harness.SetProgress(w) }
 
 // Speedups measures the INTER and INTER+INTRA speedups (percent) of a
 // workload over BASELINE on the named machine.

@@ -38,6 +38,38 @@ func TestFacadeSmoke(t *testing.T) {
 	}
 }
 
+func TestFacadeBatch(t *testing.T) {
+	specs := []strider.Spec{
+		{Workload: "search", Machine: "Pentium4", Mode: strider.Baseline, Size: strider.SizeSmall},
+		{Workload: "search", Machine: "AthlonMP", Mode: strider.Baseline, Size: strider.SizeSmall},
+		{Workload: "search", Machine: "Pentium4", Mode: strider.Baseline, Size: strider.SizeSmall},
+	}
+	results, err := strider.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		if r.Spec.Machine != specs[i].Machine {
+			t.Errorf("cell %d out of order", i)
+		}
+	}
+	if results[0].Stats.Cycles != results[2].Stats.Cycles {
+		t.Error("duplicate cells must return identical results")
+	}
+	if results[0].Stats.Checksum != results[1].Stats.Checksum {
+		t.Error("checksum must not depend on the machine")
+	}
+	if strider.Parallelism() < 1 {
+		t.Error("parallelism must be at least 1")
+	}
+}
+
 func TestFacadeCustomVM(t *testing.T) {
 	w, _ := strider.WorkloadByName("jess")
 	prog := w.Build(strider.SizeSmall)
