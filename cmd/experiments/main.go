@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-size small|full] [-only table1,fig6,...] [-parallel N] [-json]
+//	experiments [-size small|full] [-only table1,fig6,...] [-parallel N]
+//	            [-json] [-trace out.json] [-metrics out.csv]
 //
 // Without -only it runs everything in paper order. Results are printed as
 // text tables with the paper's reported numbers alongside for comparison;
@@ -12,18 +13,28 @@
 // scheduled across a worker pool of -parallel simulations (default
 // GOMAXPROCS); per-cell timing and progress lines go to stderr, so stdout
 // is byte-identical at every parallelism level.
+//
+// -trace records the full telemetry stream (JIT compile events,
+// inspection verdicts, Sec. 3.3 filter decisions, per-site prefetch
+// attribution, grid scheduling) as Chrome trace_event JSON for
+// chrome://tracing / Perfetto; -metrics writes the same events as a flat
+// CSV table. Flag combinations are validated up front: an output file
+// that cannot be opened, or -chart together with -json, is a usage error
+// (exit 2) — nothing runs half-configured.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"strider/internal/harness"
+	"strider/internal/telemetry"
 	"strider/internal/workloads"
 )
 
@@ -34,20 +45,37 @@ var artifacts = []string{
 }
 
 func main() {
-	sizeFlag := flag.String("size", "full", "problem size: small or full")
-	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifacts, ","))
-	chart := flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
-	parallel := flag.Int("parallel", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
-	jsonOut := flag.Bool("json", false, "emit JSON rows instead of text tables")
-	progress := flag.Bool("progress", true, "print per-cell progress and timing to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored out of main so the CLI tests can
+// drive flag combinations in-process. It returns the exit code: 0 on
+// success, 1 on runtime failure, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sizeFlag := fs.String("size", "full", "problem size: small or full")
+	only := fs.String("only", "", "comma-separated subset: "+strings.Join(artifacts, ","))
+	chart := fs.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+	parallel := fs.Int("parallel", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit JSON rows instead of text tables")
+	progress := fs.Bool("progress", true, "print per-cell progress and timing to stderr")
+	traceOut := fs.String("trace", "", "write telemetry as Chrome trace_event JSON to this file")
+	metricsOut := fs.String("metrics", "", "write telemetry as CSV metric rows to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	size := workloads.SizeFull
 	if *sizeFlag == "small" {
 		size = workloads.SizeSmall
 	} else if *sizeFlag != "full" {
-		fmt.Fprintf(os.Stderr, "experiments: bad -size %q\n", *sizeFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: bad -size %q\n", *sizeFlag)
+		return 2
+	}
+	if *chart && *jsonOut {
+		fmt.Fprintf(stderr, "experiments: -chart and -json are mutually exclusive\n")
+		return 2
 	}
 
 	known := map[string]bool{}
@@ -59,56 +87,89 @@ func main() {
 		for _, s := range strings.Split(*only, ",") {
 			name := strings.TrimSpace(s)
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "experiments: unknown -only selector %q (valid: %s)\n",
+				fmt.Fprintf(stderr, "experiments: unknown -only selector %q (valid: %s)\n",
 					name, strings.Join(artifacts, ","))
-				os.Exit(2)
+				return 2
 			}
 			want[name] = true
 		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+
+	// Open telemetry outputs before any simulation runs: a writer that
+	// cannot be opened is a usage error, not something to discover after
+	// minutes of compute (and never silently).
+	var trace *telemetry.Trace
+	var traceFile, metricsFile *os.File
+	openOut := func(path string) (*os.File, bool) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return nil, false
+		}
+		return f, true
+	}
+	if *traceOut != "" {
+		f, ok := openOut(*traceOut)
+		if !ok {
+			return 2
+		}
+		traceFile = f
+		defer traceFile.Close()
+	}
+	if *metricsOut != "" {
+		f, ok := openOut(*metricsOut)
+		if !ok {
+			return 2
+		}
+		metricsFile = f
+		defer metricsFile.Close()
+	}
+	if traceFile != nil || metricsFile != nil {
+		trace = telemetry.NewTrace()
+		harness.SetRecorder(trace)
+		defer harness.SetRecorder(nil)
 	}
 
 	harness.SetParallelism(*parallel)
 	if *progress {
-		harness.SetProgress(os.Stderr)
+		harness.SetProgress(stderr)
+		defer harness.SetProgress(nil)
 	}
 	start := time.Now()
 
-	enc := json.NewEncoder(os.Stdout)
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	var runErr error
+	fail := func(err error) { runErr = err }
+
+	enc := json.NewEncoder(stdout)
 	emit := func(rows any) {
 		if err := enc.Encode(rows); err != nil {
 			fail(err)
 		}
 	}
 
-	if sel("table1") {
+	if sel("table1") && runErr == nil {
 		s, err := harness.Table1()
 		if err != nil {
 			fail(err)
-		}
-		if *jsonOut {
+		} else if *jsonOut {
 			emit(map[string]string{"artifact": "table1", "text": s})
 		} else {
-			fmt.Println(s)
+			fmt.Fprintln(stdout, s)
 		}
 	}
-	if sel("table2") {
+	if sel("table2") && runErr == nil {
 		if *jsonOut {
 			emit(map[string]string{"artifact": "table2", "text": harness.Table2()})
 		} else {
-			fmt.Println(harness.Table2())
+			fmt.Fprintln(stdout, harness.Table2())
 		}
 	}
-	if sel("table3") {
+	if sel("table3") && runErr == nil {
 		rows, err := harness.Table3(size)
 		if err != nil {
 			fail(err)
-		}
-		if *jsonOut {
+		} else if *jsonOut {
 			for _, r := range rows {
 				emit(struct {
 					Artifact         string  `json:"artifact"`
@@ -119,7 +180,7 @@ func main() {
 				}{"table3", r.Workload, r.Suite, r.CompiledPct, r.PaperCompiledPct})
 			}
 		} else {
-			fmt.Println(harness.FormatTable3(rows))
+			fmt.Fprintln(stdout, harness.FormatTable3(rows))
 		}
 	}
 	speedupOut := harness.FormatSpeedups
@@ -131,12 +192,13 @@ func main() {
 		mpiOut = harness.MPIChart
 	}
 	speedupFig := func(name, title string, fig func(workloads.Size) ([]harness.SpeedupRow, error)) {
-		if !sel(name) {
+		if !sel(name) || runErr != nil {
 			return
 		}
 		rows, err := fig(size)
 		if err != nil {
 			fail(err)
+			return
 		}
 		if *jsonOut {
 			for _, r := range rows {
@@ -150,16 +212,17 @@ func main() {
 				}{name, r.Workload, r.Inter, r.InterIntra, r.PaperInter, r.PaperBoth})
 			}
 		} else {
-			fmt.Println(speedupOut(title, rows))
+			fmt.Fprintln(stdout, speedupOut(title, rows))
 		}
 	}
 	mpiFig := func(name, title string, fig func(workloads.Size) ([]harness.MPIRow, error)) {
-		if !sel(name) {
+		if !sel(name) || runErr != nil {
 			return
 		}
 		rows, err := fig(size)
 		if err != nil {
 			fail(err)
+			return
 		}
 		if *jsonOut {
 			for _, r := range rows {
@@ -171,7 +234,7 @@ func main() {
 				}{name, r.Workload, r.Baseline, r.Opt})
 			}
 		} else {
-			fmt.Println(mpiOut(title, rows))
+			fmt.Fprintln(stdout, mpiOut(title, rows))
 		}
 	}
 
@@ -180,12 +243,11 @@ func main() {
 	mpiFig("fig8", "Figure 8: L1 cache load MPIs", harness.Figure8)
 	mpiFig("fig9", "Figure 9: L2 cache load MPIs", harness.Figure9)
 	mpiFig("fig10", "Figure 10: DTLB load MPIs", harness.Figure10)
-	if sel("fig11") {
+	if sel("fig11") && runErr == nil {
 		rows, err := harness.Figure11(size)
 		if err != nil {
 			fail(err)
-		}
-		if *jsonOut {
+		} else if *jsonOut {
 			for _, r := range rows {
 				emit(struct {
 					Artifact         string  `json:"artifact"`
@@ -195,7 +257,25 @@ func main() {
 				}{"fig11", r.Workload, r.PrefetchOfJITPct, r.JITOfTotalPct})
 			}
 		} else {
-			fmt.Println(harness.FormatCompile(rows))
+			fmt.Fprintln(stdout, harness.FormatCompile(rows))
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", runErr)
+		return 1
+	}
+
+	if traceFile != nil {
+		if err := trace.WriteChromeTrace(traceFile); err != nil {
+			fmt.Fprintf(stderr, "experiments: writing %s: %v\n", *traceOut, err)
+			return 1
+		}
+	}
+	if metricsFile != nil {
+		if err := trace.WriteCSV(metricsFile); err != nil {
+			fmt.Fprintf(stderr, "experiments: writing %s: %v\n", *metricsOut, err)
+			return 1
 		}
 	}
 
@@ -210,8 +290,9 @@ func main() {
 		if len(sels) > 0 {
 			scope = strings.Join(sels, ",")
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %s in %s (%d VM executions, %d cache hits, %d deduped, %d workers)\n",
+		fmt.Fprintf(stderr, "experiments: %s in %s (%d VM executions, %d cache hits, %d deduped, %d workers)\n",
 			scope, time.Since(start).Round(time.Millisecond),
 			c.Executions, c.CacheHits, c.DedupHits, harness.Parallelism())
 	}
+	return 0
 }

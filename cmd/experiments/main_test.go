@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() in-process and returns (exit code, stdout, stderr).
+func runCLI(args ...string) (int, string, string) {
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad size", []string{"-size", "tiny"}, "bad -size"},
+		{"unknown selector", []string{"-only", "fig99"}, "unknown -only selector"},
+		{"chart with json", []string{"-chart", "-json"}, "mutually exclusive"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"unopenable trace file", []string{"-trace", "/nonexistent-dir/t.json"}, "no such file"},
+		{"unopenable metrics file", []string{"-metrics", "/nonexistent-dir/m.csv"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errw := runCLI(tc.args...)
+			if code != 2 {
+				t.Errorf("exit = %d, want 2", code)
+			}
+			if out != "" {
+				t.Errorf("usage error wrote to stdout: %q", out)
+			}
+			if !strings.Contains(errw, tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", errw, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunSubsetWritesTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.csv")
+
+	// table2 is the static machine-parameter table: no simulations, so the
+	// full CLI path (flags, recorder install, export, teardown) stays fast.
+	code, out, errw := runCLI("-only", "table2", "-progress=false",
+		"-trace", tracePath, "-metrics", metricsPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, "Table 2") {
+		t.Errorf("stdout missing Table 2:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+
+	csvRaw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(string(csvRaw), "\n")
+	for _, colName := range []string{"ts_us", "kind", "method", "reason", "cell"} {
+		found := false
+		for _, h := range strings.Split(header, ",") {
+			if h == colName {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metrics header missing column %q: %s", colName, header)
+		}
+	}
+}
+
+func TestJSONModeEmitsRows(t *testing.T) {
+	code, out, errw := runCLI("-only", "table2", "-json", "-progress=false")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errw)
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &row); err != nil {
+		t.Fatalf("-json output is not a JSON row: %v\n%s", err, out)
+	}
+	if row["artifact"] != "table2" {
+		t.Errorf("artifact = %v", row["artifact"])
+	}
+}

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	striderun -workload db -machine Pentium4 -mode inter+intra -size full
+//	striderun -workload jess -explain
 //	striderun -list
+//
+// -explain replaces the metric summary with a human-readable decision
+// log: every JIT compile, each loop's inspection verdict, each prefetch
+// candidate's emit/filter decision with its Sec. 3.3 reason code, and the
+// per-site memory attribution of the measured run.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 	gcFlag := flag.String("gc", "compact", "compact (sliding compaction) or freelist")
 	list := flag.Bool("list", false, "list workloads and exit")
 	dot := flag.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
+	explain := flag.Bool("explain", false, "print the per-loop prefetch decision log instead of the metric summary")
 	flag.Parse()
 
 	if *list {
@@ -64,6 +71,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *explain {
+		log, err := harness.Explain(harness.Spec{
+			Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(log)
 		return
 	}
 

@@ -26,6 +26,7 @@ import (
 	"strider/internal/dataflow"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/telemetry"
 	"strider/internal/value"
 )
 
@@ -83,6 +84,10 @@ type Options struct {
 	AdaptiveC bool
 	// Inspect configures object inspection.
 	Inspect inspect.Config
+	// Rec, when non-nil, receives the compile-time telemetry: per-loop
+	// inspection verdicts and per-candidate filter decisions. A nil
+	// recorder is free.
+	Rec telemetry.Recorder
 }
 
 // DefaultOptions returns the paper's parameter values for a machine/mode.
@@ -144,12 +149,27 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 	small := make(map[*cfg.Loop]bool)
 	var graphs []*ldg.Graph
 
+	qname := m.QName()
+	loopEvent := func(loop *cfg.Loop, verdict telemetry.Reason, res *inspect.Result, nodes int) {
+		if opts.Rec == nil {
+			return
+		}
+		e := telemetry.LoopEvent{Method: qname, Loop: loop.Header, Verdict: verdict, Nodes: nodes}
+		if res != nil {
+			e.Trips = res.TargetTrips
+			e.NaturalExit = res.NaturalExit
+			e.Steps = res.Steps
+		}
+		opts.Rec.Loop(e)
+	}
+
 	for _, loop := range f.Postorder() {
 		promoted := collectSmall(loop.Children, small)
 
 		lg := ldg.Build(m, g, df, loop, promoted)
 		out.PrefetchUnits += uint64(len(lg.Nodes) * 2)
 		if len(lg.Nodes) == 0 {
+			loopEvent(loop, telemetry.LoopNoLoads, nil, 0)
 			continue
 		}
 		record := make([]int, len(lg.Nodes))
@@ -169,16 +189,19 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		// after zero or one iterations has the smallest trip count of all.
 		if res.NaturalExit && res.TargetTrips <= opts.SmallTrip {
 			small[loop] = true
+			loopEvent(loop, telemetry.LoopSmallTrip, res, len(lg.Nodes))
 			continue
 		}
 		if !res.Completed {
+			loopEvent(loop, telemetry.LoopIncomplete, res, len(lg.Nodes))
 			continue
 		}
 
-		annotate(lg, res, opts.Threshold)
+		annotate(lg, res, opts.Threshold, opts.Rec)
 		if opts.AdaptiveC {
 			lg.SchedC = adaptiveC(g, loop, opts.Machine)
 		}
+		loopEvent(loop, telemetry.LoopAccepted, res, len(lg.Nodes))
 		graphs = append(graphs, lg)
 	}
 	out.Graphs = graphs
@@ -196,6 +219,7 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		LineBytes:    line,
 		PageSize:     opts.Machine.DTLB.PageSize,
 		GuardedIntra: opts.Machine.GuardedIntraPrefetch,
+		Rec:          opts.Rec,
 	})
 	out.Prefetch = stats
 	out.PrefetchUnits += stats.WorkUnits
@@ -242,17 +266,44 @@ func collectSmall(children []*cfg.Loop, small map[*cfg.Loop]bool) []*cfg.Loop {
 }
 
 // annotate writes the discovered stride patterns onto the graph: an
-// inter-iteration stride per node, an intra-iteration stride per edge.
-func annotate(lg *ldg.Graph, res *inspect.Result, threshold float64) {
+// inter-iteration stride per node, an intra-iteration stride per edge,
+// each with its dominance statistics. Candidates whose trace shows no
+// qualifying pattern are reported to the recorder here (FilterNoPattern);
+// candidates with patterns receive their final emit/filter verdict later,
+// in the code generator.
+func annotate(lg *ldg.Graph, res *inspect.Result, threshold float64, rec telemetry.Recorder) {
+	qname := lg.Method.QName()
+	loopID := lg.Loop.Header
 	for _, n := range lg.Nodes {
-		trace := res.Traces[n.Instr]
-		n.Inter, n.HasInter = stride.Inter(trace, threshold)
+		st := stride.InterStat(res.Traces[n.Instr], threshold)
+		n.HasInter, n.InterRatio, n.InterSamples = st.OK, st.Ratio, st.Samples
+		n.Inter = 0
+		if st.OK {
+			n.Inter = st.Stride
+		} else if rec != nil {
+			rec.Decision(telemetry.DecisionEvent{
+				Method: qname, Loop: loopID, Instr: n.Instr, Pair: -1,
+				Op: n.Op.String(), Stride: st.Stride, Ratio: st.Ratio,
+				Samples: st.Samples, Reason: telemetry.FilterNoPattern,
+			})
+		}
 	}
 	for _, n := range lg.Nodes {
 		for _, e := range n.Succs {
 			from := res.Traces[e.From.Instr]
 			to := res.Traces[e.To.Instr]
-			e.Intra, e.HasIntra = stride.Intra(from, to, threshold)
+			st := stride.IntraStat(from, to, threshold)
+			e.HasIntra, e.IntraRatio, e.IntraSamples = st.OK, st.Ratio, st.Samples
+			e.Intra = 0
+			if st.OK {
+				e.Intra = st.Stride
+			} else if rec != nil {
+				rec.Decision(telemetry.DecisionEvent{
+					Method: qname, Loop: loopID, Instr: e.From.Instr, Pair: e.To.Instr,
+					Op: e.To.Op.String(), Stride: st.Stride, Ratio: st.Ratio,
+					Samples: st.Samples, Reason: telemetry.FilterNoPattern,
+				})
+			}
 		}
 	}
 }

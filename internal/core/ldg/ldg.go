@@ -39,9 +39,12 @@ type Node struct {
 	Preds []*Edge
 
 	// Stride annotations, filled by the stride analysis after object
-	// inspection.
-	HasInter bool
-	Inter    int64
+	// inspection. InterRatio/InterSamples keep the dominance statistics
+	// behind the verdict for the telemetry layer.
+	HasInter     bool
+	Inter        int64
+	InterRatio   float64
+	InterSamples int
 
 	// UseCount is the number of instructions data dependent on this load
 	// (profitability condition 1, Sec. 3.3).
@@ -53,8 +56,10 @@ type Node struct {
 type Edge struct {
 	From, To *Node
 
-	HasIntra bool
-	Intra    int64
+	HasIntra     bool
+	Intra        int64
+	IntraRatio   float64
+	IntraSamples int
 }
 
 // Graph is the load dependence graph of one loop.

@@ -27,6 +27,7 @@ import (
 	"strider/internal/classfile"
 	"strider/internal/core/ldg"
 	"strider/internal/ir"
+	"strider/internal/telemetry"
 )
 
 // Options configures code generation.
@@ -46,6 +47,9 @@ type Options struct {
 	// GuardedIntra maps dereference-based and intra-iteration prefetches
 	// to guarded loads (TLB priming; true on the Pentium 4).
 	GuardedIntra bool
+	// Rec, when non-nil, receives one DecisionEvent per candidate with
+	// the emit/filter verdict and its Sec. 3.3 reason code.
+	Rec telemetry.Recorder
 }
 
 // Stats counts what was generated, for Figure 11-style reporting and tests.
@@ -136,11 +140,24 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 		return disp > halfPage || disp < -halfPage
 	}
 
+	qname := m.QName()
+	decide := func(loop, instr, pair int, op ir.Op, strideV int64, ratio float64, samples int, reason telemetry.Reason) {
+		if opts.Rec == nil {
+			return
+		}
+		opts.Rec.Decision(telemetry.DecisionEvent{
+			Method: qname, Loop: loop, Instr: instr, Pair: pair,
+			Op: op.String(), Stride: strideV, Ratio: ratio, Samples: samples,
+			Reason: reason,
+		})
+	}
+
 	for _, g := range graphs {
 		c := opts.C
 		if g.SchedC > 0 {
 			c = g.SchedC
 		}
+		loopID := g.Loop.Header
 		for _, lx := range g.Nodes {
 			stats.WorkUnits += uint64(1 + len(lx.Succs))
 			if !lx.HasInter {
@@ -150,15 +167,18 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 			d := lx.Inter
 			dc := d * int64(c)
 			if dc > int64(^uint32(0)>>2) || dc < -int64(^uint32(0)>>2) {
+				decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.FilterHugeStride)
 				continue // implausible stride; never profitable
 			}
 			// Profitability condition 1: something must depend on Lx.
 			if lx.UseCount == 0 {
 				stats.FilteredUse++
+				decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.FilterNoUse)
 				continue
 			}
 			base, ok := addrExprOf(in, int32(dc))
 			if !ok {
+				decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.FilterNoAddr)
 				continue
 			}
 
@@ -185,18 +205,22 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 				// condition 3: stride larger than half the line.
 				if d <= halfLine && d >= -halfLine {
 					stats.FilteredLine++
+					decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.FilterSmallStride)
 					continue
 				}
 				if ded.covers(base) {
 					stats.FilteredDup++
+					decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.FilterDupLine)
 					continue
 				}
 				inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
 					Op:      ir.OpPrefetch,
 					Addr:    base,
 					Guarded: guardFor(false, dc),
+					Site:    int32(lx.Instr),
 				})
 				stats.InterPrefetches++
+				decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.EmitInter)
 				continue
 			}
 
@@ -209,8 +233,10 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 				Kind: m.Code[lx.Instr].Kind,
 				Dst:  a,
 				Addr: base,
+				Site: int32(lx.Instr),
 			})
 			stats.SpecLoads++
+			decide(loopID, lx.Instr, -1, in.Op, d, lx.InterRatio, lx.InterSamples, telemetry.EmitSpecLoad)
 			for _, e := range derefTargets {
 				ly := e.To
 				off, _ := fieldOffsetOf(&m.Code[ly.Instr])
@@ -220,10 +246,13 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 						Op:      ir.OpPrefetch,
 						Addr:    fa,
 						Guarded: opts.GuardedIntra || guardFor(false, int64(off)),
+						Site:    int32(lx.Instr),
 					})
 					stats.DerefPrefetches++
+					decide(loopID, lx.Instr, ly.Instr, m.Code[ly.Instr].Op, int64(off), 0, 0, telemetry.EmitDeref)
 				} else {
 					stats.FilteredDup++
+					decide(loopID, lx.Instr, ly.Instr, m.Code[ly.Instr].Op, int64(off), 0, 0, telemetry.FilterDupLine)
 				}
 				// Intra-iteration stride prefetching for every node related
 				// to Ly by intra edges, directly or transitively. Sorted for
@@ -241,14 +270,17 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 					ia := ir.AddrExpr{Base: a, Index: ir.NoReg, Disp: off + int32(it.s)}
 					if ded.covers(ia) {
 						stats.FilteredDup++
+						decide(loopID, ly.Instr, it.n.Instr, m.Code[it.n.Instr].Op, it.s, 0, 0, telemetry.FilterDupLine)
 						continue
 					}
 					inserts[lx.Instr] = append(inserts[lx.Instr], ir.Instr{
 						Op:      ir.OpPrefetch,
 						Addr:    ia,
 						Guarded: guardFor(true, int64(off)+it.s),
+						Site:    int32(lx.Instr),
 					})
 					stats.IntraPrefetches++
+					decide(loopID, ly.Instr, it.n.Instr, m.Code[it.n.Instr].Op, it.s, 0, 0, telemetry.EmitIntra)
 				}
 			}
 		}

@@ -16,6 +16,8 @@
 // (Sec. 3.2).
 package stride
 
+import "sort"
+
 // Rec is one recorded load execution during object inspection.
 type Rec struct {
 	Iter int    // target-loop iteration number, starting at 0
@@ -24,6 +26,18 @@ type Rec struct {
 
 // DefaultThreshold is the paper's 75% majority requirement.
 const DefaultThreshold = 0.75
+
+// Stat is the full outcome of a dominance analysis: the winning stride,
+// the share of samples it covers, the sample count, and whether the
+// pattern qualifies under the threshold (including the zero-stride
+// rejections the detectors apply). The telemetry layer records Stats so a
+// decision log can show *how close* a rejected candidate came.
+type Stat struct {
+	Stride  int64
+	Ratio   float64 // share of samples the winning stride covers
+	Samples int
+	OK      bool
+}
 
 // Dominant returns the dominant value of a delta sequence and whether it
 // accounts for at least threshold of the samples. Sequences shorter than 2
@@ -37,12 +51,12 @@ func Dominant(deltas []int64, threshold float64) (int64, bool) {
 	return d, ok
 }
 
-// dominant is Dominant without the zero-value rejection: the phased
-// detector needs it, because a zero phase of an alternating pattern is
-// exploitable as long as the period still advances.
-func dominant(deltas []int64, threshold float64) (int64, bool) {
+// dominantStat counts a delta sequence and returns the winner with its
+// coverage ratio; OK reflects only the threshold test (zero handling is
+// the caller's policy).
+func dominantStat(deltas []int64, threshold float64) Stat {
 	if len(deltas) < 2 {
-		return 0, false
+		return Stat{Samples: len(deltas)}
 	}
 	counts := map[int64]int{}
 	best, bestN := int64(0), 0
@@ -52,10 +66,24 @@ func dominant(deltas []int64, threshold float64) (int64, bool) {
 			best, bestN = d, counts[d]
 		}
 	}
-	if float64(bestN) < threshold*float64(len(deltas)) {
+	s := Stat{
+		Stride:  best,
+		Ratio:   float64(bestN) / float64(len(deltas)),
+		Samples: len(deltas),
+	}
+	s.OK = float64(bestN) >= threshold*float64(len(deltas))
+	return s
+}
+
+// dominant is Dominant without the zero-value rejection: the phased
+// detector needs it, because a zero phase of an alternating pattern is
+// exploitable as long as the period still advances.
+func dominant(deltas []int64, threshold float64) (int64, bool) {
+	s := dominantStat(deltas, threshold)
+	if !s.OK {
 		return 0, false
 	}
-	return best, true
+	return s.Stride, true
 }
 
 // Inter detects an inter-iteration stride for one load from its full trace
@@ -64,14 +92,35 @@ func dominant(deltas []int64, threshold float64) (int64, bool) {
 // dominant stride is their inner-loop advance — matching how off-line
 // stride profiling (Wu) sees the address stream.
 func Inter(trace []Rec, threshold float64) (int64, bool) {
-	if len(trace) < 3 {
+	s := InterStat(trace, threshold)
+	if !s.OK {
 		return 0, false
+	}
+	return s.Stride, true
+}
+
+// InterStat is Inter with the full dominance statistics: the winning
+// stride and its coverage ratio even when the pattern is rejected.
+func InterStat(trace []Rec, threshold float64) Stat {
+	if len(trace) < 3 {
+		return Stat{Samples: maxInt(len(trace)-1, 0)}
 	}
 	deltas := make([]int64, 0, len(trace)-1)
 	for i := 1; i < len(trace); i++ {
 		deltas = append(deltas, int64(trace[i].Addr)-int64(trace[i-1].Addr))
 	}
-	return Dominant(deltas, threshold)
+	s := dominantStat(deltas, threshold)
+	if s.Stride == 0 {
+		s.OK = false // loop-invariant address: no prefetch needed
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // firstPerIter reduces a trace to the first execution per iteration,
@@ -93,36 +142,40 @@ func firstPerIter(trace []Rec) map[int]uint32 {
 // threshold of the iterations (paper Sec. 2: "the sequence of the strides
 // between them shows a pattern over iterations").
 func Intra(from, to []Rec, threshold float64) (int64, bool) {
-	fa := firstPerIter(from)
-	ta := firstPerIter(to)
-	var samples []int64
-	for iter, a := range fa {
-		if b, ok := ta[iter]; ok {
-			samples = append(samples, int64(b)-int64(a))
-		}
-	}
-	if len(samples) < 2 {
+	s := IntraStat(from, to, threshold)
+	if !s.OK {
 		return 0, false
 	}
-	// Dominant() interprets its input as deltas; here samples are already
-	// strides, and all of them must agree, so reuse the same counting.
-	counts := map[int64]int{}
-	best, bestN := int64(0), 0
-	for _, s := range samples {
-		counts[s]++
-		if counts[s] > bestN {
-			best, bestN = s, counts[s]
+	return s.Stride, true
+}
+
+// IntraStat is Intra with the full dominance statistics.
+func IntraStat(from, to []Rec, threshold float64) Stat {
+	fa := firstPerIter(from)
+	ta := firstPerIter(to)
+	// Walk iterations in order: the winning-stride tie-break (visible in
+	// the decision log even for rejected candidates) must be
+	// deterministic, not map-ordered.
+	iters := make([]int, 0, len(fa))
+	for iter := range fa {
+		iters = append(iters, iter)
+	}
+	sort.Ints(iters)
+	var samples []int64
+	for _, iter := range iters {
+		if b, ok := ta[iter]; ok {
+			samples = append(samples, int64(b)-int64(fa[iter]))
 		}
 	}
-	if best == 0 {
+	// The samples are already strides (not deltas of a sequence), so the
+	// shared counting applies directly.
+	s := dominantStat(samples, threshold)
+	if s.Stride == 0 {
 		// A dominant zero stride means both loads hit the same address —
 		// and therefore the same cache line — every iteration; a prefetch
 		// for the pair would duplicate the one already issued for `from`
 		// (the Sec. 3.3 cache-line dedup filter).
-		return 0, false
+		s.OK = false
 	}
-	if float64(bestN) < threshold*float64(len(samples)) {
-		return 0, false
-	}
-	return best, true
+	return s
 }

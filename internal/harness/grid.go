@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"strider/internal/telemetry"
 	"strider/internal/vm"
 )
 
@@ -99,7 +100,19 @@ func (g Grid) Run() []Result {
 		done       int
 	)
 	w := progressWriter()
+	rec := Recorder()
 	report := func(r Result) {
+		if rec != nil {
+			ev := telemetry.CellEvent{
+				Cell:   r.Spec.withDefaults().String(),
+				Wall:   r.Wall,
+				Shared: r.Shared,
+			}
+			if r.Err != nil {
+				ev.Err = r.Err.Error()
+			}
+			rec.Cell(ev)
+		}
 		if g.Progress == nil && w == nil {
 			return
 		}

@@ -19,6 +19,7 @@ import (
 	"strider/internal/arch"
 	"strider/internal/core/jit"
 	"strider/internal/heap"
+	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -77,7 +78,30 @@ var (
 	cacheMu  sync.Mutex
 	cache    = map[string]vm.RunStats{}
 	inflight = map[string]*call{}
+
+	recorderMu sync.Mutex
+	recorder   telemetry.Recorder
 )
+
+// SetRecorder installs a process-wide telemetry Recorder: every fresh VM
+// execution threads it through the VM (compile/loop/decision/site events)
+// and every grid cell reports a CellEvent. nil disables telemetry. The
+// Recorder must be safe for concurrent use — grid workers all emit into
+// it. Cached or deduplicated cells emit only their CellEvent: the
+// compile-time events of a spec are recorded once, by the execution that
+// actually ran.
+func SetRecorder(r telemetry.Recorder) {
+	recorderMu.Lock()
+	defer recorderMu.Unlock()
+	recorder = r
+}
+
+// Recorder returns the installed process-wide recorder (nil when unset).
+func Recorder() telemetry.Recorder {
+	recorderMu.Lock()
+	defer recorderMu.Unlock()
+	return recorder
+}
 
 // Counters reports how the engine satisfied Run requests since the last
 // ClearCache: fresh VM executions, completed-result cache hits, and
@@ -189,12 +213,60 @@ func execute(s Spec) (vm.RunStats, error) {
 		HeapBytes: heapBytes,
 		GC:        s.GC,
 		JIT:       jitOpts,
+		Recorder:  Recorder(),
 	})
 	stats, err := v.Measure(nil, s.Warmups)
 	if err != nil {
 		return vm.RunStats{}, fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
 	}
+	v.FlushTelemetry()
 	return stats, nil
+}
+
+// Explain runs one spec on a fresh, uncached VM with a private trace
+// recorder and returns the human-readable per-loop decision log: every
+// JIT compilation, inspection verdict, and Sec. 3.3 filter decision, plus
+// the measured run's per-site prefetch attribution. The process cache is
+// bypassed (and left untouched) so the log is always complete.
+func Explain(s Spec) (string, error) {
+	s = s.withDefaults()
+	w, err := workloads.ByName(s.Workload)
+	if err != nil {
+		return "", err
+	}
+	m := arch.ByName(s.Machine)
+	if m == nil {
+		return "", fmt.Errorf("harness: unknown machine %q", s.Machine)
+	}
+	heapBytes := s.HeapBytes
+	if heapBytes == 0 {
+		heapBytes = w.HeapBytes
+	}
+	prog := w.Build(s.Size)
+	if err := prog.Validate(); err != nil {
+		return "", fmt.Errorf("harness: %s: %w", s.Workload, err)
+	}
+	var jitOpts *jit.Options
+	if s.JIT != nil {
+		o := *s.JIT
+		o.Mode = s.Mode
+		o.Machine = m
+		jitOpts = &o
+	}
+	tr := telemetry.NewTrace()
+	v := vm.New(prog, vm.Config{
+		Machine:   m,
+		Mode:      s.Mode,
+		HeapBytes: heapBytes,
+		GC:        s.GC,
+		JIT:       jitOpts,
+		Recorder:  tr,
+	})
+	if _, err := v.Measure(nil, s.Warmups); err != nil {
+		return "", fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
+	}
+	v.FlushTelemetry()
+	return tr.DecisionLog(), nil
 }
 
 // SpeedupPct returns the percentage speedup of opt over base

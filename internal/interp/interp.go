@@ -13,19 +13,23 @@ import (
 	"errors"
 	"fmt"
 
+	"sort"
+
 	"strider/internal/arch"
 	"strider/internal/classfile"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/telemetry"
 	"strider/internal/value"
 )
 
 // MemModel is the memory-hierarchy interface the engine drives
-// (implemented by memsim.Memory).
+// (implemented by memsim.Memory). Prefetch reports what became of the
+// request so outcomes can be attributed to the emitting site.
 type MemModel interface {
 	Load(addr, size uint32, now uint64) uint64
 	Store(addr, size uint32, now uint64) uint64
-	Prefetch(addr uint32, guarded bool, now uint64)
+	Prefetch(addr uint32, guarded bool, now uint64) telemetry.PrefetchOutcome
 }
 
 // Code is an executable method body as chosen by the dispatcher.
@@ -108,9 +112,29 @@ type Engine struct {
 	// live bytes plus a per-collection constant).
 	ChargeGC bool
 
+	// Rec, when non-nil, enables per-site memory attribution: the engine
+	// aggregates prefetch outcomes (keyed by the instruction's Site, the
+	// emitting load) and demand-load stalls (keyed by pc), and FlushSites
+	// emits the aggregate. A nil Rec costs one pointer test per memory
+	// instruction and zero allocations.
+	Rec telemetry.Recorder
+
 	S Stats
 
 	frames []*frame
+	sites  map[siteKey]*siteAgg
+}
+
+// siteKey identifies one attribution site within a method.
+type siteKey struct {
+	m        *ir.Method
+	site     int
+	prefetch bool
+}
+
+type siteAgg struct {
+	issued, useless, dropped uint64
+	count, stall             uint64
 }
 
 // New creates an engine.
@@ -122,8 +146,79 @@ func New(prog *ir.Program, h *heap.Heap, mem MemModel, disp Dispatcher, m *arch.
 	}
 }
 
-// ResetStats clears the per-run statistics.
-func (e *Engine) ResetStats() { e.S = Stats{} }
+// ResetStats clears the per-run statistics and the site attribution.
+func (e *Engine) ResetStats() {
+	e.S = Stats{}
+	e.sites = nil
+}
+
+// notePrefetch attributes one prefetch outcome to its emitting site.
+func (e *Engine) notePrefetch(m *ir.Method, site int, out telemetry.PrefetchOutcome) {
+	a := e.siteAggFor(siteKey{m: m, site: site, prefetch: true})
+	a.issued++
+	switch out {
+	case telemetry.PrefetchUseless:
+		a.useless++
+	case telemetry.PrefetchDroppedTLB, telemetry.PrefetchDroppedQueue:
+		a.dropped++
+	}
+}
+
+// noteLoad attributes one demand load's stall cycles to its pc.
+func (e *Engine) noteLoad(m *ir.Method, pc int, stall uint64) {
+	a := e.siteAggFor(siteKey{m: m, site: pc})
+	a.count++
+	a.stall += stall
+}
+
+func (e *Engine) siteAggFor(k siteKey) *siteAgg {
+	if e.sites == nil {
+		e.sites = make(map[siteKey]*siteAgg)
+	}
+	a := e.sites[k]
+	if a == nil {
+		a = &siteAgg{}
+		e.sites[k] = a
+	}
+	return a
+}
+
+// FlushSites emits the aggregated site attribution as SiteEvents in a
+// deterministic order (method name, prefetch sites before load sites,
+// site index) and clears the aggregation.
+func (e *Engine) FlushSites() {
+	if e.Rec == nil || len(e.sites) == 0 {
+		e.sites = nil
+		return
+	}
+	keys := make([]siteKey, 0, len(e.sites))
+	for k := range e.sites {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if an, bn := a.m.QName(), b.m.QName(); an != bn {
+			return an < bn
+		}
+		if a.prefetch != b.prefetch {
+			return a.prefetch
+		}
+		return a.site < b.site
+	})
+	for _, k := range keys {
+		a := e.sites[k]
+		ev := telemetry.SiteEvent{Method: k.m.QName(), Site: k.site}
+		if k.prefetch {
+			ev.Kind = "prefetch"
+			ev.Issued, ev.Useless, ev.Dropped = a.issued, a.useless, a.dropped
+		} else {
+			ev.Kind = "load"
+			ev.Count, ev.StallCycles = a.count, a.stall
+		}
+		e.Rec.Site(ev)
+	}
+	e.sites = nil
+}
 
 // lineBytes returns the allocation-touch granule.
 func (e *Engine) lineBytes() uint32 { return e.Machine.L1D.LineBytes }
@@ -421,14 +516,20 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 
 		case ir.OpPrefetch:
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
-				e.Mem.Prefetch(addr, in.Guarded, e.S.Cycles)
+				out := e.Mem.Prefetch(addr, in.Guarded, e.S.Cycles)
+				if e.Rec != nil {
+					e.notePrefetch(f.m, int(in.Site), out)
+				}
 			}
 		case ir.OpSpecLoad:
 			// The guarded speculative load: never faults; fills the DTLB
 			// and caches like a (non-blocking) load; architecturally
 			// yields the loaded word, or null when out of bounds.
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
-				e.Mem.Prefetch(addr, true, e.S.Cycles)
+				out := e.Mem.Prefetch(addr, true, e.S.Cycles)
+				if e.Rec != nil {
+					e.notePrefetch(f.m, int(in.Site), out)
+				}
 				regs[in.Dst] = value.Ref(e.Heap.Load4(addr))
 			} else {
 				regs[in.Dst] = value.Null
@@ -437,6 +538,12 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			return value.Value{}, false, fmt.Errorf("interp: unimplemented op %s", in.Op)
 		}
 
+		if e.Rec != nil && memStall != 0 {
+			switch in.Op {
+			case ir.OpGetField, ir.OpArrayLoad, ir.OpArrayLen:
+				e.noteLoad(f.m, f.pc, memStall)
+			}
+		}
 		e.charge(f.compiled, memStall)
 		f.pc = next
 	}

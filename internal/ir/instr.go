@@ -72,6 +72,12 @@ type Instr struct {
 
 	Addr    AddrExpr
 	Guarded bool
+
+	// Site, on JIT-inserted OpPrefetch/OpSpecLoad instructions, is the
+	// original (pre-insertion) instruction index of the source load Lx.
+	// The telemetry layer joins runtime prefetch outcomes back to the
+	// compile-time decision that emitted them through this key.
+	Site int32
 }
 
 // Defs returns the register the instruction defines, or NoReg.

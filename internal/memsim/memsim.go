@@ -18,6 +18,7 @@ package memsim
 
 import (
 	"strider/internal/arch"
+	"strider/internal/telemetry"
 )
 
 // Counters accumulates the events the paper reports (MPIs are computed by
@@ -361,15 +362,17 @@ func (mem *Memory) queueFull(now uint64) bool {
 	return len(mem.inflight) >= mem.Arch.PrefetchQueue
 }
 
-// Prefetch simulates a software prefetch issued at cycle `now`.
+// Prefetch simulates a software prefetch issued at cycle `now` and
+// reports what became of it (the telemetry layer attributes outcomes to
+// the emitting prefetch site through the return value).
 //
 // guarded selects the guarded-load mapping: it fills the DTLB (TLB priming,
 // paper Sec. 3.3) and installs the line into both cache levels. A plain
 // hardware prefetch is cancelled on a DTLB miss and fills only the
-// machine's target level. The returned stall is always 0 — prefetches are
+// machine's target level. No stall is charged — prefetches are
 // asynchronous; their cost is modelled by the instruction issue cycles the
 // engine charges plus queue occupancy.
-func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) {
+func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) telemetry.PrefetchOutcome {
 	a := mem.Arch
 	mem.C.PrefetchesIssued++
 	if guarded {
@@ -378,11 +381,11 @@ func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) {
 	if !guarded && mem.tlbAccess(uint64(addr), false) {
 		// Hardware prefetch cancelled on DTLB miss.
 		mem.C.PrefetchesDropped++
-		return
+		return telemetry.PrefetchDroppedTLB
 	}
 	if mem.queueFull(now) {
 		mem.C.PrefetchesDropped++
-		return
+		return telemetry.PrefetchDroppedQueue
 	}
 	if guarded {
 		mem.tlbAccess(uint64(addr), true)
@@ -403,7 +406,7 @@ func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) {
 	switch {
 	case target == arch.L1 && inL1, target == arch.L2 && (l2line != nil || inL1):
 		mem.C.PrefetchesUseless++
-		return
+		return telemetry.PrefetchUseless
 	}
 	var lat uint64
 	if l2line != nil {
@@ -424,6 +427,7 @@ func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) {
 		mem.l1.fill(uint64(addr), ready)
 	}
 	mem.inflight = append(mem.inflight, ready)
+	return telemetry.PrefetchFetched
 }
 
 // LineSize returns the L1 line size (the profitability analysis granule).

@@ -1,0 +1,205 @@
+// DecisionLog renders a trace as the human-readable per-loop decision log
+// behind striderun -explain and the golden-trace test suite. The output is
+// fully deterministic for a deterministic simulation: events keep their
+// (serialized) arrival order per compilation, sites are sorted, and no
+// wall-clock values appear.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DecisionLog formats the collected compile/loop/decision/site events as a
+// per-method, per-loop decision log. Grid cell events are summarized at
+// the top. Site events are aggregated by (method, site, kind), last event
+// winning — so after a warmup+measured sequence the measured run's
+// attribution is reported.
+func (t *Trace) DecisionLog() string {
+	evs := t.Events()
+	var b strings.Builder
+
+	// Cells first (usually absent in single-run explain mode).
+	for _, ev := range evs {
+		if c, ok := ev.(CellEvent); ok {
+			note := ""
+			if c.Shared {
+				note = " (shared)"
+			}
+			if c.Err != "" {
+				note = " ERROR: " + c.Err
+			}
+			fmt.Fprintf(&b, "cell %s%s\n", c.Cell, note)
+		}
+	}
+
+	// Group compilation-time events per method in arrival order; one JIT
+	// compilation emits its loop and decision events contiguously.
+	type loopLog struct {
+		ev        LoopEvent
+		decisions []DecisionEvent
+	}
+	type methodLog struct {
+		name    string
+		compile CompileEvent
+		loops   []*loopLog
+		orphans []DecisionEvent // decisions with no preceding loop event
+	}
+	var methods []*methodLog
+	byName := map[string]*methodLog{}
+	get := func(name string) *methodLog {
+		if m, ok := byName[name]; ok {
+			return m
+		}
+		m := &methodLog{name: name}
+		byName[name] = m
+		methods = append(methods, m)
+		return m
+	}
+	type siteKey struct {
+		method string
+		site   int
+		kind   string
+	}
+	sites := map[siteKey]SiteEvent{}
+
+	for _, ev := range evs {
+		switch e := ev.(type) {
+		case CompileEvent:
+			m := get(e.Method)
+			m.compile = e
+		case LoopEvent:
+			m := get(e.Method)
+			m.loops = append(m.loops, &loopLog{ev: e})
+		case DecisionEvent:
+			m := get(e.Method)
+			// Attach to the loop event of the same header if present
+			// (decisions may precede or follow their loop verdict).
+			var target *loopLog
+			for _, l := range m.loops {
+				if l.ev.Loop == e.Loop {
+					target = l
+				}
+			}
+			if target != nil {
+				target.decisions = append(target.decisions, e)
+			} else {
+				m.orphans = append(m.orphans, e)
+			}
+		case SiteEvent:
+			sites[siteKey{e.Method, e.Site, e.Kind}] = e
+		}
+	}
+
+	for _, m := range methods {
+		if m.compile.Method != "" {
+			c := m.compile
+			fmt.Fprintf(&b, "method %s  [%s, compiled at invocation %d]\n",
+				c.Method, c.Mode, c.Invocations)
+			fmt.Fprintf(&b, "  ledger: base=%d units, prefetch=%d units, inspection=%d steps, %d prefetch instrs\n",
+				c.BaseUnits, c.PrefetchUnits, c.InspectSteps, c.Prefetches)
+		} else {
+			fmt.Fprintf(&b, "method %s\n", m.name)
+		}
+		for _, l := range m.loops {
+			e := l.ev
+			if e.Verdict == LoopNoLoads {
+				// No LDG nodes means the loop was never inspected; trip
+				// counts would be fabricated.
+				fmt.Fprintf(&b, "  loop @B%d: %s", e.Loop, e.Verdict)
+				if cl := e.Verdict.Clause(); cl != "" {
+					fmt.Fprintf(&b, "  [%s]", cl)
+				}
+				b.WriteByte('\n')
+				continue
+			}
+			exit := "capped"
+			if e.NaturalExit {
+				exit = "natural exit"
+			}
+			fmt.Fprintf(&b, "  loop @B%d: %s — %d trips (%s), %d LDG nodes, %d steps",
+				e.Loop, e.Verdict, e.Trips, exit, e.Nodes, e.Steps)
+			if cl := e.Verdict.Clause(); cl != "" {
+				fmt.Fprintf(&b, "  [%s]", cl)
+			}
+			b.WriteByte('\n')
+			writeDecisions(&b, l.decisions)
+		}
+		writeDecisions(&b, m.orphans)
+
+		// Prefetch-site attribution joined back to the emitting load.
+		var keys []siteKey
+		for k := range sites {
+			if k.method == m.name && k.kind == "prefetch" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].site < keys[j].site })
+		for _, k := range keys {
+			s := sites[k]
+			fmt.Fprintf(&b, "  site L@%d: issued=%d useless=%d dropped=%d\n",
+				s.Site, s.Issued, s.Useless, s.Dropped)
+		}
+	}
+
+	// Demand-load stall attribution, heaviest sites first (stable order:
+	// stalls desc, then method/site asc). Sites outside compiled methods
+	// appear here too.
+	var loads []SiteEvent
+	for k, s := range sites {
+		if k.kind == "load" && s.StallCycles > 0 {
+			loads = append(loads, s)
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		a, b := loads[i], loads[j]
+		if a.StallCycles != b.StallCycles {
+			return a.StallCycles > b.StallCycles
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.Site < b.Site
+	})
+	if len(loads) > maxLoadSites {
+		loads = loads[:maxLoadSites]
+	}
+	if len(loads) > 0 {
+		fmt.Fprintf(&b, "top load stall sites (measured run)\n")
+		for _, s := range loads {
+			fmt.Fprintf(&b, "  %s@%d: %d loads, %d stall cycles\n",
+				s.Method, s.Site, s.Count, s.StallCycles)
+		}
+	}
+	return b.String()
+}
+
+// maxLoadSites bounds the demand-load attribution section of the log.
+const maxLoadSites = 10
+
+func writeDecisions(b *strings.Builder, ds []DecisionEvent) {
+	for _, d := range ds {
+		subject := fmt.Sprintf("L@%d %s", d.Instr, d.Op)
+		if d.Pair >= 0 {
+			subject = fmt.Sprintf("pair (L@%d, L@%d) %s", d.Instr, d.Pair, d.Op)
+		}
+		// With samples the stride is a measured pattern (stride 0 means a
+		// loop-invariant address); without, it is the displacement a
+		// dereference or intra prefetch would use.
+		pattern := fmt.Sprintf("disp %+d", d.Stride)
+		stat := ""
+		if d.Samples > 0 {
+			pattern = fmt.Sprintf("stride %+d", d.Stride)
+			if d.Stride == 0 {
+				pattern = "stride 0 (loop-invariant)"
+			}
+			stat = fmt.Sprintf(" (ratio %.2f over %d samples)", d.Ratio, d.Samples)
+		}
+		fmt.Fprintf(b, "    %-28s %s%s -> %s", subject, pattern, stat, d.Reason)
+		if cl := d.Reason.Clause(); cl != "" {
+			fmt.Fprintf(b, "  [%s]", cl)
+		}
+		b.WriteByte('\n')
+	}
+}

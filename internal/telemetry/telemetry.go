@@ -1,0 +1,254 @@
+// Package telemetry is the observability layer of the stack: a
+// zero-dependency event vocabulary plus a Recorder interface that the VM,
+// the JIT pipeline, the memory simulator, and the experiment harness emit
+// into. A nil Recorder costs one pointer comparison per emission site and
+// zero allocations, so the layer can stay threaded through the hot paths
+// permanently.
+//
+// The events capture *why* the compiler accepted or rejected every
+// prefetch candidate — the Sec. 3.3 profitability filter and the hardware
+// mapping are the paper's load-bearing decisions, and end-of-run counters
+// cannot explain a moved table cell. Each Reason code names the clause it
+// implements, so a decision log reads back against the paper directly.
+package telemetry
+
+import "time"
+
+// Reason codes every prefetch-candidate decision with the rule that
+// produced it. Emit* codes mean an instruction was generated; Filter*
+// codes are per-candidate rejections (the Sec. 3.3 profitability
+// analysis); Loop* codes are whole-loop verdicts from object inspection.
+type Reason uint8
+
+// The decision vocabulary.
+const (
+	ReasonNone Reason = iota
+
+	// EmitInter: a plain inter-iteration prefetch(A(Lx)+d*c) was inserted.
+	EmitInter
+	// EmitSpecLoad: a spec_load of the predicted A(Lx)+d*c was inserted
+	// (the root of dereference-based prefetching).
+	EmitSpecLoad
+	// EmitDeref: a dereference prefetch(F(a)) was inserted for a pair.
+	EmitDeref
+	// EmitIntra: an intra-iteration prefetch(F(a)+S) was inserted for a
+	// pair related by intra-stride edges.
+	EmitIntra
+
+	// FilterNoUse: rejected by profitability condition 1 — no instruction
+	// is data dependent on the load.
+	FilterNoUse
+	// FilterDupLine: rejected by profitability condition 2 — the target
+	// apparently shares a cache line with an already-prefetched address.
+	FilterDupLine
+	// FilterSmallStride: rejected by profitability condition 3 — the
+	// stride is within half a cache line, so the hardware prefetcher
+	// already covers it.
+	FilterSmallStride
+	// FilterNoPattern: the inspected trace has no qualifying dominant
+	// stride — either no delta reached the majority threshold (Sec. 3.2's
+	// 75% rule), or the dominant stride is zero (a loop-invariant
+	// address, covered by its first access).
+	FilterNoPattern
+	// FilterHugeStride: the stride times the scheduling distance is
+	// implausibly large; never profitable.
+	FilterHugeStride
+	// FilterNoAddr: the load has no prefetchable address expression
+	// (e.g. getstatic).
+	FilterNoAddr
+
+	// LoopAccepted: the loop's graph was annotated and sent to codegen.
+	LoopAccepted
+	// LoopSmallTrip: the loop exited naturally within the small-trip
+	// bound; its loads are promoted into the parent's graph instead.
+	LoopSmallTrip
+	// LoopIncomplete: object inspection never observed two full
+	// iterations of the loop.
+	LoopIncomplete
+	// LoopNoLoads: the loop body contains no loads to consider.
+	LoopNoLoads
+)
+
+var reasonNames = [...]string{
+	ReasonNone:        "NONE",
+	EmitInter:         "EMIT_INTER",
+	EmitSpecLoad:      "EMIT_SPECLOAD",
+	EmitDeref:         "EMIT_DEREF",
+	EmitIntra:         "EMIT_INTRA",
+	FilterNoUse:       "FILTER_NO_USE",
+	FilterDupLine:     "FILTER_DUP_LINE",
+	FilterSmallStride: "FILTER_SMALL_STRIDE",
+	FilterNoPattern:   "FILTER_NO_PATTERN",
+	FilterHugeStride:  "FILTER_HUGE_STRIDE",
+	FilterNoAddr:      "FILTER_NO_ADDR",
+	LoopAccepted:      "LOOP_ACCEPTED",
+	LoopSmallTrip:     "LOOP_SMALL_TRIP",
+	LoopIncomplete:    "LOOP_INCOMPLETE",
+	LoopNoLoads:       "LOOP_NO_LOADS",
+}
+
+// String returns the stable reason mnemonic used in logs and exports.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "REASON?"
+}
+
+// Clause names the paper rule a reason code implements, or "" when the
+// code is not tied to a specific clause.
+func (r Reason) Clause() string {
+	switch r {
+	case FilterNoUse:
+		return "Sec. 3.3 profitability (1): no data-dependent use"
+	case FilterDupLine:
+		return "Sec. 3.3 profitability (2): cache line already prefetched"
+	case FilterSmallStride:
+		return "Sec. 3.3 profitability (3): stride within half a line"
+	case FilterNoPattern:
+		return "Sec. 3.2: no qualifying dominant stride"
+	case LoopSmallTrip:
+		return "Sec. 3: small trip count, loads promoted to parent"
+	case EmitInter, EmitSpecLoad, EmitDeref, EmitIntra:
+		return "Sec. 3.3 code generation"
+	}
+	return ""
+}
+
+// Emitted reports whether the reason corresponds to generated code.
+func (r Reason) Emitted() bool {
+	switch r {
+	case EmitInter, EmitSpecLoad, EmitDeref, EmitIntra:
+		return true
+	}
+	return false
+}
+
+// PrefetchOutcome is what the memory simulator did with one software
+// prefetch request (the return value of memsim's Prefetch).
+type PrefetchOutcome uint8
+
+// Prefetch outcomes.
+const (
+	// PrefetchFetched: the line was not at the target level; a fill was
+	// started and an in-flight slot consumed.
+	PrefetchFetched PrefetchOutcome = iota
+	// PrefetchUseless: the line was already present at or above the
+	// target level; the request consumed an issue slot for nothing.
+	PrefetchUseless
+	// PrefetchDroppedTLB: a plain (hardware) prefetch was cancelled on a
+	// DTLB miss.
+	PrefetchDroppedTLB
+	// PrefetchDroppedQueue: the bounded prefetch queue was full.
+	PrefetchDroppedQueue
+)
+
+// String returns the outcome mnemonic.
+func (o PrefetchOutcome) String() string {
+	switch o {
+	case PrefetchFetched:
+		return "fetched"
+	case PrefetchUseless:
+		return "useless"
+	case PrefetchDroppedTLB:
+		return "dropped-tlb"
+	case PrefetchDroppedQueue:
+		return "dropped-queue"
+	}
+	return "outcome?"
+}
+
+// CompileEvent is one JIT compilation: the threshold hit, the loops
+// processed, and the compile-time ledger (Figure 11's terms).
+type CompileEvent struct {
+	Method        string
+	Mode          string
+	Invocations   int // invocation count that triggered compilation
+	Loops         int // loops whose graphs reached annotation
+	InspectSteps  int // instructions interpreted by object inspection
+	BaseUnits     uint64
+	PrefetchUnits uint64
+	Prefetches    int // prefetch + spec_load instructions inserted
+}
+
+// LoopEvent is the object-inspection verdict for one target loop.
+type LoopEvent struct {
+	Method      string
+	Loop        int // loop header block ID
+	Verdict     Reason
+	Trips       int // target-loop iterations observed
+	NaturalExit bool
+	Steps       int // inspection steps spent on this loop
+	Nodes       int // load dependence graph nodes
+}
+
+// DecisionEvent is one stride/filter decision for a load (Pair < 0) or a
+// load pair (Pair = the dependent load Ly). Instr indices refer to the
+// method's original (pre-insertion) code, matching striderun -dot output.
+type DecisionEvent struct {
+	Method  string
+	Loop    int // loop header block ID
+	Instr   int // Lx: the load's instruction index
+	Pair    int // Ly for pair decisions, -1 otherwise
+	Op      string
+	Stride  int64   // discovered stride (inter for loads, intra for pairs)
+	Ratio   float64 // dominance ratio of the winning stride
+	Samples int     // samples behind the ratio
+	Reason  Reason
+}
+
+// SiteEvent is end-of-run memory attribution for one code site: either a
+// prefetch site (Kind "prefetch"; Issued/Useless/Dropped filled) or a
+// demand-load site (Kind "load"; Count/StallCycles filled). For prefetch
+// sites, Site is the original instruction index of the source load Lx —
+// the same index DecisionEvents carry — so outcomes join back to the
+// decision that emitted them.
+type SiteEvent struct {
+	Method      string
+	Site        int
+	Kind        string
+	Issued      uint64
+	Useless     uint64
+	Dropped     uint64
+	Count       uint64
+	StallCycles uint64
+}
+
+// CellEvent is one harness grid cell completing: scheduling telemetry.
+type CellEvent struct {
+	Cell   string
+	Wall   time.Duration
+	Shared bool // served from cache or joined an in-flight execution
+	Err    string
+}
+
+// Recorder receives telemetry events. Implementations must be safe for
+// concurrent use: the harness hammers one Recorder from every grid
+// worker. Emission sites guard with a nil check, so a nil Recorder is
+// free.
+type Recorder interface {
+	Compile(CompileEvent)
+	Loop(LoopEvent)
+	Decision(DecisionEvent)
+	Site(SiteEvent)
+	Cell(CellEvent)
+}
+
+// Nop is a Recorder that discards everything; embed it to implement only
+// the events a test cares about.
+type Nop struct{}
+
+// Compile implements Recorder.
+func (Nop) Compile(CompileEvent) {}
+
+// Loop implements Recorder.
+func (Nop) Loop(LoopEvent) {}
+
+// Decision implements Recorder.
+func (Nop) Decision(DecisionEvent) {}
+
+// Site implements Recorder.
+func (Nop) Site(SiteEvent) {}
+
+// Cell implements Recorder.
+func (Nop) Cell(CellEvent) {}

@@ -1,0 +1,287 @@
+// Trace: the standard in-memory Recorder, exportable as Chrome
+// trace_event JSON (chrome://tracing, Perfetto) and as a flat CSV metric
+// table.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace collects events in memory. It is safe for concurrent use; event
+// order is the serialized arrival order.
+type Trace struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+}
+
+type traceEvent struct {
+	ts time.Duration // since trace start
+	ev any           // one of the *Event structs
+}
+
+// NewTrace creates an empty trace; timestamps are relative to this call.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+func (t *Trace) add(ev any) {
+	now := time.Since(t.start)
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{ts: now, ev: ev})
+	t.mu.Unlock()
+}
+
+// Compile implements Recorder.
+func (t *Trace) Compile(e CompileEvent) { t.add(e) }
+
+// Loop implements Recorder.
+func (t *Trace) Loop(e LoopEvent) { t.add(e) }
+
+// Decision implements Recorder.
+func (t *Trace) Decision(e DecisionEvent) { t.add(e) }
+
+// Site implements Recorder.
+func (t *Trace) Site(e SiteEvent) { t.add(e) }
+
+// Cell implements Recorder.
+func (t *Trace) Cell(e CellEvent) { t.add(e) }
+
+// Len returns the number of collected events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the collected events in arrival order.
+func (t *Trace) Events() []any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]any, len(t.events))
+	for i, e := range t.events {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// snapshot copies the raw event list for the exporters.
+func (t *Trace) snapshot() []traceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]traceEvent(nil), t.events...)
+}
+
+// chromeEvent is one entry of the Chrome trace_event "JSON Array Format";
+// ph "i" is an instant event, ph "X" a complete event with a duration.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON object
+// format ({"traceEvents": [...]}), loadable by chrome://tracing and
+// Perfetto. Grid cells become complete ("X") events spanning their wall
+// time; everything else becomes an instant ("i") event carrying its
+// payload in args.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	evs := t.snapshot()
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: make([]chromeEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+
+	for _, te := range evs {
+		ts := te.ts.Microseconds()
+		ce := chromeEvent{Ph: "i", TS: ts, PID: 1, TID: 1, Scope: "t"}
+		switch e := te.ev.(type) {
+		case CompileEvent:
+			ce.Name = "compile " + e.Method
+			ce.Cat = "jit"
+			ce.Args = map[string]any{
+				"mode": e.Mode, "invocations": e.Invocations,
+				"loops": e.Loops, "inspect_steps": e.InspectSteps,
+				"base_units": e.BaseUnits, "prefetch_units": e.PrefetchUnits,
+				"prefetches": e.Prefetches,
+			}
+		case LoopEvent:
+			ce.Name = fmt.Sprintf("loop %s@B%d", e.Method, e.Loop)
+			ce.Cat = "inspect"
+			ce.Args = map[string]any{
+				"verdict": e.Verdict.String(), "trips": e.Trips,
+				"natural_exit": e.NaturalExit, "steps": e.Steps, "nodes": e.Nodes,
+			}
+		case DecisionEvent:
+			ce.Name = fmt.Sprintf("decision %s@%d", e.Method, e.Instr)
+			ce.Cat = "filter"
+			ce.Args = map[string]any{
+				"op": e.Op, "loop": e.Loop, "pair": e.Pair,
+				"stride": e.Stride, "ratio": e.Ratio, "samples": e.Samples,
+				"reason": e.Reason.String(), "clause": e.Reason.Clause(),
+			}
+		case SiteEvent:
+			ce.Name = fmt.Sprintf("site %s@%d", e.Method, e.Site)
+			ce.Cat = "memsim"
+			ce.Args = map[string]any{
+				"kind": e.Kind, "issued": e.Issued, "useless": e.Useless,
+				"dropped": e.Dropped, "count": e.Count, "stall_cycles": e.StallCycles,
+			}
+		case CellEvent:
+			ce.Name = e.Cell
+			ce.Cat = "grid"
+			ce.Ph = "X"
+			ce.Scope = ""
+			ce.Dur = e.Wall.Microseconds()
+			if ce.TS >= ce.Dur {
+				ce.TS -= ce.Dur // cells report at completion; span backwards
+			}
+			ce.TID = 2
+			ce.Args = map[string]any{"shared": e.Shared}
+			if e.Err != "" {
+				ce.Args["error"] = e.Err
+			}
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// csvColumns is the fixed column superset of the CSV metric export;
+// columns not applicable to an event kind are left empty.
+var csvColumns = []string{
+	"ts_us", "kind", "method", "mode", "loop", "instr", "pair", "op",
+	"reason", "clause", "stride", "ratio", "samples", "trips", "steps",
+	"nodes", "invocations", "loops", "base_units", "prefetch_units",
+	"prefetches", "issued", "useless", "dropped", "count", "stall_cycles",
+	"cell", "wall_us", "shared", "error",
+}
+
+// WriteCSV writes one row per event with a fixed column superset, so the
+// file loads into any spreadsheet or dataframe without a schema.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	col := make(map[string]int, len(csvColumns))
+	for i, name := range csvColumns {
+		col[name] = i
+	}
+	if err := writeCSVRow(w, csvColumns); err != nil {
+		return err
+	}
+	for _, te := range t.snapshot() {
+		row := make([]string, len(csvColumns))
+		set := func(name, v string) { row[col[name]] = v }
+		set("ts_us", strconv.FormatInt(te.ts.Microseconds(), 10))
+		switch e := te.ev.(type) {
+		case CompileEvent:
+			set("kind", "compile")
+			set("method", e.Method)
+			set("mode", e.Mode)
+			set("invocations", strconv.Itoa(e.Invocations))
+			set("loops", strconv.Itoa(e.Loops))
+			set("steps", strconv.Itoa(e.InspectSteps))
+			set("base_units", strconv.FormatUint(e.BaseUnits, 10))
+			set("prefetch_units", strconv.FormatUint(e.PrefetchUnits, 10))
+			set("prefetches", strconv.Itoa(e.Prefetches))
+		case LoopEvent:
+			set("kind", "loop")
+			set("method", e.Method)
+			set("loop", strconv.Itoa(e.Loop))
+			set("reason", e.Verdict.String())
+			set("clause", e.Verdict.Clause())
+			set("trips", strconv.Itoa(e.Trips))
+			set("steps", strconv.Itoa(e.Steps))
+			set("nodes", strconv.Itoa(e.Nodes))
+		case DecisionEvent:
+			set("kind", "decision")
+			set("method", e.Method)
+			set("loop", strconv.Itoa(e.Loop))
+			set("instr", strconv.Itoa(e.Instr))
+			if e.Pair >= 0 {
+				set("pair", strconv.Itoa(e.Pair))
+			}
+			set("op", e.Op)
+			set("reason", e.Reason.String())
+			set("clause", e.Reason.Clause())
+			set("stride", strconv.FormatInt(e.Stride, 10))
+			set("ratio", strconv.FormatFloat(e.Ratio, 'f', 3, 64))
+			set("samples", strconv.Itoa(e.Samples))
+		case SiteEvent:
+			set("kind", "site")
+			set("method", e.Method)
+			set("instr", strconv.Itoa(e.Site))
+			set("op", e.Kind)
+			set("issued", strconv.FormatUint(e.Issued, 10))
+			set("useless", strconv.FormatUint(e.Useless, 10))
+			set("dropped", strconv.FormatUint(e.Dropped, 10))
+			set("count", strconv.FormatUint(e.Count, 10))
+			set("stall_cycles", strconv.FormatUint(e.StallCycles, 10))
+		case CellEvent:
+			set("kind", "cell")
+			set("cell", e.Cell)
+			set("wall_us", strconv.FormatInt(e.Wall.Microseconds(), 10))
+			set("shared", strconv.FormatBool(e.Shared))
+			set("error", e.Err)
+		default:
+			continue
+		}
+		if err := writeCSVRow(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVRow joins and quotes a row (only the clause and error columns
+// can contain commas; quote defensively everywhere it matters).
+func writeCSVRow(w io.Writer, row []string) error {
+	for i, f := range row {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if needsQuote(f) {
+			f = "\"" + escapeQuotes(f) + "\""
+		}
+		if _, err := io.WriteString(w, f); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func needsQuote(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n':
+			return true
+		}
+	}
+	return false
+}
+
+func escapeQuotes(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

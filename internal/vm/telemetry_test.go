@@ -1,0 +1,138 @@
+package vm_test
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+	"strider/internal/core/jit"
+	"strider/internal/ir"
+	"strider/internal/telemetry"
+	"strider/internal/value"
+	"strider/internal/vm"
+)
+
+// arraySumProgram: main builds an int array of length n, then calls
+// sum(arr) `calls` times; sum's loop loads every `step`-th element — the
+// execution path where per-instruction telemetry checks must be free. A
+// step of 32 ints (128 bytes) clears the half-line profitability filter
+// on both machines, so INTER+INTRA emits real prefetches.
+func arraySumProgram(calls, n, step int32) *ir.Program {
+	u := classfile.NewUniverse()
+	p := ir.NewProgram(u)
+
+	sb := ir.NewBuilder(p, nil, "sum", value.KindInt, value.KindRef)
+	arr := sb.Param(0)
+	ln := sb.ArrayLen(arr)
+	i := sb.ConstInt(0)
+	total := sb.ConstInt(0)
+	cond := sb.NewLabel()
+	body := sb.NewLabel()
+	sb.Goto(cond)
+	sb.Bind(body)
+	v := sb.ArrayLoad(value.KindInt, arr, i)
+	sb.ArithTo(total, ir.OpAdd, value.KindInt, total, v)
+	sb.IncInt(i, step)
+	sb.Bind(cond)
+	sb.Br(value.KindInt, ir.CondLT, i, ln, body)
+	sb.Return(total)
+	sum := sb.Finish()
+
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	nn := b.ConstInt(n)
+	arr2 := b.NewArray(value.KindInt, nn)
+	j := b.ConstInt(0)
+	fcond := b.NewLabel()
+	fbody := b.NewLabel()
+	b.Goto(fcond)
+	b.Bind(fbody)
+	b.ArrayStore(value.KindInt, arr2, j, j)
+	b.IncInt(j, 1)
+	b.Bind(fcond)
+	b.Br(value.KindInt, ir.CondLT, j, nn, fbody)
+
+	acc := b.ConstInt(0)
+	c := b.ConstInt(0)
+	cc := b.ConstInt(calls)
+	scond := b.NewLabel()
+	sbody := b.NewLabel()
+	b.Goto(scond)
+	b.Bind(sbody)
+	r := b.Call(sum, arr2)
+	b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, r)
+	b.IncInt(c, 1)
+	b.Bind(scond)
+	b.Br(value.KindInt, ir.CondLT, c, cc, sbody)
+	b.Sink(acc)
+	b.Return(acc)
+	p.Entry = b.Finish()
+	return p
+}
+
+// TestNilRecorderAddsNoAllocsToHotLoop proves the telemetry hooks cost
+// nothing when disabled: steady-state run allocations must not grow with
+// the iteration count, i.e. the per-instruction paths (prefetch outcome
+// and load-stall attribution) allocate only when a Recorder is installed.
+func TestNilRecorderAddsNoAllocsToHotLoop(t *testing.T) {
+	measure := func(n int32) float64 {
+		p := arraySumProgram(4, n, 1)
+		v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra})
+		if _, err := v.Measure(nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			v.ResetRun()
+			if _, err := v.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(100)
+	large := measure(3000)
+	// 29x the loop iterations must not change the per-run allocation
+	// count: whatever fixed cost a run has (frames, result), the hot loop
+	// itself contributes zero.
+	if large > small {
+		t.Errorf("hot loop allocates with nil Recorder: %v allocs at n=100, %v at n=3000",
+			small, large)
+	}
+}
+
+// TestRecorderSeesCompileAndSiteEvents wires a Trace through vm.Config and
+// checks the compile event and the post-flush site attribution appear.
+func TestRecorderSeesCompileAndSiteEvents(t *testing.T) {
+	tr := telemetry.NewTrace()
+	p := arraySumProgram(4, 4096, 32)
+	v := vm.New(p, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra, Recorder: tr})
+	if _, err := v.Measure(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	v.FlushTelemetry()
+
+	var compiles, sites, loops int
+	for _, ev := range tr.Events() {
+		switch e := ev.(type) {
+		case telemetry.CompileEvent:
+			compiles++
+			if e.Method == "::sum" && e.Prefetches == 0 {
+				t.Error("sum compiled without prefetches under INTER+INTRA")
+			}
+		case telemetry.SiteEvent:
+			sites++
+			if e.Kind == "prefetch" && e.Issued == 0 {
+				t.Errorf("prefetch site %s@%d flushed with zero issues", e.Method, e.Site)
+			}
+		case telemetry.LoopEvent:
+			loops++
+		}
+	}
+	if compiles < 2 {
+		t.Errorf("compile events = %d, want >= 2 (sum and main)", compiles)
+	}
+	if loops == 0 {
+		t.Error("no loop verdict events recorded")
+	}
+	if sites == 0 {
+		t.Error("no site attribution events flushed")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strider/internal/interp"
 	"strider/internal/ir"
 	"strider/internal/memsim"
+	"strider/internal/telemetry"
 	"strider/internal/value"
 )
 
@@ -37,6 +38,12 @@ type Config struct {
 	// JIT optionally overrides the paper-default jit.Options; leave the
 	// zero value to use jit.DefaultOptions(Machine, Mode).
 	JIT *jit.Options
+
+	// Recorder, when non-nil, receives the VM's telemetry: JIT compile
+	// events, per-loop inspection verdicts, per-candidate filter
+	// decisions, and (after FlushSites) per-site memory attribution. A
+	// nil Recorder adds no allocations to the execution hot loop.
+	Recorder telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -135,7 +142,11 @@ func New(prog *ir.Program, cfg Config) *VM {
 	} else {
 		v.JITOpts = jit.DefaultOptions(cfg.Machine, cfg.Mode)
 	}
+	if cfg.Recorder != nil {
+		v.JITOpts.Rec = cfg.Recorder
+	}
 	v.Engine = interp.New(prog, h, mem, v, cfg.Machine)
+	v.Engine.Rec = cfg.Recorder
 	return v
 }
 
@@ -155,6 +166,18 @@ func (v *VM) Invoke(m *ir.Method, args []value.Value) *interp.Code {
 	v.prefetchUnits += c.PrefetchUnits
 	v.inspectSteps += c.InspectSteps
 	addStats(&v.prefetchStats, c.Prefetch)
+	if r := v.Config.Recorder; r != nil {
+		r.Compile(telemetry.CompileEvent{
+			Method:        m.QName(),
+			Mode:          v.JITOpts.Mode.String(),
+			Invocations:   v.counts[m],
+			Loops:         len(c.Graphs),
+			InspectSteps:  c.InspectSteps,
+			BaseUnits:     c.BaseUnits,
+			PrefetchUnits: c.PrefetchUnits,
+			Prefetches:    c.Prefetch.Total(),
+		})
+	}
 	return &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
 }
 
@@ -207,6 +230,13 @@ func (v *VM) Run(args []value.Value) (RunStats, error) {
 	}
 	return stats, err
 }
+
+// FlushTelemetry emits the engine's per-site memory attribution (prefetch
+// outcomes per emitting site, demand-load stalls per pc) to the
+// configured Recorder and clears it. Call it after the run of interest —
+// ResetRun clears the aggregation, so after Measure the flushed sites
+// cover exactly the measured run.
+func (v *VM) FlushTelemetry() { v.Engine.FlushSites() }
 
 // Measure runs the program warmups+1 times, resetting between runs, and
 // returns the statistics of the final (steady-state) run.

@@ -23,6 +23,7 @@ import (
 	"strider/internal/harness"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -105,6 +106,30 @@ func Parallelism() int { return harness.Parallelism() }
 // default, disables them). Table and figure output is unaffected, so
 // results stay byte-identical at every parallelism level.
 func SetProgress(w io.Writer) { harness.SetProgress(w) }
+
+// Recorder receives the stack's telemetry events: JIT compiles, loop
+// inspection verdicts, Sec. 3.3 filter decisions, per-site memory
+// attribution, and grid cell scheduling. Implementations must be safe for
+// concurrent use when batch runs are parallel.
+type Recorder = telemetry.Recorder
+
+// Trace is the built-in Recorder: a concurrency-safe in-memory collector
+// with Chrome trace_event JSON export (WriteChromeTrace), CSV metric
+// export (WriteCSV), and a human-readable decision log (DecisionLog).
+type Trace = telemetry.Trace
+
+// NewTrace returns an empty Trace.
+func NewTrace() *Trace { return telemetry.NewTrace() }
+
+// SetRecorder installs r as the telemetry sink for subsequent Run/RunAll
+// calls (nil, the default, disables telemetry at zero cost). Cells served
+// from the result cache emit only their grid cell event — use Explain for
+// a complete single-run decision trace.
+func SetRecorder(r Recorder) { harness.SetRecorder(r) }
+
+// Explain runs one spec on a private, uncached VM with tracing enabled
+// and returns the human-readable per-loop prefetch decision log.
+func Explain(s Spec) (string, error) { return harness.Explain(s) }
 
 // Speedups measures the INTER and INTER+INTRA speedups (percent) of a
 // workload over BASELINE on the named machine.
