@@ -20,6 +20,7 @@ import (
 	"strider/internal/core/jit"
 	"strider/internal/harness"
 	"strider/internal/heap"
+	"strider/internal/oracle"
 	"strider/internal/value"
 	"strider/internal/vm"
 	"strider/internal/workloads"
@@ -397,6 +398,53 @@ func BenchmarkJITCompileWithInspection(b *testing.B) {
 }
 
 // BenchmarkInterpreter measures raw execution speed of the engine.
+// BenchmarkOracle prices the differential suite's reference side: the
+// prefetch-blind naive interpreter running jess (small), fingerprint
+// included. Compare with BenchmarkVM — the full JIT+memsim stack on the
+// same workload — to see what the oracle's simplicity buys.
+func BenchmarkOracle(b *testing.B) {
+	w, err := workloads.ByName("jess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var loads uint64
+	for i := 0; i < b.N; i++ {
+		// Rebuilt each iteration: the oracle runs over the program's own
+		// universe, so statics carry state between runs of one build.
+		prog := w.Build(workloads.SizeSmall)
+		fp, err := oracle.Run(prog, nil, oracle.Config{HeapBytes: w.HeapBytes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fp.Trap != oracle.TrapNone {
+			b.Fatalf("trap %q", fp.Trap)
+		}
+		loads = fp.Loads
+	}
+	b.ReportMetric(float64(loads), "demand_loads/op")
+}
+
+// BenchmarkVM is BenchmarkOracle's counterpart: the same workload through
+// the full stack (JIT with object inspection, memory simulator) under the
+// paper's complete algorithm.
+func BenchmarkVM(b *testing.B) {
+	w, err := workloads.ByName("jess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		prog := w.Build(workloads.SizeSmall)
+		v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
+		s, err := v.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = s.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simulated_cycles/op")
+}
+
 func BenchmarkInterpreter(b *testing.B) {
 	w, _ := workloads.ByName("search")
 	prog := w.Build(workloads.SizeSmall)

@@ -5,18 +5,29 @@
 //
 //	striderun -workload db -machine Pentium4 -mode inter+intra -size full
 //	striderun -workload jess -explain
+//	striderun -workload jess -verify
 //	striderun -list
 //
 // -explain replaces the metric summary with a human-readable decision
 // log: every JIT compile, each loop's inspection verdict, each prefetch
 // candidate's emit/filter decision with its Sec. 3.3 reason code, and the
 // per-site memory attribution of the measured run.
+//
+// -verify runs the workload through the differential oracle instead: a
+// prefetch-blind reference interpreter's architectural fingerprint must
+// be reproduced by the full JIT+memsim stack under every prefetching
+// configuration on both machines.
+//
+// Exit status: 0 on success, 1 on execution or verification failure,
+// 2 on a usage error (unknown workload, machine, mode, size, or gc).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"strider/internal/arch"
 	"strider/internal/core/jit"
@@ -27,24 +38,45 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "jess", "benchmark analog to run (-list to enumerate)")
-	machine := flag.String("machine", "Pentium4", "Pentium4 or AthlonMP")
-	modeFlag := flag.String("mode", "inter+intra", "baseline, inter, or inter+intra")
-	sizeFlag := flag.String("size", "small", "small or full")
-	gcFlag := flag.String("gc", "compact", "compact (sliding compaction) or freelist")
-	list := flag.Bool("list", false, "list workloads and exit")
-	dot := flag.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
-	explain := flag.Bool("explain", false, "print the per-loop prefetch decision log instead of the metric summary")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		fmt.Printf("%-12s %-10s %s\n", "name", "suite", "description")
-		for _, w := range workloads.All() {
-			fmt.Printf("%-12s %-10s %s\n", w.Name, w.Suite, w.Description)
-		}
-		return
+// run is the whole CLI; main only binds it to the process. All flag
+// values are validated up front — an unknown workload, machine, mode,
+// size, or gc prints the valid set and returns 2 before anything runs.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("striderun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "jess", "benchmark analog to run (-list to enumerate)")
+	machine := fs.String("machine", "Pentium4", "Pentium4 or AthlonMP")
+	modeFlag := fs.String("mode", "inter+intra", "baseline, inter, or inter+intra")
+	sizeFlag := fs.String("size", "small", "small or full")
+	gcFlag := fs.String("gc", "compact", "compact (sliding compaction) or freelist")
+	list := fs.Bool("list", false, "list workloads and exit")
+	dot := fs.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
+	explain := fs.Bool("explain", false, "print the per-loop prefetch decision log instead of the metric summary")
+	verify := fs.Bool("verify", false, "differentially verify the workload against the prefetch-blind oracle instead of measuring it")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
+	if *list {
+		fmt.Fprintf(stdout, "%-12s %-10s %s\n", "name", "suite", "description")
+		for _, w := range workloads.All() {
+			fmt.Fprintf(stdout, "%-12s %-10s %s\n", w.Name, w.Suite, w.Description)
+		}
+		return 0
+	}
+
+	// Upfront validation of every enumerated flag.
+	if _, err := workloads.ByName(*workload); err != nil {
+		fmt.Fprintf(stderr, "striderun: %v\n", err)
+		return 2
+	}
+	if arch.ByName(*machine) == nil {
+		fmt.Fprintf(stderr, "striderun: unknown machine %q (valid: %s)\n", *machine, strings.Join(machineNames(), ", "))
+		return 2
+	}
 	var mode jit.Mode
 	switch *modeFlag {
 	case "baseline":
@@ -54,24 +86,49 @@ func main() {
 	case "inter+intra":
 		mode = jit.InterIntra
 	default:
-		fmt.Fprintf(os.Stderr, "striderun: bad -mode %q\n", *modeFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "striderun: unknown mode %q (valid: baseline, inter, inter+intra)\n", *modeFlag)
+		return 2
 	}
-	size := workloads.SizeSmall
-	if *sizeFlag == "full" {
+	var size workloads.Size
+	switch *sizeFlag {
+	case "small":
+		size = workloads.SizeSmall
+	case "full":
 		size = workloads.SizeFull
+	default:
+		fmt.Fprintf(stderr, "striderun: unknown size %q (valid: small, full)\n", *sizeFlag)
+		return 2
 	}
-	gc := heap.GCSlidingCompact
-	if *gcFlag == "freelist" {
+	var gc heap.GCMode
+	switch *gcFlag {
+	case "compact":
+		gc = heap.GCSlidingCompact
+	case "freelist":
 		gc = heap.GCMarkSweepFreeList
+	default:
+		fmt.Fprintf(stderr, "striderun: unknown gc %q (valid: compact, freelist)\n", *gcFlag)
+		return 2
+	}
+
+	if *verify {
+		rep, err := harness.Verify(*workload, size, gc)
+		if err != nil {
+			fmt.Fprintf(stderr, "striderun: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, rep.Summary())
+		if !rep.OK() {
+			return 1
+		}
+		return 0
 	}
 
 	if *dot != "" {
-		if err := dumpDot(*workload, *machine, mode, size, gc, *dot); err != nil {
-			fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
-			os.Exit(1)
+		if err := dumpDot(stdout, *workload, *machine, mode, size, gc, *dot); err != nil {
+			fmt.Fprintf(stderr, "striderun: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *explain {
@@ -79,37 +136,46 @@ func main() {
 			Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "striderun: %v\n", err)
+			return 1
 		}
-		fmt.Print(log)
-		return
+		fmt.Fprint(stdout, log)
+		return 0
 	}
 
 	s, err := harness.Run(harness.Spec{
 		Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "striderun: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "striderun: %v\n", err)
+		return 1
 	}
-	fmt.Printf("workload     %s (%s, %s, %s)\n", *workload, *machine, mode, size)
-	fmt.Printf("cycles       %d\n", s.Cycles)
-	fmt.Printf("instructions %d\n", s.Instructions)
-	fmt.Printf("checksum     %016x\n", s.Checksum)
-	fmt.Printf("compiled     %.1f%% of cycles (%d methods)\n", 100*s.CompiledFraction(), s.CompiledMethods)
-	fmt.Printf("GCs          %d (%d cycles)\n", s.GCs, s.GCCycles)
-	fmt.Printf("L1 load MPI  %.5f\n", s.L1LoadMPI())
-	fmt.Printf("L2 load MPI  %.5f\n", s.L2LoadMPI())
-	fmt.Printf("DTLB MPI     %.5f\n", s.DTLBLoadMPI())
-	fmt.Printf("prefetches   issued=%d guarded=%d dropped=%d useless=%d hw=%d\n",
+	fmt.Fprintf(stdout, "workload     %s (%s, %s, %s)\n", *workload, *machine, mode, size)
+	fmt.Fprintf(stdout, "cycles       %d\n", s.Cycles)
+	fmt.Fprintf(stdout, "instructions %d\n", s.Instructions)
+	fmt.Fprintf(stdout, "checksum     %016x\n", s.Checksum)
+	fmt.Fprintf(stdout, "compiled     %.1f%% of cycles (%d methods)\n", 100*s.CompiledFraction(), s.CompiledMethods)
+	fmt.Fprintf(stdout, "GCs          %d (%d cycles)\n", s.GCs, s.GCCycles)
+	fmt.Fprintf(stdout, "L1 load MPI  %.5f\n", s.L1LoadMPI())
+	fmt.Fprintf(stdout, "L2 load MPI  %.5f\n", s.L2LoadMPI())
+	fmt.Fprintf(stdout, "DTLB MPI     %.5f\n", s.DTLBLoadMPI())
+	fmt.Fprintf(stdout, "prefetches   issued=%d guarded=%d dropped=%d useless=%d hw=%d\n",
 		s.Mem.PrefetchesIssued, s.Mem.PrefetchesGuarded, s.Mem.PrefetchesDropped,
 		s.Mem.PrefetchesUseless, s.Mem.HWPrefetches)
-	fmt.Printf("codegen      inter=%d specload=%d deref=%d intra=%d (filtered: line=%d dup=%d use=%d)\n",
+	fmt.Fprintf(stdout, "codegen      inter=%d specload=%d deref=%d intra=%d (filtered: line=%d dup=%d use=%d)\n",
 		s.Prefetch.InterPrefetches, s.Prefetch.SpecLoads, s.Prefetch.DerefPrefetches,
 		s.Prefetch.IntraPrefetches, s.Prefetch.FilteredLine, s.Prefetch.FilteredDup, s.Prefetch.FilteredUse)
-	fmt.Printf("JIT ledger   total=%d units, prefetch phase=%d units (%.2f%%), inspection steps=%d\n",
+	fmt.Fprintf(stdout, "JIT ledger   total=%d units, prefetch phase=%d units (%.2f%%), inspection steps=%d\n",
 		s.JITUnits, s.PrefetchUnits, 100*float64(s.PrefetchUnits)/float64(max64(s.JITUnits, 1)), s.InspectSteps)
+	return 0
+}
+
+func machineNames() []string {
+	var names []string
+	for _, m := range arch.Machines() {
+		names = append(names, m.Name)
+	}
+	return names
 }
 
 func max64(a, b uint64) uint64 {
@@ -121,7 +187,7 @@ func max64(a, b uint64) uint64 {
 
 // dumpDot runs the workload once and prints the requested method's
 // annotated load dependence graphs in Graphviz format.
-func dumpDot(workload, machine string, mode jit.Mode, size workloads.Size, gc heap.GCMode, qname string) error {
+func dumpDot(stdout io.Writer, workload, machine string, mode jit.Mode, size workloads.Size, gc heap.GCMode, qname string) error {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return err
@@ -147,7 +213,7 @@ func dumpDot(workload, machine string, mode jit.Mode, size workloads.Size, gc he
 		return fmt.Errorf("method %q has no instrumented loops", qname)
 	}
 	for _, g := range c.Graphs {
-		fmt.Print(g.Dot())
+		fmt.Fprint(stdout, g.Dot())
 	}
 	return nil
 }

@@ -98,6 +98,77 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestSection4MachineTable pins every Table 2 / Sec. 4 machine parameter
+// in one table, so a drive-by edit to either description fails loudly
+// with the paper reference in the message.
+func TestSection4MachineTable(t *testing.T) {
+	cases := []struct {
+		machine     *Machine
+		l1          CacheParams
+		l2          CacheParams
+		l1Sets      uint32
+		l2Sets      uint32
+		tlbEntries  uint32
+		tlbAssoc    uint32
+		tlbPage     uint32
+		target      CacheLevel
+		guardedLoad bool
+	}{
+		{
+			machine:    Pentium4(),
+			l1:         CacheParams{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4},
+			l2:         CacheParams{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8},
+			l1Sets:     32,
+			l2Sets:     256,
+			tlbEntries: 64, tlbAssoc: 64, tlbPage: 4096, // fully associative
+			target:      L2,
+			guardedLoad: true,
+		},
+		{
+			machine:    AthlonMP(),
+			l1:         CacheParams{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2},
+			l2:         CacheParams{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 16},
+			l1Sets:     512,
+			l2Sets:     256,
+			tlbEntries: 256, tlbAssoc: 4, tlbPage: 4096,
+			target:      L1,
+			guardedLoad: false,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.machine.Name, func(t *testing.T) {
+			m := tc.machine
+			if m.L1D != tc.l1 {
+				t.Errorf("L1D = %+v, want %+v (Table 2)", m.L1D, tc.l1)
+			}
+			if m.L2U != tc.l2 {
+				t.Errorf("L2U = %+v, want %+v (Table 2)", m.L2U, tc.l2)
+			}
+			if s := m.L1D.Sets(); s != tc.l1Sets {
+				t.Errorf("L1 sets = %d, want %d", s, tc.l1Sets)
+			}
+			if s := m.L2U.Sets(); s != tc.l2Sets {
+				t.Errorf("L2 sets = %d, want %d", s, tc.l2Sets)
+			}
+			if m.DTLB.Entries != tc.tlbEntries || m.DTLB.Assoc != tc.tlbAssoc || m.DTLB.PageSize != tc.tlbPage {
+				t.Errorf("DTLB = %d entries/%d-way/%dB pages, want %d/%d/%d (Table 2)",
+					m.DTLB.Entries, m.DTLB.Assoc, m.DTLB.PageSize,
+					tc.tlbEntries, tc.tlbAssoc, tc.tlbPage)
+			}
+			if m.PrefetchTarget != tc.target {
+				t.Errorf("prefetch target = %s, want %s (Sec. 4)", m.PrefetchTarget, tc.target)
+			}
+			if m.GuardedIntraPrefetch != tc.guardedLoad {
+				t.Errorf("guarded intra prefetch = %v, want %v (Sec. 4)", m.GuardedIntraPrefetch, tc.guardedLoad)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("description invalid: %v", err)
+			}
+		})
+	}
+}
+
 func TestCacheLevelString(t *testing.T) {
 	if L1.String() != "L1" || L2.String() != "L2" {
 		t.Error("CacheLevel.String broken")

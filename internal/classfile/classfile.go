@@ -265,6 +265,15 @@ func (u *Universe) StaticRoots(fn func(*value.Value)) {
 	}
 }
 
+// EachStatic calls fn for every static field with its current value, in
+// declaration order. The differential oracle uses it to fingerprint the
+// statics as part of the architectural state.
+func (u *Universe) EachStatic(fn func(f *Field, v value.Value)) {
+	for i, f := range u.statics {
+		fn(f, u.staticVals[i])
+	}
+}
+
 // ResetStatics restores every static field to its zero value. Harness runs
 // use it to reuse one universe across repeated executions.
 func (u *Universe) ResetStatics() {

@@ -97,6 +97,11 @@ type inspector struct {
 	steps   int
 	aborted bool
 
+	// calleeCFG caches per-method control-flow views for interprocedural
+	// frames. Callee pcs must never index the target method's graph: block
+	// and loop queries inside a callee go through its own view.
+	calleeCFG map[*ir.Method]*frameView
+
 	// Side-effect isolation.
 	writes   map[uint32]value.Value // store hash table (paper Sec. 3.2)
 	priv     []byte                 // private heap backing
@@ -246,6 +251,33 @@ func (ins *inspector) allocPrivate(classID, aux, size uint32) uint32 {
 
 // --- execution ---------------------------------------------------------------
 
+// frameView is the control-flow view of one activation's method: its own
+// graph and loop forest, so loop bounding in interprocedural callees
+// reasons about the callee's loops, not the caller's.
+type frameView struct {
+	graph  *cfg.Graph
+	forest *cfg.LoopForest
+}
+
+// viewOf returns the control-flow view for method m, building and caching
+// it for callees. The target method reuses the analysis the compiler
+// already ran.
+func (ins *inspector) viewOf(m *ir.Method) *frameView {
+	if m == ins.graph.Method {
+		return &frameView{graph: ins.graph, forest: ins.forest}
+	}
+	if v, ok := ins.calleeCFG[m]; ok {
+		return v
+	}
+	g := cfg.Build(m)
+	v := &frameView{graph: g, forest: cfg.BuildLoops(g)}
+	if ins.calleeCFG == nil {
+		ins.calleeCFG = make(map[*ir.Method]*frameView)
+	}
+	ins.calleeCFG[m] = v
+	return v
+}
+
 // loopEntered updates per-loop entry bookkeeping when control moves from
 // block `from` to block `to`.
 func (ins *inspector) noteTransition(from, to int) {
@@ -269,6 +301,7 @@ func (ins *inspector) noteTransition(from, to int) {
 // inspection should continue in the caller.
 func (ins *inspector) run(m *ir.Method, regs []value.Value, depth int) value.Value {
 	isTargetFrame := m == ins.graph.Method && depth == 0
+	fv := ins.viewOf(m)
 	pc := 0
 	curBlock := -1
 	n := len(m.Code)
@@ -440,7 +473,7 @@ func (ins *inspector) run(m *ir.Method, regs []value.Value, depth int) value.Val
 			}
 		}
 		if next >= 0 && next < n {
-			next = ins.transfer(isTargetFrame, pc, next)
+			next = ins.transfer(fv, isTargetFrame, pc, next)
 		}
 		if ins.aborted || next < 0 {
 			return value.Unknown
@@ -532,20 +565,21 @@ func (ins *inspector) recordLoad(isTarget bool, pc int, addr uint32) {
 // transfer applies the loop protocol to every control transfer — explicit
 // branches and block fallthroughs alike — from instruction pc to
 // instruction next, returning the adjusted next pc (or -1 to stop the
-// inspection).
-func (ins *inspector) transfer(isTargetFrame bool, pc, next int) int {
-	fromBlk := ins.graph.BlockOf(pc).ID
-	toBlk := ins.graph.BlockOf(next).ID
+// inspection). pc and next index fv's method; all block and loop queries
+// go through fv so callee frames never consult the target's graph.
+func (ins *inspector) transfer(fv *frameView, isTargetFrame bool, pc, next int) int {
+	fromBlk := fv.graph.BlockOf(pc).ID
+	toBlk := fv.graph.BlockOf(next).ID
 	if fromBlk == toBlk {
 		return next
 	}
-	l := ins.backEdgeLoop(fromBlk, toBlk)
+	l := ins.backEdgeLoop(fv.forest, fromBlk, toBlk)
 	if !isTargetFrame {
 		// Inside an interprocedural callee: bound every loop by InnerCap.
 		if l != nil {
 			ins.backCount[l]++
 			if ins.backCount[l] >= ins.cfg.InnerCap {
-				return ins.exitOf(l)
+				return ins.exitOf(fv.graph, l)
 			}
 		}
 		return next
@@ -571,7 +605,7 @@ func (ins *inspector) transfer(isTargetFrame bool, pc, next int) int {
 	case ins.curIter < 0:
 		// A loop preceding the target: "we interpret the body of such a
 		// loop only once" — never take its back edge.
-		return ins.exitOf(l)
+		return ins.exitOf(fv.graph, l)
 	default:
 		// A loop nested inside the target loop.
 		st := ins.res.NestedTrips[l]
@@ -579,7 +613,7 @@ func (ins *inspector) transfer(isTargetFrame bool, pc, next int) int {
 		ins.res.NestedTrips[l] = st
 		ins.backCount[l]++
 		if ins.backCount[l] >= ins.cfg.InnerCap {
-			out := ins.exitOf(l)
+			out := ins.exitOf(fv.graph, l)
 			if out >= 0 && !ins.target.ContainsInstr(ins.graph, out) {
 				return -1 // forced exit left the target loop: stop quietly
 			}
@@ -589,11 +623,11 @@ func (ins *inspector) transfer(isTargetFrame bool, pc, next int) int {
 	}
 }
 
-// backEdgeLoop returns the loop for which the block transfer from->to is a
-// back edge, or nil: `to` must be the loop's header and `from` one of its
-// member blocks.
-func (ins *inspector) backEdgeLoop(from, to int) *cfg.Loop {
-	l := ins.forest.LoopOfBlock(to)
+// backEdgeLoop returns the loop (in forest f) for which the block transfer
+// from->to is a back edge, or nil: `to` must be the loop's header and
+// `from` one of its member blocks.
+func (ins *inspector) backEdgeLoop(f *cfg.LoopForest, from, to int) *cfg.Loop {
+	l := f.LoopOfBlock(to)
 	for ; l != nil; l = l.Parent {
 		if l.Header == to {
 			break
@@ -643,7 +677,7 @@ func (ins *inspector) unknownBranch(m *ir.Method, isTargetFrame bool, pc, target
 			}
 		}
 		// Prefer the target loop's back edge to keep iterating.
-		if ins.backEdgeLoop(ins.graph.BlockOf(pc).ID, ins.graph.BlockOf(target).ID) == ins.target {
+		if ins.backEdgeLoop(ins.forest, ins.graph.BlockOf(pc).ID, ins.graph.BlockOf(target).ID) == ins.target {
 			choose = target
 		}
 	}
@@ -651,10 +685,11 @@ func (ins *inspector) unknownBranch(m *ir.Method, isTargetFrame bool, pc, target
 }
 
 // exitOf returns the destination instruction of the loop's first exit
-// edge, or -1 when the loop has no exit (inspection then stops).
-func (ins *inspector) exitOf(l *cfg.Loop) int {
+// edge in graph g, or -1 when the loop has no exit (inspection then
+// stops).
+func (ins *inspector) exitOf(g *cfg.Graph, l *cfg.Loop) int {
 	if len(l.ExitEdges) == 0 {
 		return -1
 	}
-	return ins.graph.Blocks[l.ExitEdges[0].To].Start
+	return g.Blocks[l.ExitEdges[0].To].Start
 }

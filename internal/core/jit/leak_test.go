@@ -1,0 +1,61 @@
+package jit
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+)
+
+// heapImage snapshots every allocated word of the heap.
+func heapImage(t *testing.T, fx *fixture) []uint32 {
+	t.Helper()
+	top := fx.h.Top()
+	img := make([]uint32, 0, (top-classfile.HeaderBytes)/4)
+	for addr := uint32(classfile.HeaderBytes); addr < top; addr += 4 {
+		img = append(img, fx.h.Load4(addr))
+	}
+	return img
+}
+
+// TestCompileNeverWritesHeap: object inspection is a *read-only* partial
+// interpretation of the method over the live heap — Compile's contract
+// says "The heap is read, never written". Every mode, both machines,
+// interprocedural on and off: the heap image must be byte-identical
+// before and after compilation, and the source method's code must be
+// untouched (insertions go to a copy).
+func TestCompileNeverWritesHeap(t *testing.T) {
+	for _, m := range arch.Machines() {
+		for _, mode := range []Mode{Baseline, Inter, InterIntra} {
+			for _, interproc := range []bool{false, true} {
+				fx := newFixture(t, 64)
+				before := heapImage(t, fx)
+				codeBefore := fx.m.Disassemble()
+
+				opts := DefaultOptions(m, mode)
+				opts.Inspect.Interprocedural = interproc
+				c := Compile(fx.p, fx.h, fx.m, fx.args, opts)
+				if c == nil {
+					t.Fatalf("%s/%s: nil compile", m.Name, mode)
+				}
+
+				after := heapImage(t, fx)
+				if len(before) != len(after) {
+					t.Fatalf("%s/%s/ip=%v: compile changed heap top: %d -> %d words",
+						m.Name, mode, interproc, len(before), len(after))
+				}
+				for i := range before {
+					if before[i] != after[i] {
+						t.Fatalf("%s/%s/ip=%v: compile wrote heap word at %#x: %#x -> %#x",
+							m.Name, mode, interproc,
+							uint32(classfile.HeaderBytes)+uint32(4*i), before[i], after[i])
+					}
+				}
+				if fx.m.Disassemble() != codeBefore {
+					t.Fatalf("%s/%s/ip=%v: compile mutated the source method",
+						m.Name, mode, interproc)
+				}
+			}
+		}
+	}
+}

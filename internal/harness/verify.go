@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/oracle"
+	"strider/internal/workloads"
+)
+
+// Verify runs the named workload through the differential oracle: the
+// prefetch-blind reference interpreter's architectural fingerprint must
+// be reproduced by the full JIT+memsim stack under every prefetching
+// configuration on both machines, with inspection-leak and memory-model
+// invariants asserted. Verification always executes fresh programs — it
+// never reads or populates the result cache.
+func Verify(workload string, size workloads.Size, gc heap.GCMode) (*oracle.Report, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	build := func() *ir.Program { return w.Build(size) }
+	return oracle.Verify(build, oracle.Options{HeapBytes: w.HeapBytes, GC: gc})
+}

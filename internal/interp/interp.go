@@ -524,15 +524,18 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpSpecLoad:
 			// The guarded speculative load: never faults; fills the DTLB
 			// and caches like a (non-blocking) load; architecturally
-			// yields the loaded word, or null when out of bounds.
+			// yields the loaded word, or null when out of bounds. The word
+			// is a maybe-pointer (KindSpecRef, not KindRef): it must never
+			// become a GC root, or a stale/garbage word pins or crashes
+			// the collector.
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
 				out := e.Mem.Prefetch(addr, true, e.S.Cycles)
 				if e.Rec != nil {
 					e.notePrefetch(f.m, int(in.Site), out)
 				}
-				regs[in.Dst] = value.Ref(e.Heap.Load4(addr))
+				regs[in.Dst] = value.SpecRef(e.Heap.Load4(addr))
 			} else {
-				regs[in.Dst] = value.Null
+				regs[in.Dst] = value.SpecRef(0)
 			}
 		default:
 			return value.Value{}, false, fmt.Errorf("interp: unimplemented op %s", in.Op)
@@ -550,10 +553,11 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 }
 
 // prefetchAddr evaluates an address expression; ok is false when the base
-// is not a valid in-heap reference (the software guard of Sec. 3.3).
+// is not a valid in-heap reference (the software guard of Sec. 3.3). The
+// base may be a real reference or a spec_load result (a maybe-pointer).
 func (e *Engine) prefetchAddr(regs []value.Value, a ir.AddrExpr) (uint32, bool) {
 	base := regs[a.Base]
-	if !base.IsRef() || base.IsNull() {
+	if (!base.IsRef() && !base.IsSpecRef()) || base.B == 0 {
 		return 0, false
 	}
 	addr := int64(base.Ref()) + int64(a.Disp)

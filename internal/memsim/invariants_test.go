@@ -1,0 +1,117 @@
+// Tests for the runtime invariant layer the differential suite leans on:
+// the fill-time inclusion self-check and the counter-algebra check.
+package memsim
+
+import (
+	"strings"
+	"testing"
+
+	"strider/internal/arch"
+)
+
+// driveMixed runs a deterministic mixed access stream: strided and
+// pointer-ish loads, stores, guarded and unguarded prefetches.
+func driveMixed(mem *Memory) {
+	now := uint64(0)
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 20_000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addr := uint32(16 + (seed>>33)%(1<<22))
+		switch i % 5 {
+		case 0, 1:
+			now += mem.Load(addr, 4, now)
+		case 2:
+			now += mem.Store(addr, 4, now)
+		case 3:
+			mem.Prefetch(addr^0x40, i%2 == 0, now)
+		case 4:
+			now += mem.Load(addr&^63, 8, now)
+		}
+		now++
+	}
+}
+
+func TestSelfCheckCleanOnBothMachines(t *testing.T) {
+	for _, m := range arch.Machines() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			mem := New(m)
+			mem.EnableSelfCheck()
+			driveMixed(mem)
+			if v := mem.Violations(); len(v) > 0 {
+				t.Fatalf("self-check violations: %v", v)
+			}
+			if v := mem.CheckInvariants(); len(v) > 0 {
+				t.Fatalf("invariant violations: %v", v)
+			}
+			// Reset keeps diagnostics but must leave a consistent machine.
+			mem.Reset()
+			driveMixed(mem)
+			if v := append(mem.Violations(), mem.CheckInvariants()...); len(v) > 0 {
+				t.Fatalf("post-reset violations: %v", v)
+			}
+		})
+	}
+}
+
+// TestSelfCheckDetectsInclusionBreak corrupts the hierarchy directly: an
+// L1 fill without the L2 copy must be flagged, and only when enabled.
+func TestSelfCheckDetectsInclusionBreak(t *testing.T) {
+	mem := New(arch.AthlonMP())
+	mem.fillL1(1<<18, 0) // silent: self-check off
+	if len(mem.Violations()) != 0 {
+		t.Fatalf("violations recorded while disabled: %v", mem.Violations())
+	}
+	mem.EnableSelfCheck()
+	mem.fillL1(1<<19, 0)
+	v := mem.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "inclusion") {
+		t.Fatalf("violations = %v, want one inclusion break", v)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption tampers with each counter relation
+// and expects the matching violation.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Memory)
+		want string
+	}{
+		{"l1>loads", func(m *Memory) { m.C.Loads = 5; m.C.L1LoadMisses = 6 }, "L1 load misses"},
+		{"l2>l1", func(m *Memory) { m.C.L1LoadMisses = 1; m.C.L2LoadMisses = 2 }, "L2 load misses"},
+		{"dtlb>loads", func(m *Memory) { m.C.DTLBLoadMisses = 1 }, "DTLB load misses"},
+		{"l1s>stores", func(m *Memory) { m.C.L1StoreMisses = 1 }, "L1 store misses"},
+		{"l2s>l1s", func(m *Memory) { m.C.L1StoreMisses = 0; m.C.L2StoreMisses = 3; m.C.Stores = 0 }, "L2 store misses"},
+		{"dtlbs>stores", func(m *Memory) { m.C.DTLBStoreMisses = 2 }, "DTLB store misses"},
+		{"guarded>issued", func(m *Memory) { m.C.PrefetchesGuarded = 1 }, "guarded prefetches"},
+		{"outcomes>issued", func(m *Memory) { m.C.PrefetchesDropped = 1; m.C.PrefetchesUseless = 1 }, "dropped"},
+		{"load stall high", func(m *Memory) { m.C.Loads = 1; m.C.LoadStallCycles = 1 << 40 }, "load stall cycles"},
+		{"load stall low", func(m *Memory) { m.C.Loads = 100; m.C.LoadStallCycles = 0 }, "below"},
+		{"store stall high", func(m *Memory) { m.C.Stores = 1; m.C.StoreStallCycles = 1 << 40 }, "store stall cycles"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mem := New(arch.Pentium4())
+			tc.mut(mem)
+			v := mem.CheckInvariants()
+			if len(v) == 0 {
+				t.Fatalf("corruption not detected")
+			}
+			found := false
+			for _, s := range v {
+				if strings.Contains(s, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v do not mention %q", v, tc.want)
+			}
+		})
+	}
+	// And a healthy machine reports nothing.
+	if v := New(arch.Pentium4()).CheckInvariants(); len(v) != 0 {
+		t.Fatalf("fresh machine violates: %v", v)
+	}
+}

@@ -17,6 +17,8 @@
 package memsim
 
 import (
+	"fmt"
+
 	"strider/internal/arch"
 	"strider/internal/telemetry"
 )
@@ -166,6 +168,11 @@ type Memory struct {
 
 	streams [hwStreams]hwStream
 	useTick uint64
+
+	// selfCheck enables fill-time structural invariant checking (see
+	// EnableSelfCheck). Off by default: zero cost, identical behaviour.
+	selfCheck  bool
+	violations []string
 }
 
 // New creates the memory system for a machine.
@@ -255,6 +262,87 @@ func (mem *Memory) hwTrain(addr uint64, now uint64) {
 // warmup run and a measured run).
 func (mem *Memory) ResetCounters() { mem.C = Counters{} }
 
+// EnableSelfCheck turns on fill-time invariant checking: every L1 fill
+// verifies that the line is simultaneously present in the L2 (the
+// inclusion property of the model — on the Athlon MP the paper relies on
+// it: prefetches fill "L1 (and L2, inclusively)"). Violations are
+// recorded, never fatal; simulation results are unaffected (the check
+// uses a probe, which does not touch LRU state).
+func (mem *Memory) EnableSelfCheck() { mem.selfCheck = true }
+
+// Violations returns the recorded self-check violations.
+func (mem *Memory) Violations() []string { return mem.violations }
+
+// fillL1 installs a line in the L1, checking fill-time L2 inclusion when
+// self-checking is enabled.
+func (mem *Memory) fillL1(addr uint64, readyAt uint64) {
+	mem.l1.fill(addr, readyAt)
+	if mem.selfCheck && mem.l2.probe(addr) == nil {
+		mem.violations = append(mem.violations,
+			fmt.Sprintf("%s: L1 fill of 0x%x without an L2 copy (inclusion broken at fill time)",
+				mem.Arch.Name, addr))
+	}
+}
+
+// CheckInvariants validates the counter algebra of one run and returns
+// any violations: miss counters must be conserved down the hierarchy, the
+// prefetch outcome counters must partition the issue counter, stall
+// totals must respect the machine's latency bounds, and the in-flight
+// prefetch window must respect the queue bound. It reads only counters
+// and configuration, so it can run inside the differ after every cell
+// without perturbing the simulation.
+func (mem *Memory) CheckInvariants() []string {
+	var v []string
+	c, a := mem.C, mem.Arch
+	bad := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf("%s: ", a.Name)+fmt.Sprintf(format, args...))
+	}
+	if c.L1LoadMisses > c.Loads {
+		bad("L1 load misses %d > loads %d", c.L1LoadMisses, c.Loads)
+	}
+	if c.L2LoadMisses > c.L1LoadMisses {
+		bad("L2 load misses %d > L1 load misses %d", c.L2LoadMisses, c.L1LoadMisses)
+	}
+	if c.DTLBLoadMisses > c.Loads {
+		bad("DTLB load misses %d > loads %d", c.DTLBLoadMisses, c.Loads)
+	}
+	if c.L1StoreMisses > c.Stores {
+		bad("L1 store misses %d > stores %d", c.L1StoreMisses, c.Stores)
+	}
+	if c.L2StoreMisses > c.L1StoreMisses {
+		bad("L2 store misses %d > L1 store misses %d", c.L2StoreMisses, c.L1StoreMisses)
+	}
+	if c.DTLBStoreMisses > c.Stores {
+		bad("DTLB store misses %d > stores %d", c.DTLBStoreMisses, c.Stores)
+	}
+	if c.PrefetchesGuarded > c.PrefetchesIssued {
+		bad("guarded prefetches %d > issued %d", c.PrefetchesGuarded, c.PrefetchesIssued)
+	}
+	if c.PrefetchesDropped+c.PrefetchesUseless > c.PrefetchesIssued {
+		bad("dropped %d + useless %d > issued %d",
+			c.PrefetchesDropped, c.PrefetchesUseless, c.PrefetchesIssued)
+	}
+	// Stall bounds. The worst per-load stall is a cold full miss plus the
+	// discounted wait for a chained in-flight line; 2*(L2+Mem) safely
+	// dominates every path through Load. Stores are charged at most the
+	// same before the StoreFactor discount.
+	maxLoad := a.L1HitCycles + a.DTLBMissCycles + 2*(a.L2HitCycles+a.MemCycles)
+	if c.LoadStallCycles > c.Loads*maxLoad {
+		bad("load stall cycles %d exceed %d loads * %d bound", c.LoadStallCycles, c.Loads, maxLoad)
+	}
+	if c.LoadStallCycles < c.Loads*a.L1HitCycles {
+		bad("load stall cycles %d below %d loads * L1 hit %d", c.LoadStallCycles, c.Loads, a.L1HitCycles)
+	}
+	maxStore := a.DTLBMissCycles + 2*(a.L2HitCycles+a.MemCycles)
+	if c.StoreStallCycles > c.Stores*maxStore {
+		bad("store stall cycles %d exceed %d stores * %d bound", c.StoreStallCycles, c.Stores, maxStore)
+	}
+	if len(mem.inflight) > a.PrefetchQueue {
+		bad("in-flight prefetches %d exceed queue %d", len(mem.inflight), a.PrefetchQueue)
+	}
+	return v
+}
+
 func (mem *Memory) tlbAccess(addr uint64, fill bool) (miss bool) {
 	if mem.tlb.lookup(addr) != nil {
 		return false
@@ -303,14 +391,14 @@ func (mem *Memory) Load(addr uint32, size uint32, now uint64) uint64 {
 	mem.hwTrain(uint64(addr), now)
 	if l := mem.l2.lookup(uint64(addr)); l != nil {
 		stall += a.L2HitCycles + extraWait(l, now)
-		mem.l1.fill(uint64(addr), now+stall)
+		mem.fillL1(uint64(addr), now+stall)
 		mem.C.LoadStallCycles += stall
 		return stall
 	}
 	mem.C.L2LoadMisses++
 	stall += a.L2HitCycles + a.MemCycles
 	mem.l2.fill(uint64(addr), now+stall)
-	mem.l1.fill(uint64(addr), now+stall)
+	mem.fillL1(uint64(addr), now+stall)
 	mem.C.LoadStallCycles += stall
 	return stall
 }
@@ -335,7 +423,7 @@ func (mem *Memory) Store(addr uint32, size uint32, now uint64) uint64 {
 	mem.C.L1StoreMisses++
 	if l := mem.l2.lookup(uint64(addr)); l != nil {
 		stall += a.L2HitCycles + extraWait(l, now)
-		mem.l1.fill(uint64(addr), now+stall)
+		mem.fillL1(uint64(addr), now+stall)
 		stall /= a.StoreFactor
 		mem.C.StoreStallCycles += stall
 		return stall
@@ -343,7 +431,7 @@ func (mem *Memory) Store(addr uint32, size uint32, now uint64) uint64 {
 	mem.C.L2StoreMisses++
 	stall += a.L2HitCycles + a.MemCycles
 	mem.l2.fill(uint64(addr), now+stall)
-	mem.l1.fill(uint64(addr), now+stall)
+	mem.fillL1(uint64(addr), now+stall)
 	stall /= a.StoreFactor
 	mem.C.StoreStallCycles += stall
 	return stall
@@ -424,7 +512,7 @@ func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) telemetry.Pre
 		mem.l2.fill(uint64(addr), ready)
 	}
 	if target == arch.L1 {
-		mem.l1.fill(uint64(addr), ready)
+		mem.fillL1(uint64(addr), ready)
 	}
 	mem.inflight = append(mem.inflight, ready)
 	return telemetry.PrefetchFetched

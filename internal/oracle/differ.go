@@ -1,0 +1,276 @@
+package oracle
+
+// The differ: run one program through the full JIT+memsim stack under
+// every prefetching configuration on both machine models, and assert that
+// each run's architectural fingerprint equals the reference
+// interpreter's. This is the only file in the package that imports the
+// real execution stack.
+
+import (
+	"errors"
+	"fmt"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/heap"
+	"strider/internal/interp"
+	"strider/internal/ir"
+	"strider/internal/telemetry"
+	"strider/internal/value"
+	"strider/internal/vm"
+)
+
+// Configuration is one cell of the verification matrix: a machine and a
+// prefetching mode (the paper's evaluation axes plus the interprocedural
+// inspection extension).
+type Configuration struct {
+	Machine *arch.Machine
+	Mode    jit.Mode
+	// Interprocedural toggles the inspection extension that steps into
+	// direct calls (Sec. 3.2 leaves it as a trade-off). Inspection must
+	// be side-effect free either way.
+	Interprocedural bool
+}
+
+// Label renders the configuration compactly, e.g. "Pentium4/inter+intra+ip".
+func (c Configuration) Label() string {
+	l := c.Machine.Name + "/" + c.Mode.String()
+	if c.Interprocedural {
+		l += "+ip"
+	}
+	return l
+}
+
+// Configurations returns the verification matrix for the given machines:
+// no-prefetch, inter, inter+intra, and inter+intra with interprocedural
+// inspection — four configurations per machine.
+func Configurations(machines []*arch.Machine) []Configuration {
+	var cs []Configuration
+	for _, m := range machines {
+		cs = append(cs,
+			Configuration{Machine: m, Mode: jit.Baseline},
+			Configuration{Machine: m, Mode: jit.Inter},
+			Configuration{Machine: m, Mode: jit.InterIntra},
+			Configuration{Machine: m, Mode: jit.InterIntra, Interprocedural: true},
+		)
+	}
+	return cs
+}
+
+// Cell is the outcome of one configuration's run.
+type Cell struct {
+	Config      string
+	Fingerprint Fingerprint
+	// MemViolations are memory-model invariant violations observed during
+	// the run (counter conservation, fill-time inclusion, stall bounds).
+	MemViolations []string
+}
+
+// Report is the outcome of one differential verification.
+type Report struct {
+	// Reference is the oracle's fingerprint.
+	Reference Fingerprint
+	// Cells holds one entry per configuration.
+	Cells []Cell
+	// Mismatches lists every disagreement: fingerprint deviations from
+	// the reference, memory-model violations, and inspection leaks. Empty
+	// means the program's semantics are provably prefetch-invariant for
+	// this matrix.
+	Mismatches []string
+}
+
+// OK reports whether verification passed.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+// Summary renders a short human-readable verdict.
+func (r *Report) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("verified: %d configurations reproduce the oracle fingerprint\n  oracle: %s",
+			len(r.Cells), r.Reference)
+	}
+	s := fmt.Sprintf("FAILED: %d mismatches across %d configurations", len(r.Mismatches), len(r.Cells))
+	for _, m := range r.Mismatches {
+		s += "\n  " + m
+	}
+	return s
+}
+
+// Options configures a verification.
+type Options struct {
+	// HeapBytes sizes every heap (0 = the VM default, 64 MiB). The oracle
+	// and every cell must agree, or addresses diverge trivially.
+	HeapBytes uint32
+	// GC selects the collector mode for oracle and cells.
+	GC heap.GCMode
+	// Machines defaults to both evaluation machines.
+	Machines []*arch.Machine
+	// SkipLeakCheck disables the per-machine compile-time inspection leak
+	// check (used by callers that run it separately).
+	SkipLeakCheck bool
+}
+
+// Verify runs build()'s program through the reference interpreter and
+// through the full stack under every configuration, and returns the
+// differential report. build must return a fresh, structurally identical
+// program on each call (each cell needs private statics and heap).
+func Verify(build func() *ir.Program, opts Options) (*Report, error) {
+	if len(opts.Machines) == 0 {
+		opts.Machines = arch.Machines()
+	}
+	ref, err := Run(build(), nil, Config{HeapBytes: opts.HeapBytes, GC: opts.GC})
+	if err != nil {
+		return nil, fmt.Errorf("oracle reference run: %w", err)
+	}
+	r := &Report{Reference: ref}
+	for _, c := range Configurations(opts.Machines) {
+		cell := runCell(build, c, opts.HeapBytes, opts.GC)
+		r.Cells = append(r.Cells, cell)
+		for _, d := range ref.Diff(cell.Fingerprint) {
+			r.Mismatches = append(r.Mismatches, cell.Config+": "+d)
+		}
+		for _, v := range cell.MemViolations {
+			r.Mismatches = append(r.Mismatches, cell.Config+": memsim: "+v)
+		}
+	}
+	if !opts.SkipLeakCheck {
+		for _, m := range opts.Machines {
+			for _, leak := range CompileLeakCheck(build, m, opts.HeapBytes, opts.GC) {
+				r.Mismatches = append(r.Mismatches, m.Name+": "+leak)
+			}
+		}
+	}
+	return r, nil
+}
+
+// loadTap wraps the cell's memory model and digests the demand-load
+// address stream exactly as the oracle does. Prefetches pass through
+// untapped: they must be architecturally invisible.
+type loadTap struct {
+	inner interp.MemModel
+	loads loadAccum
+}
+
+func (t *loadTap) Load(addr, size uint32, now uint64) uint64 {
+	t.loads.record(addr, size)
+	return t.inner.Load(addr, size, now)
+}
+
+func (t *loadTap) Store(addr, size uint32, now uint64) uint64 {
+	return t.inner.Store(addr, size, now)
+}
+
+func (t *loadTap) Prefetch(addr uint32, guarded bool, now uint64) telemetry.PrefetchOutcome {
+	return t.inner.Prefetch(addr, guarded, now)
+}
+
+// runCell executes one configuration: a warmup run (during which the JIT
+// compiles hot methods with live argument values) followed by a measured
+// run, mirroring vm.Measure's methodology, and fingerprints the measured
+// run's architectural state.
+func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc heap.GCMode) Cell {
+	prog := build()
+	jo := jit.DefaultOptions(c.Machine, c.Mode)
+	jo.Inspect.Interprocedural = c.Interprocedural
+	v := vm.New(prog, vm.Config{
+		Machine: c.Machine, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, JIT: &jo,
+	})
+	v.Mem.EnableSelfCheck()
+	tap := &loadTap{inner: v.Engine.Mem}
+	v.Engine.Mem = tap
+
+	stats, err := v.Run(nil)
+	if err == nil {
+		// Warmup succeeded: measure the steady (all-compiled) run.
+		v.ResetRun()
+		tap.loads.reset()
+		stats, err = v.Run(nil)
+	}
+	fp := Fingerprint{
+		Result:        stats.Result,
+		Checksum:      stats.Checksum,
+		LoadDigest:    tap.loads.digest,
+		Loads:         tap.loads.count,
+		HeapDigest:    RawHeapDigest(v.Heap),
+		GraphDigest:   GraphDigest(v.Heap, prog.Universe, stats.Result),
+		StaticsDigest: StaticsDigest(prog.Universe),
+		GCs:           stats.GCs,
+		Trap:          trapClass(err),
+	}
+	return Cell{
+		Config:        c.Label(),
+		Fingerprint:   fp,
+		MemViolations: append(v.Mem.Violations(), v.Mem.CheckInvariants()...),
+	}
+}
+
+// trapClass maps an engine runtime error onto the oracle's trap classes.
+func trapClass(err error) string {
+	switch {
+	case err == nil:
+		return TrapNone
+	case errors.Is(err, interp.ErrNullDeref):
+		return TrapNullDeref
+	case errors.Is(err, interp.ErrBounds):
+		return TrapBounds
+	case errors.Is(err, interp.ErrNegativeSize):
+		return TrapNegativeSize
+	case errors.Is(err, ir.ErrDivZero):
+		return TrapDivZero
+	case errors.Is(err, interp.ErrBadValue), errors.Is(err, ir.ErrBadOperand):
+		return TrapBadOperand
+	case errors.Is(err, interp.ErrStackOverflow):
+		return TrapStackOverflow
+	case errors.Is(err, interp.ErrNoMethod):
+		return TrapNoMethod
+	case errors.Is(err, heap.ErrOutOfMemory):
+		return TrapOutOfMemory
+	case errors.Is(err, interp.ErrBudget):
+		return TrapBudget
+	}
+	return err.Error()
+}
+
+// CompileLeakCheck verifies the "no side effects" contract of object
+// inspection (Sec. 2) directly: it populates a heap by running the
+// program once without prefetching, then JIT-compiles every method —
+// inter+intra mode, interprocedural inspection on, against the live heap
+// — and reports any mutation of the heap bytes or statics. Inspection's
+// store hash table and private heap must swallow every write.
+func CompileLeakCheck(build func() *ir.Program, m *arch.Machine, heapBytes uint32, gc heap.GCMode) []string {
+	prog := build()
+	v := vm.New(prog, vm.Config{Machine: m, Mode: jit.Baseline, HeapBytes: heapBytes, GC: gc})
+	if _, err := v.Run(nil); err != nil {
+		// A trapping program still leaves a populated heap to inspect.
+		_ = err
+	}
+	before := RawHeapDigest(v.Heap)
+	beforeStatics := StaticsDigest(prog.Universe)
+
+	jo := jit.DefaultOptions(m, jit.InterIntra)
+	jo.Inspect.Interprocedural = true
+	var leaks []string
+	for _, mth := range prog.Methods() {
+		args := make([]value.Value, len(mth.Params))
+		for i, k := range mth.Params {
+			if k == value.KindRef {
+				args[i] = value.Null
+			} else {
+				args[i] = value.Value{K: k}
+			}
+		}
+		jit.Compile(prog, v.Heap, mth, args, jo)
+		if got := RawHeapDigest(v.Heap); got != before {
+			leaks = append(leaks, fmt.Sprintf(
+				"inspection leak: compiling %s changed heap bytes (%016x -> %016x)",
+				mth.QName(), before, got))
+			before = got
+		}
+		if got := StaticsDigest(prog.Universe); got != beforeStatics {
+			leaks = append(leaks, fmt.Sprintf(
+				"inspection leak: compiling %s changed statics (%016x -> %016x)",
+				mth.QName(), beforeStatics, got))
+			beforeStatics = got
+		}
+	}
+	return leaks
+}

@@ -1,0 +1,242 @@
+package oracle
+
+// Independent re-implementation of the IR's Java-style evaluation
+// semantics. This deliberately does NOT call ir.EvalBinary and friends:
+// the whole point of the oracle is that the engine's semantics are
+// checked against a second, separately written implementation. The
+// behaviours that matter and must agree:
+//
+//   - operands are reinterpreted through the instruction's static Kind
+//     (the IR is dynamically checked only at heap/branch boundaries);
+//   - int/long division and remainder by zero trap;
+//   - shift counts are masked to 5/6 bits (Java semantics);
+//   - float/double support only add/sub/mul/div, and division by zero
+//     produces IEEE infinities/NaNs, not traps;
+//   - conversions dispatch on the operand's dynamic kind and route
+//     through float64, with double→int as int32(int64(d));
+//   - NaN comparisons: only != is true;
+//   - reference comparisons are unsigned 32-bit address comparisons.
+
+import (
+	"math"
+
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// i32 reinterprets a payload as a Java int.
+func i32(v value.Value) int32 { return int32(uint32(v.B)) }
+
+// i64 reinterprets a payload as a Java long.
+func i64(v value.Value) int64 { return int64(v.B) }
+
+// f32 reinterprets a payload as a Java float.
+func f32(v value.Value) float32 { return math.Float32frombits(uint32(v.B)) }
+
+// f64 reinterprets a payload as a Java double.
+func f64(v value.Value) float64 { return math.Float64frombits(v.B) }
+
+func badOp(what string) *trap { return &trap{TrapBadOperand, what} }
+
+// arith2 evaluates a two-operand arithmetic/logic instruction.
+func arith2(op ir.Op, k value.Kind, a, b value.Value) (value.Value, *trap) {
+	switch k {
+	case value.KindInt:
+		x, y := i32(a), i32(b)
+		var r int32
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpDiv:
+			if y == 0 {
+				return value.Value{}, &trap{TrapDivZero, "int div"}
+			}
+			r = x / y
+		case ir.OpRem:
+			if y == 0 {
+				return value.Value{}, &trap{TrapDivZero, "int rem"}
+			}
+			r = x % y
+		case ir.OpAnd:
+			r = x & y
+		case ir.OpOr:
+			r = x | y
+		case ir.OpXor:
+			r = x ^ y
+		case ir.OpShl:
+			r = x << (uint32(y) & 31)
+		case ir.OpShr:
+			r = x >> (uint32(y) & 31)
+		case ir.OpUshr:
+			r = int32(uint32(x) >> (uint32(y) & 31))
+		default:
+			return value.Value{}, badOp("int " + op.String())
+		}
+		return value.Int(r), nil
+
+	case value.KindLong:
+		x, y := i64(a), i64(b)
+		var r int64
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpDiv:
+			if y == 0 {
+				return value.Value{}, &trap{TrapDivZero, "long div"}
+			}
+			r = x / y
+		case ir.OpRem:
+			if y == 0 {
+				return value.Value{}, &trap{TrapDivZero, "long rem"}
+			}
+			r = x % y
+		case ir.OpAnd:
+			r = x & y
+		case ir.OpOr:
+			r = x | y
+		case ir.OpXor:
+			r = x ^ y
+		case ir.OpShl:
+			r = x << (uint64(y) & 63)
+		case ir.OpShr:
+			r = x >> (uint64(y) & 63)
+		case ir.OpUshr:
+			r = int64(uint64(x) >> (uint64(y) & 63))
+		default:
+			return value.Value{}, badOp("long " + op.String())
+		}
+		return value.Long(r), nil
+
+	case value.KindFloat:
+		x, y := f32(a), f32(b)
+		var r float32
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpDiv:
+			r = x / y
+		default:
+			return value.Value{}, badOp("float " + op.String())
+		}
+		return value.Float(r), nil
+
+	case value.KindDouble:
+		x, y := f64(a), f64(b)
+		var r float64
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpDiv:
+			r = x / y
+		default:
+			return value.Value{}, badOp("double " + op.String())
+		}
+		return value.Double(r), nil
+	}
+	return value.Value{}, badOp("arith kind " + k.String())
+}
+
+// negate evaluates OpNeg.
+func negate(k value.Kind, a value.Value) (value.Value, *trap) {
+	switch k {
+	case value.KindInt:
+		return value.Int(-i32(a)), nil
+	case value.KindLong:
+		return value.Long(-i64(a)), nil
+	case value.KindFloat:
+		return value.Float(-f32(a)), nil
+	case value.KindDouble:
+		return value.Double(-f64(a)), nil
+	}
+	return value.Value{}, badOp("neg kind " + k.String())
+}
+
+// convert evaluates OpConv: identity when the dynamic kind already
+// matches, otherwise a numeric conversion routed through float64.
+func convert(k value.Kind, a value.Value) (value.Value, *trap) {
+	if a.K == k {
+		return a, nil
+	}
+	var d float64
+	switch a.K {
+	case value.KindInt:
+		d = float64(i32(a))
+	case value.KindLong:
+		d = float64(i64(a))
+	case value.KindFloat:
+		d = float64(f32(a))
+	case value.KindDouble:
+		d = f64(a)
+	default:
+		return value.Value{}, badOp("conv from " + a.K.String())
+	}
+	switch k {
+	case value.KindInt:
+		return value.Int(int32(int64(d))), nil
+	case value.KindLong:
+		return value.Long(int64(d)), nil
+	case value.KindFloat:
+		return value.Float(float32(d)), nil
+	case value.KindDouble:
+		return value.Double(d), nil
+	}
+	return value.Value{}, badOp("conv to " + k.String())
+}
+
+// compare evaluates an OpBr condition.
+func compare(cond ir.Cond, k value.Kind, a, b value.Value) (bool, *trap) {
+	var less, equal bool
+	switch k {
+	case value.KindInt:
+		less, equal = i32(a) < i32(b), i32(a) == i32(b)
+	case value.KindLong:
+		less, equal = i64(a) < i64(b), i64(a) == i64(b)
+	case value.KindFloat:
+		x, y := float64(f32(a)), float64(f32(b))
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return cond == ir.CondNE, nil
+		}
+		less, equal = x < y, x == y
+	case value.KindDouble:
+		x, y := f64(a), f64(b)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return cond == ir.CondNE, nil
+		}
+		less, equal = x < y, x == y
+	case value.KindRef:
+		less, equal = uint32(a.B) < uint32(b.B), uint32(a.B) == uint32(b.B)
+	default:
+		return false, badOp("branch kind " + k.String())
+	}
+	switch cond {
+	case ir.CondEQ:
+		return equal, nil
+	case ir.CondNE:
+		return !equal, nil
+	case ir.CondLT:
+		return less, nil
+	case ir.CondLE:
+		return less || equal, nil
+	case ir.CondGT:
+		return !less && !equal, nil
+	case ir.CondGE:
+		return !less, nil
+	}
+	return false, badOp("cond " + cond.String())
+}

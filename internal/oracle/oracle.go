@@ -1,0 +1,530 @@
+// Package oracle is the differential-testing reference for the simulated
+// VM: a deliberately naive, prefetch-blind interpreter over the same IR,
+// producing an architectural fingerprint (result, sink checksum, ordered
+// demand-load address stream, final heap and statics digests) that the
+// full JIT+memsim stack must reproduce under every prefetching
+// configuration.
+//
+// The paper's mechanisms are only sound if they are free of side effects:
+// object inspection "partially interprets the method ... without
+// generating any side effects" (Sec. 2) and the guarded spec_load must
+// never alter architectural state (Sec. 3.3). This package makes that
+// invariant executable.
+//
+// Independence contract: this file and digest.go import only the passive
+// substrate (ir for the instruction encoding, classfile for layout, heap
+// for the memory image, value for tagged values). They share no execution
+// code with internal/interp — every instruction's semantics is
+// re-implemented here, so a bug in the engine's evaluation cannot hide by
+// being mirrored in the oracle. The differ (differ.go) is the only file
+// that touches the real stack.
+package oracle
+
+import (
+	"fmt"
+
+	"strider/internal/classfile"
+	"strider/internal/heap"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// Trap classes. The differ maps engine runtime errors onto the same
+// classes, so a trapping program still has a comparable fingerprint.
+const (
+	TrapNone          = ""
+	TrapNullDeref     = "null-deref"
+	TrapBounds        = "out-of-bounds"
+	TrapNegativeSize  = "negative-size"
+	TrapDivZero       = "div-by-zero"
+	TrapBadOperand    = "bad-operand"
+	TrapStackOverflow = "stack-overflow"
+	TrapNoMethod      = "no-method"
+	TrapOutOfMemory   = "out-of-memory"
+	// TrapBudget is the step-budget backstop. Budgets count retired
+	// instructions, and prefetch-augmented code retires extra
+	// instructions, so two sides that both hit their budget are NOT at
+	// the same architectural point; the differ treats budget traps as
+	// incomparable.
+	TrapBudget = "budget"
+)
+
+// trap is an architectural trap raised by the reference interpreter.
+type trap struct {
+	class  string
+	detail string
+}
+
+func (t *trap) Error() string {
+	if t.detail == "" {
+		return t.class
+	}
+	return t.class + ": " + t.detail
+}
+
+// Fingerprint is the architectural outcome of one program execution:
+// everything the paper requires prefetching to preserve, and nothing that
+// is allowed to change (cycles, cache contents, stall times).
+type Fingerprint struct {
+	// Result is the entry method's return value.
+	Result value.Value
+	// Checksum is the OpSink FNV accumulator (the program's output).
+	Checksum uint64
+	// LoadDigest folds the ordered (address, size) stream of demand heap
+	// loads — getfield, arrayload, arraylen. Prefetches and speculative
+	// loads are excluded: they must be invisible here.
+	LoadDigest uint64
+	// Loads is the demand-load count.
+	Loads uint64
+	// HeapDigest is the raw byte digest of the allocated heap region.
+	HeapDigest uint64
+	// GraphDigest is the address-independent digest of the live object
+	// graph reachable from statics and the result.
+	GraphDigest uint64
+	// StaticsDigest folds every static field's kind and payload.
+	StaticsDigest uint64
+	// GCs is the number of collections the run triggered. Prefetching
+	// must not change allocation behaviour, so it is part of the
+	// fingerprint.
+	GCs uint64
+	// Trap is TrapNone for a normal completion, else the trap class.
+	Trap string
+}
+
+// Equal reports whether two fingerprints describe the same architectural
+// outcome. Budget traps are incomparable (see TrapBudget) and match only
+// by class.
+func (f Fingerprint) Equal(o Fingerprint) bool { return len(f.Diff(o)) == 0 }
+
+// Diff describes every component where o deviates from f (empty when
+// architecturally identical).
+func (f Fingerprint) Diff(o Fingerprint) []string {
+	var d []string
+	if f.Trap != o.Trap {
+		d = append(d, fmt.Sprintf("trap: %q vs %q", f.Trap, o.Trap))
+		return d
+	}
+	if f.Trap == TrapBudget {
+		return d // same class, rest incomparable
+	}
+	if !f.Result.Equal(o.Result) {
+		d = append(d, fmt.Sprintf("result: %v vs %v", f.Result, o.Result))
+	}
+	if f.Checksum != o.Checksum {
+		d = append(d, fmt.Sprintf("checksum: %016x vs %016x", f.Checksum, o.Checksum))
+	}
+	if f.Loads != o.Loads || f.LoadDigest != o.LoadDigest {
+		d = append(d, fmt.Sprintf("demand loads: %d/%016x vs %d/%016x",
+			f.Loads, f.LoadDigest, o.Loads, o.LoadDigest))
+	}
+	if f.HeapDigest != o.HeapDigest {
+		d = append(d, fmt.Sprintf("heap bytes: %016x vs %016x", f.HeapDigest, o.HeapDigest))
+	}
+	if f.GraphDigest != o.GraphDigest {
+		d = append(d, fmt.Sprintf("object graph: %016x vs %016x", f.GraphDigest, o.GraphDigest))
+	}
+	if f.StaticsDigest != o.StaticsDigest {
+		d = append(d, fmt.Sprintf("statics: %016x vs %016x", f.StaticsDigest, o.StaticsDigest))
+	}
+	if f.GCs != o.GCs {
+		d = append(d, fmt.Sprintf("GCs: %d vs %d", f.GCs, o.GCs))
+	}
+	return d
+}
+
+// String renders the fingerprint compactly.
+func (f Fingerprint) String() string {
+	if f.Trap != TrapNone {
+		return fmt.Sprintf("trap(%s)", f.Trap)
+	}
+	return fmt.Sprintf("result=%v sink=%016x loads=%d/%016x heap=%016x graph=%016x statics=%016x gcs=%d",
+		f.Result, f.Checksum, f.Loads, f.LoadDigest, f.HeapDigest, f.GraphDigest, f.StaticsDigest, f.GCs)
+}
+
+// Config configures a reference run. The defaults mirror the VM's so that
+// allocation and GC behaviour — and hence every heap address — coincide.
+type Config struct {
+	// HeapBytes sizes the heap (default 64 MiB, the VM default).
+	HeapBytes uint32
+	// GC selects the collector mode.
+	GC heap.GCMode
+	// MaxSteps bounds the run (default 4e9, the engine's default budget).
+	MaxSteps uint64
+}
+
+// maxFrames mirrors the engine's recursion bound so stack-overflow traps
+// fire at the same call depth.
+const maxFrames = 1024
+
+const defaultMaxSteps = 4_000_000_000
+
+// oframe is one activation of the reference interpreter.
+type oframe struct {
+	m      *ir.Method
+	pc     int
+	regs   []value.Value
+	retReg ir.Reg
+}
+
+// oracleVM is the reference interpreter state.
+type oracleVM struct {
+	prog     *ir.Program
+	h        *heap.Heap
+	frames   []*oframe
+	steps    uint64
+	maxSteps uint64
+	loads    loadAccum
+	fp       *Fingerprint
+}
+
+// Run executes the program's entry method on a fresh heap and fresh
+// statics and returns its architectural fingerprint. Runtime traps are
+// reported in the fingerprint (Trap field), not as an error; the error
+// return covers misuse only (no entry, wrong argument count).
+func Run(p *ir.Program, args []value.Value, cfg Config) (Fingerprint, error) {
+	if p.Entry == nil {
+		return Fingerprint{}, fmt.Errorf("oracle: program has no entry method")
+	}
+	if len(args) != len(p.Entry.Params) {
+		return Fingerprint{}, fmt.Errorf("oracle: entry %s wants %d args, got %d",
+			p.Entry.QName(), len(p.Entry.Params), len(args))
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 64 << 20
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	p.Universe.ResetStatics()
+	h := heap.New(cfg.HeapBytes, p.Universe)
+	h.SetGCMode(cfg.GC)
+
+	var fp Fingerprint
+	o := &oracleVM{prog: p, h: h, maxSteps: cfg.MaxSteps, fp: &fp}
+	res, t := o.exec(p.Entry, args)
+	fp.Result = res
+	if t != nil {
+		fp.Trap = t.class
+	}
+	fp.LoadDigest, fp.Loads = o.loads.digest, o.loads.count
+	fp.HeapDigest = RawHeapDigest(h)
+	fp.GraphDigest = GraphDigest(h, p.Universe, res)
+	fp.StaticsDigest = StaticsDigest(p.Universe)
+	return fp, nil
+}
+
+// record folds one demand load into the address-stream digest.
+func (o *oracleVM) record(addr, size uint32) { o.loads.record(addr, size) }
+
+// sink folds a value into the output checksum. This replicates the
+// engine's accumulator bit-for-bit (including its seeded-on-first-use
+// convention) so checksums are directly comparable.
+func (o *oracleVM) sink(v value.Value) {
+	h := o.fp.Checksum
+	if h == 0 {
+		h = 1469598103934665603
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (v.B >> (8 * i)) & 0xFF
+		h *= 1099511628211
+	}
+	o.fp.Checksum = h
+}
+
+// roots enumerates the reference registers of all live frames.
+func (o *oracleVM) roots(visit func(*value.Value)) {
+	for _, f := range o.frames {
+		for i := range f.regs {
+			if f.regs[i].K == value.KindRef {
+				visit(&f.regs[i])
+			}
+		}
+	}
+}
+
+func (o *oracleVM) collect() {
+	o.h.Collect(o.roots)
+	o.fp.GCs++
+}
+
+// allocObject allocates with one GC retry, like the mutator.
+func (o *oracleVM) allocObject(c *classfile.Class) (uint32, *trap) {
+	addr, err := o.h.AllocObject(c)
+	if err != nil {
+		o.collect()
+		addr, err = o.h.AllocObject(c)
+		if err != nil {
+			return 0, &trap{TrapOutOfMemory, err.Error()}
+		}
+	}
+	return addr, nil
+}
+
+func (o *oracleVM) allocArray(k value.Kind, n uint32) (uint32, *trap) {
+	addr, err := o.h.AllocArray(k, n)
+	if err != nil {
+		o.collect()
+		addr, err = o.h.AllocArray(k, n)
+		if err != nil {
+			return 0, &trap{TrapOutOfMemory, err.Error()}
+		}
+	}
+	return addr, nil
+}
+
+func (o *oracleVM) push(m *ir.Method, args []value.Value, retReg ir.Reg) *trap {
+	if len(o.frames) >= maxFrames {
+		return &trap{TrapStackOverflow, m.QName()}
+	}
+	f := &oframe{m: m, regs: make([]value.Value, m.NumRegs), retReg: retReg}
+	copy(f.regs, args)
+	o.frames = append(o.frames, f)
+	return nil
+}
+
+// exec runs the entry to completion, one instruction at a time.
+func (o *oracleVM) exec(entry *ir.Method, args []value.Value) (value.Value, *trap) {
+	o.frames = o.frames[:0]
+	if t := o.push(entry, args, ir.NoReg); t != nil {
+		return value.Value{}, t
+	}
+	var result value.Value
+	for len(o.frames) > 0 {
+		f := o.frames[len(o.frames)-1]
+		ret, done, t := o.stepOne(f)
+		if t != nil {
+			t.detail = fmt.Sprintf("%s@%d: %s", f.m.QName(), f.pc, t.detail)
+			return value.Value{}, t
+		}
+		if done {
+			o.frames = o.frames[:len(o.frames)-1]
+			if len(o.frames) == 0 {
+				result = ret
+			} else if f.retReg != ir.NoReg {
+				o.frames[len(o.frames)-1].regs[f.retReg] = ret
+			}
+		}
+	}
+	return result, nil
+}
+
+// stepOne executes exactly one instruction of the top frame. done=true
+// pops the frame with the returned value.
+func (o *oracleVM) stepOne(f *oframe) (value.Value, bool, *trap) {
+	if o.steps >= o.maxSteps {
+		return value.Value{}, false, &trap{TrapBudget, ""}
+	}
+	o.steps++
+	in := &f.m.Code[f.pc]
+	regs := f.regs
+	next := f.pc + 1
+
+	switch in.Op {
+	case ir.OpNop:
+
+	case ir.OpConst:
+		regs[in.Dst] = o.constant(in)
+	case ir.OpMove:
+		regs[in.Dst] = regs[in.A]
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpUshr:
+		v, t := arith2(in.Op, in.Kind, regs[in.A], regs[in.B])
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		regs[in.Dst] = v
+	case ir.OpNeg:
+		v, t := negate(in.Kind, regs[in.A])
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		regs[in.Dst] = v
+	case ir.OpConv:
+		v, t := convert(in.Kind, regs[in.A])
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		regs[in.Dst] = v
+
+	case ir.OpGoto:
+		next = in.Target
+	case ir.OpBr:
+		taken, t := compare(in.Cond, in.Kind, regs[in.A], regs[in.B])
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		if taken {
+			next = in.Target
+		}
+	case ir.OpReturn:
+		if in.A == ir.NoReg {
+			return value.Value{}, true, nil
+		}
+		return regs[in.A], true, nil
+
+	case ir.OpGetField:
+		obj := regs[in.A]
+		if obj.K != value.KindRef {
+			return value.Value{}, false, &trap{TrapBadOperand, "getfield base " + obj.String()}
+		}
+		if obj.B == 0 {
+			return value.Value{}, false, &trap{TrapNullDeref, in.Field.QName()}
+		}
+		addr := uint32(obj.B) + in.Field.Offset
+		o.record(addr, in.Field.Kind.Size())
+		regs[in.Dst] = o.loadVal(in.Field.Kind, addr)
+	case ir.OpPutField:
+		obj := regs[in.A]
+		if obj.K != value.KindRef {
+			return value.Value{}, false, &trap{TrapBadOperand, "putfield base " + obj.String()}
+		}
+		if obj.B == 0 {
+			return value.Value{}, false, &trap{TrapNullDeref, in.Field.QName()}
+		}
+		o.storeVal(uint32(obj.B)+in.Field.Offset, regs[in.B])
+	case ir.OpGetStatic:
+		regs[in.Dst] = o.prog.Universe.GetStatic(in.Field)
+	case ir.OpPutStatic:
+		o.prog.Universe.SetStatic(in.Field, regs[in.A])
+
+	case ir.OpArrayLoad:
+		addr, size, t := o.element(regs[in.A], regs[in.B], in.Kind)
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		o.record(addr, size)
+		regs[in.Dst] = o.loadVal(in.Kind, addr)
+	case ir.OpArrayStore:
+		addr, _, t := o.element(regs[in.A], regs[in.B], in.Kind)
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		o.storeVal(addr, regs[in.C])
+	case ir.OpArrayLen:
+		arr := regs[in.A]
+		if arr.K != value.KindRef {
+			return value.Value{}, false, &trap{TrapBadOperand, "arraylen base " + arr.String()}
+		}
+		if arr.B == 0 {
+			return value.Value{}, false, &trap{TrapNullDeref, "arraylen"}
+		}
+		addr := uint32(arr.B) + classfile.AuxOffset
+		o.record(addr, 4)
+		regs[in.Dst] = value.Int(int32(o.h.Load4(addr)))
+
+	case ir.OpNew:
+		addr, t := o.allocObject(in.Class)
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		regs[in.Dst] = value.Ref(addr)
+	case ir.OpNewArray:
+		n := regs[in.A]
+		if n.K != value.KindInt {
+			return value.Value{}, false, &trap{TrapBadOperand, "newarray length " + n.String()}
+		}
+		if int32(uint32(n.B)) < 0 {
+			return value.Value{}, false, &trap{TrapNegativeSize, n.String()}
+		}
+		addr, t := o.allocArray(in.Kind, uint32(n.B))
+		if t != nil {
+			return value.Value{}, false, t
+		}
+		regs[in.Dst] = value.Ref(addr)
+
+	case ir.OpCall, ir.OpCallVirt:
+		callee := in.Callee
+		if in.Op == ir.OpCallVirt {
+			recv := regs[in.Args[0]]
+			if recv.K != value.KindRef {
+				return value.Value{}, false, &trap{TrapBadOperand, "receiver " + recv.String()}
+			}
+			if recv.B == 0 {
+				return value.Value{}, false, &trap{TrapNullDeref, "callvirt " + in.Name}
+			}
+			c := o.h.ClassOf(uint32(recv.B))
+			callee = o.prog.LookupVirtual(c, in.Name)
+			if callee == nil {
+				return value.Value{}, false, &trap{TrapNoMethod, in.Name + " on " + c.Name}
+			}
+		}
+		cargs := make([]value.Value, len(in.Args))
+		for i, r := range in.Args {
+			cargs[i] = regs[r]
+		}
+		f.pc = next
+		if t := o.push(callee, cargs, in.Dst); t != nil {
+			return value.Value{}, false, t
+		}
+		return value.Value{}, false, nil
+
+	case ir.OpSink:
+		o.sink(regs[in.A])
+
+	case ir.OpPrefetch:
+		// Prefetch-blind: a prefetch has no architectural effect.
+	case ir.OpSpecLoad:
+		// Prefetch-blind: the oracle does not model the speculative load;
+		// its destination must only ever feed prefetch addresses, so a
+		// zero maybe-pointer (which every prefetch guard rejects) is the
+		// reference semantics of "nothing was prefetched".
+		regs[in.Dst] = value.SpecRef(0)
+
+	default:
+		return value.Value{}, false, &trap{TrapBadOperand, "unimplemented op " + in.Op.String()}
+	}
+
+	f.pc = next
+	return value.Value{}, false, nil
+}
+
+// element resolves one array access, mirroring the mutator's check order:
+// operand kinds, null, bounds.
+func (o *oracleVM) element(arr, idx value.Value, k value.Kind) (addr, size uint32, t *trap) {
+	if arr.K != value.KindRef || idx.K != value.KindInt {
+		return 0, 0, &trap{TrapBadOperand, "array access " + arr.String() + "[" + idx.String() + "]"}
+	}
+	if arr.B == 0 {
+		return 0, 0, &trap{TrapNullDeref, "array access"}
+	}
+	a := uint32(arr.B)
+	n := o.h.ArrayLen(a)
+	i := int32(uint32(idx.B))
+	if i < 0 || uint32(i) >= n {
+		return 0, 0, &trap{TrapBounds, fmt.Sprintf("%d of %d", i, n)}
+	}
+	c := o.h.ClassOf(a)
+	return a + classfile.HeaderBytes + uint32(i)*c.ElemSize, k.Size(), nil
+}
+
+func (o *oracleVM) loadVal(k value.Kind, addr uint32) value.Value {
+	if k == value.KindLong || k == value.KindDouble {
+		return value.Value{K: k, B: o.h.Load8(addr)}
+	}
+	return value.Value{K: k, B: uint64(o.h.Load4(addr))}
+}
+
+func (o *oracleVM) storeVal(addr uint32, v value.Value) {
+	if v.K == value.KindLong || v.K == value.KindDouble {
+		o.h.Store8(addr, v.B)
+		return
+	}
+	o.h.Store4(addr, uint32(v.B))
+}
+
+func (o *oracleVM) constant(in *ir.Instr) value.Value {
+	switch in.Kind {
+	case value.KindInt:
+		return value.Int(int32(in.Imm))
+	case value.KindLong:
+		return value.Long(in.Imm)
+	case value.KindFloat:
+		return value.Float(float32(in.F))
+	case value.KindDouble:
+		return value.Double(in.F)
+	case value.KindRef:
+		return value.Null
+	}
+	return value.Value{}
+}

@@ -1,0 +1,316 @@
+package oracle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"strider/internal/classfile"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// buildListSum constructs a small but representative program: builds a
+// linked list, walks it summing a field, stores the head in a static, and
+// sinks the sum. extraGarbage allocates dead objects first, which shifts
+// every later heap address without changing the live graph.
+func buildListSum(n int32, extraGarbage int32) *ir.Program {
+	u := classfile.NewUniverse()
+	node := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "head", Kind: value.KindRef, Static: true},
+	)
+	fVal, fNext, fHead := node.FieldByName("val"), node.FieldByName("next"), node.FieldByName("head")
+	p := ir.NewProgram(u)
+
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	if extraGarbage > 0 {
+		g := b.ConstInt(0)
+		lim := b.ConstInt(extraGarbage)
+		cond, body := b.NewLabel(), b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		b.New(node) // dead immediately
+		b.IncInt(g, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, g, lim, body)
+	}
+	head := b.ConstNull()
+	i := b.ConstInt(0)
+	lim := b.ConstInt(n)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	nd := b.New(node)
+	b.PutField(nd, fVal, i)
+	b.PutField(nd, fNext, head)
+	b.MoveTo(head, nd)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, lim, body)
+	b.PutStatic(fHead, head)
+
+	sum := b.ConstInt(0)
+	cur := b.NewReg()
+	b.MoveTo(cur, head)
+	wcond, wbody := b.NewLabel(), b.NewLabel()
+	null := b.ConstNull()
+	b.Goto(wcond)
+	b.Bind(wbody)
+	v := b.GetField(cur, fVal)
+	b.ArithTo(sum, ir.OpAdd, value.KindInt, sum, v)
+	nx := b.GetField(cur, fNext)
+	b.MoveTo(cur, nx)
+	b.Bind(wcond)
+	b.Br(value.KindRef, ir.CondNE, cur, null, wbody)
+	b.Sink(sum)
+	b.Return(sum)
+	p.Entry = b.Finish()
+	return p
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(buildListSum(100, 0), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(buildListSum(100, 0), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("oracle not deterministic:\n  %s\n  %s\n  diff: %v", a, b, a.Diff(b))
+	}
+	if a.Trap != TrapNone {
+		t.Fatalf("unexpected trap %q", a.Trap)
+	}
+	if want := value.Int(100 * 99 / 2); !a.Result.Equal(want) {
+		t.Fatalf("result %v, want %v", a.Result, want)
+	}
+	if a.Loads == 0 || a.Checksum == 0 {
+		t.Fatalf("fingerprint missing loads/checksum: %s", a)
+	}
+}
+
+// TestGraphDigestAddressIndependence: dead allocations move every live
+// object, so the raw byte digest and load stream change — but the
+// canonicalised live graph must not.
+func TestGraphDigestAddressIndependence(t *testing.T) {
+	a, err := Run(buildListSum(50, 0), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(buildListSum(50, 7), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HeapDigest == b.HeapDigest {
+		t.Fatalf("garbage variant unexpectedly byte-identical (test is vacuous)")
+	}
+	if a.GraphDigest != b.GraphDigest {
+		t.Fatalf("live graph digest is address-dependent: %016x vs %016x", a.GraphDigest, b.GraphDigest)
+	}
+	if !a.Result.Equal(b.Result) || a.Checksum != b.Checksum {
+		t.Fatalf("semantic outcome changed with placement: %s vs %s", a, b)
+	}
+}
+
+// TestGCPreservesGraphDigest: a heap small enough to force collections
+// must still yield the same live graph and outputs as an uncollected run.
+func TestGCPreservesGraphDigest(t *testing.T) {
+	big, err := Run(buildListSum(40, 5000), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(buildListSum(40, 5000), nil, Config{HeapBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.GCs == 0 {
+		t.Fatalf("small heap did not trigger GC (test is vacuous)")
+	}
+	if big.GCs != 0 {
+		t.Fatalf("big heap unexpectedly collected")
+	}
+	if big.GraphDigest != small.GraphDigest {
+		t.Fatalf("GC changed live graph: %016x vs %016x", big.GraphDigest, small.GraphDigest)
+	}
+	if !big.Result.Equal(small.Result) || big.Checksum != small.Checksum {
+		t.Fatalf("GC changed outputs: %s vs %s", big, small)
+	}
+}
+
+func TestRunMisuse(t *testing.T) {
+	u := classfile.NewUniverse()
+	p := ir.NewProgram(u)
+	if _, err := Run(p, nil, Config{}); err == nil {
+		t.Fatalf("expected error for program without entry")
+	}
+	b := ir.NewBuilder(p, nil, "main", value.KindInt, value.KindInt)
+	b.Return(b.Param(0))
+	p.Entry = b.Finish()
+	if _, err := Run(p, nil, Config{}); err == nil {
+		t.Fatalf("expected error for wrong argument count")
+	}
+	if fp, err := Run(p, []value.Value{value.Int(7)}, Config{}); err != nil {
+		t.Fatal(err)
+	} else if !fp.Result.Equal(value.Int(7)) {
+		t.Fatalf("result %v", fp.Result)
+	}
+}
+
+func TestBudgetTrapIncomparable(t *testing.T) {
+	a, err := Run(buildListSum(1000, 0), nil, Config{MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trap != TrapBudget {
+		t.Fatalf("trap %q, want %q", a.Trap, TrapBudget)
+	}
+	// A different budget stops at a different architectural point; only the
+	// class is comparable.
+	b, err := Run(buildListSum(1000, 0), nil, Config{MaxSteps: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("budget traps must compare by class only: %v", a.Diff(b))
+	}
+	if a.Equal(Fingerprint{Trap: TrapNullDeref}) {
+		t.Fatalf("different trap classes must not compare equal")
+	}
+}
+
+func TestFingerprintDiffBranches(t *testing.T) {
+	base, err := Run(buildListSum(10, 0), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := []struct {
+		name string
+		mut  func(*Fingerprint)
+	}{
+		{"result", func(f *Fingerprint) { f.Result = value.Int(0) }},
+		{"checksum", func(f *Fingerprint) { f.Checksum++ }},
+		{"demand loads", func(f *Fingerprint) { f.Loads++ }},
+		{"heap bytes", func(f *Fingerprint) { f.HeapDigest++ }},
+		{"object graph", func(f *Fingerprint) { f.GraphDigest++ }},
+		{"statics", func(f *Fingerprint) { f.StaticsDigest++ }},
+		{"GCs", func(f *Fingerprint) { f.GCs++ }},
+		{"trap", func(f *Fingerprint) { f.Trap = TrapBounds }},
+	}
+	for _, tc := range tamper {
+		o := base
+		tc.mut(&o)
+		d := base.Diff(o)
+		if len(d) == 0 {
+			t.Errorf("%s: tampering not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(d[0], tc.name) {
+			t.Errorf("%s: diff %q does not name the component", tc.name, d[0])
+		}
+		if tc.name == "trap" && len(d) != 1 {
+			t.Errorf("trap mismatch must short-circuit, got %v", d)
+		}
+	}
+	if s := base.String(); !strings.Contains(s, "result=") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Fingerprint{Trap: TrapBounds}).String(); !strings.Contains(s, TrapBounds) {
+		t.Errorf("trap String() = %q", s)
+	}
+}
+
+// TestEvalAgreesWithEngine cross-checks the oracle's independent evaluator
+// against the engine's (ir.Eval*) over an operand corpus. The two were
+// written separately; this pins down that they define the same language.
+func TestEvalAgreesWithEngine(t *testing.T) {
+	corpus := map[value.Kind][]value.Value{
+		value.KindInt: {
+			value.Int(0), value.Int(1), value.Int(-1), value.Int(7),
+			value.Int(-13), value.Int(31), value.Int(32), value.Int(math.MinInt32), value.Int(math.MaxInt32),
+		},
+		value.KindLong: {
+			value.Long(0), value.Long(1), value.Long(-1), value.Long(63), value.Long(64),
+			value.Long(math.MinInt64), value.Long(math.MaxInt64), value.Long(1 << 40),
+		},
+		value.KindFloat: {
+			value.Float(0), value.Float(1.5), value.Float(-2.25),
+			value.Float(float32(math.Inf(1))), value.Float(float32(math.NaN())),
+		},
+		value.KindDouble: {
+			value.Double(0), value.Double(3.75), value.Double(-0.5),
+			value.Double(math.Inf(-1)), value.Double(math.NaN()), value.Double(1e300),
+		},
+	}
+	binOps := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpUshr}
+	for k, vals := range corpus {
+		for _, op := range binOps {
+			for _, a := range vals {
+				for _, b := range vals {
+					ev, eerr := ir.EvalBinary(op, k, a, b)
+					ov, otr := arith2(op, k, a, b)
+					if (eerr != nil) != (otr != nil) {
+						t.Fatalf("%v %v (%v, %v): engine err=%v oracle trap=%v", op, k, a, b, eerr, otr)
+					}
+					if eerr == nil && !ev.Equal(ov) && !(nanEqual(k, ev, ov)) {
+						t.Fatalf("%v %v (%v, %v): engine %v oracle %v", op, k, a, b, ev, ov)
+					}
+				}
+			}
+		}
+		for _, a := range vals {
+			ev, eerr := ir.EvalUnary(ir.OpNeg, k, a)
+			ov, otr := negate(k, a)
+			if (eerr != nil) != (otr != nil) || (eerr == nil && !ev.Equal(ov) && !nanEqual(k, ev, ov)) {
+				t.Fatalf("neg %v %v: engine %v/%v oracle %v/%v", k, a, ev, eerr, ov, otr)
+			}
+			for _, dst := range []value.Kind{value.KindInt, value.KindLong, value.KindFloat, value.KindDouble} {
+				ev, eerr := ir.Convert(dst, a)
+				ov, otr := convert(dst, a)
+				if (eerr != nil) != (otr != nil) || (eerr == nil && !ev.Equal(ov) && !nanEqual(dst, ev, ov)) {
+					t.Fatalf("conv %v->%v %v: engine %v/%v oracle %v/%v", k, dst, a, ev, eerr, ov, otr)
+				}
+			}
+			for _, b := range vals {
+				for _, c := range []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondLE, ir.CondGT, ir.CondGE} {
+					et, eerr := ir.EvalCond(c, k, a, b)
+					ot, otr := compare(c, k, a, b)
+					if (eerr != nil) != (otr != nil) || (eerr == nil && et != ot) {
+						t.Fatalf("cond %v %v (%v, %v): engine %v/%v oracle %v/%v", c, k, a, b, et, eerr, ot, otr)
+					}
+				}
+			}
+		}
+	}
+	// Reference comparisons: unsigned 32-bit addresses.
+	refs := []value.Value{value.Null, value.Ref(16), value.Ref(0x8000_0000), value.Ref(0xFFFF_FFF0)}
+	for _, a := range refs {
+		for _, b := range refs {
+			for _, c := range []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondGE} {
+				et, eerr := ir.EvalCond(c, value.KindRef, a, b)
+				ot, otr := compare(c, value.KindRef, a, b)
+				if (eerr != nil) != (otr != nil) || (eerr == nil && et != ot) {
+					t.Fatalf("ref cond %v (%v, %v): engine %v oracle %v", c, a, b, et, ot)
+				}
+			}
+		}
+	}
+}
+
+// nanEqual treats two NaN payloads of the same kind as equal: Go does not
+// guarantee which NaN bit pattern an operation produces, and the IR only
+// guarantees "a NaN".
+func nanEqual(k value.Kind, a, b value.Value) bool {
+	switch k {
+	case value.KindFloat:
+		return a.K == b.K && math.IsNaN(float64(math.Float32frombits(uint32(a.B)))) &&
+			math.IsNaN(float64(math.Float32frombits(uint32(b.B))))
+	case value.KindDouble:
+		return a.K == b.K && math.IsNaN(math.Float64frombits(a.B)) && math.IsNaN(math.Float64frombits(b.B))
+	}
+	return false
+}

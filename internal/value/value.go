@@ -25,6 +25,11 @@ const (
 	KindDouble
 	KindRef
 	KindUnknown
+	// KindSpecRef is the result of a guarded speculative load (spec_load,
+	// Sec. 3.3). The payload is whatever word the load returned — possibly
+	// a stale or garbage pointer — so it may be used as a prefetch base
+	// but is never a GC root and never flows into ordinary computation.
+	KindSpecRef
 )
 
 var kindNames = [...]string{
@@ -35,6 +40,7 @@ var kindNames = [...]string{
 	KindDouble:  "double",
 	KindRef:     "ref",
 	KindUnknown: "unknown",
+	KindSpecRef: "specref",
 }
 
 // String returns the lower-case name of the kind.
@@ -93,11 +99,19 @@ func Double(v float64) Value { return Value{K: KindDouble, B: math.Float64bits(v
 // Ref constructs a reference value from a simulated heap address.
 func Ref(addr uint32) Value { return Value{K: KindRef, B: uint64(addr)} }
 
+// SpecRef constructs the result of a guarded speculative load: a maybe-
+// pointer that can seed a dereference prefetch but is invisible to the
+// collector.
+func SpecRef(word uint32) Value { return Value{K: KindSpecRef, B: uint64(word)} }
+
 // IsUnknown reports whether the value is the inspection lattice top.
 func (v Value) IsUnknown() bool { return v.K == KindUnknown }
 
 // IsRef reports whether the value is a reference.
 func (v Value) IsRef() bool { return v.K == KindRef }
+
+// IsSpecRef reports whether the value is a speculative maybe-pointer.
+func (v Value) IsSpecRef() bool { return v.K == KindSpecRef }
 
 // IsNull reports whether the value is the null reference.
 func (v Value) IsNull() bool { return v.K == KindRef && v.B == 0 }
@@ -139,6 +153,8 @@ func (v Value) String() string {
 		return fmt.Sprintf("ref:0x%x", v.Ref())
 	case KindUnknown:
 		return "unknown"
+	case KindSpecRef:
+		return fmt.Sprintf("specref:0x%x", uint32(v.B))
 	}
 	return "invalid"
 }

@@ -23,6 +23,7 @@ import (
 	"strider/internal/harness"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/oracle"
 	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
@@ -130,6 +131,23 @@ func SetRecorder(r Recorder) { harness.SetRecorder(r) }
 // Explain runs one spec on a private, uncached VM with tracing enabled
 // and returns the human-readable per-loop prefetch decision log.
 func Explain(s Spec) (string, error) { return harness.Explain(s) }
+
+// VerifyReport is the outcome of one differential verification: the
+// reference fingerprint, one cell per (machine, prefetch mode)
+// configuration, and every mismatch found.
+type VerifyReport = oracle.Report
+
+// Verify proves a workload's semantics are prefetch-invariant: a naive
+// prefetch-blind reference interpreter and the full JIT+memsim stack must
+// produce identical architectural fingerprints (result, output checksum,
+// demand-load address stream, final heap, live object graph, statics, GC
+// count) under every prefetching configuration on both machines.
+// Compile-time object inspection is additionally checked for heap and
+// statics leaks, and the memory simulator's counter and inclusion
+// invariants are asserted for every cell.
+func Verify(workload string, size Size, gc GCMode) (*VerifyReport, error) {
+	return harness.Verify(workload, size, gc)
+}
 
 // Speedups measures the INTER and INTER+INTRA speedups (percent) of a
 // workload over BASELINE on the named machine.
