@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strider/internal/bench"
+)
+
+func writeReport(t *testing.T, name string, entries []bench.Measurement) string {
+	t.Helper()
+	r := &bench.Report{Schema: bench.Schema, Entries: entries}
+	path := filepath.Join(t.TempDir(), name)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffGateFailsOnSyntheticRegression drives the exact command CI runs
+// and asserts the exit codes the gate relies on: 1 for a regression, 0 for
+// a clean comparison.
+func TestDiffGateFailsOnSyntheticRegression(t *testing.T) {
+	base := writeReport(t, "base.json", []bench.Measurement{
+		{Name: "vm/x", Iters: 3, NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	regressed := writeReport(t, "regressed.json", []bench.Measurement{
+		{Name: "vm/x", Iters: 3, NsPerOp: 1500, AllocsPerOp: 10},
+	})
+	clean := writeReport(t, "clean.json", []bench.Measurement{
+		{Name: "vm/x", Iters: 3, NsPerOp: 1050, AllocsPerOp: 10},
+	})
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base, regressed}, &stdout, &stderr); code != 1 {
+		t.Errorf("50%% regression: exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("diff output lacks regression marker:\n%s", &stdout)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-diff", base, clean}, &stdout, &stderr); code != 0 {
+		t.Errorf("5%% drift under 10%% threshold: exit = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+
+	// A tighter threshold flips the clean comparison into a failure.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-diff", "-threshold", "2", base, clean}, &stdout, &stderr); code != 1 {
+		t.Errorf("5%% drift under 2%% threshold: exit = %d, want 1", code)
+	}
+}
+
+func TestDiffGateAllocGrowth(t *testing.T) {
+	base := writeReport(t, "base.json", []bench.Measurement{
+		{Name: "vm/x", Iters: 3, NsPerOp: 1000, AllocsPerOp: 0},
+	})
+	alloc := writeReport(t, "alloc.json", []bench.Measurement{
+		{Name: "vm/x", Iters: 3, NsPerOp: 1000, AllocsPerOp: 3},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base, alloc}, &stdout, &stderr); code != 1 {
+		t.Errorf("alloc growth: exit = %d, want 1", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-diff", "-allow-alloc-growth", base, alloc}, &stdout, &stderr); code != 0 {
+		t.Errorf("alloc growth waived: exit = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-diff", "only-one.json"},
+		{"-diff", "-threshold", "0", "a.json", "b.json"},
+		{"-diff", "a-file-that-does-not-exist.json", "another.json"},
+		{"unexpected-positional-arg"},
+		{"-no-such-flag"},
+		{"-run", "matches-no-entry-at-all", "-iters", "1", "-time", "1ns"},
+	}
+	for _, args := range cases {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestListMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d\nstderr:\n%s", code, &stderr)
+	}
+	for _, want := range []string{"vm/jess-small", "memsim/stride-sweep", "grid/compress-small-3modes"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing %s:\n%s", want, &stdout)
+		}
+	}
+}

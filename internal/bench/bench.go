@@ -1,0 +1,254 @@
+// Package bench is the continuous-benchmarking subsystem: a pinned suite
+// of performance benchmarks over the simulation hot path (VM, oracle,
+// interpreter, memory model, experiment grid), a runner that measures them
+// without the testing package's global flag state, machine-readable
+// reports (the BENCH_<n>.json trajectory committed at the repo root), and
+// a differ with a configurable regression threshold that CI uses to gate
+// pull requests against the main-branch baseline.
+//
+// Every entry returns a deterministic Work signature (simulated cycles,
+// instructions, checksum) alongside its timings: wall-clock numbers vary
+// with the machine, but the simulated work of a pinned entry is exact, so
+// the suite double-checks that an "optimization" did not change what is
+// being simulated — and the serial-vs-parallel determinism test holds the
+// runner itself to that standard.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Work is the deterministic signature of one suite entry's iteration: it
+// must be byte-for-byte reproducible across runs, machines, and runner
+// parallelism. NsPerOp may drift; Work may not.
+type Work struct {
+	Cycles       uint64 `json:"cycles,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	Checksum     uint64 `json:"checksum,omitempty"`
+}
+
+// Entry is one pinned benchmark. Make performs the entry's one-time setup
+// and returns the iteration function; the runner times only iterations.
+type Entry struct {
+	Name string
+	Make func() (func() (Work, error), error)
+}
+
+// Measurement is the measured outcome of one entry.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Work        Work    `json:"work"`
+}
+
+// Report is one suite run — the schema of the BENCH_<n>.json files.
+type Report struct {
+	Schema    int           `json:"schema"`
+	GitSHA    string        `json:"git_sha,omitempty"`
+	Timestamp string        `json:"timestamp,omitempty"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	MinIters  int           `json:"min_iters"`
+	MinTime   string        `json:"min_time"`
+	Entries   []Measurement `json:"benchmarks"`
+}
+
+// Schema is the current report schema version.
+const Schema = 1
+
+// Options configures a suite run.
+type Options struct {
+	// MinIters is the minimum timed iterations per entry (default 3).
+	MinIters int
+	// MinTime is the minimum total timed duration per entry (default 1s).
+	// An entry stops after MinIters iterations once MinTime has elapsed.
+	MinTime time.Duration
+	// Parallel runs entries across this many workers (default 1, serial).
+	// Timings under parallelism are noisy — it exists for the determinism
+	// test and for quick smoke runs; reports meant for BENCH_<n>.json or
+	// CI gating should use the serial default.
+	Parallel int
+	// GitSHA and Timestamp are stamped into the report verbatim. They are
+	// inputs, not measurements, so reports stay reproducible: the runner
+	// never reads a clock or the repository itself for metadata.
+	GitSHA    string
+	Timestamp string
+	// Filter, when non-nil, selects the entries to run by name.
+	Filter func(name string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinIters <= 0 {
+		o.MinIters = 3
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = time.Second
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// measure runs one entry: setup, one untimed warmup iteration, then timed
+// iterations until both MinIters and MinTime are satisfied.
+func measure(e Entry, opts Options) (Measurement, error) {
+	iter, err := e.Make()
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s: setup: %w", e.Name, err)
+	}
+	work, err := iter() // warmup: JIT state, lazily-grown buffers, caches
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s: warmup: %w", e.Name, err)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var elapsed time.Duration
+	iters := 0
+	for iters < opts.MinIters || elapsed < opts.MinTime {
+		start := time.Now()
+		w, err := iter()
+		elapsed += time.Since(start)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("bench: %s: iteration %d: %w", e.Name, iters, err)
+		}
+		if w != work {
+			return Measurement{}, fmt.Errorf("bench: %s: nondeterministic work: iteration %d produced %+v, warmup produced %+v",
+				e.Name, iters, w, work)
+		}
+		iters++
+	}
+	runtime.ReadMemStats(&ms1)
+
+	n := float64(iters)
+	return Measurement{
+		Name:        e.Name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / n,
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+		Work:        work,
+	}, nil
+}
+
+// RunSuite measures the given entries and assembles a report. Entries are
+// reported in suite order regardless of runner parallelism.
+func RunSuite(entries []Entry, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	selected := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if opts.Filter == nil || opts.Filter(e.Name) {
+			selected = append(selected, e)
+		}
+	}
+	results := make([]Measurement, len(selected))
+	errs := make([]error, len(selected))
+
+	if opts.Parallel == 1 {
+		for i, e := range selected {
+			results[i], errs[i] = measure(e, opts)
+		}
+	} else {
+		idx := make(chan int)
+		done := make(chan struct{})
+		workers := opts.Parallel
+		if workers > len(selected) {
+			workers = len(selected)
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idx {
+					results[i], errs[i] = measure(selected[i], opts)
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range selected {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		Schema:    Schema,
+		GitSHA:    opts.GitSHA,
+		Timestamp: opts.Timestamp,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MinIters:  opts.MinIters,
+		MinTime:   opts.MinTime.String(),
+		Entries:   results,
+	}, nil
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// ByName indexes the report's measurements.
+func (r *Report) ByName() map[string]Measurement {
+	m := make(map[string]Measurement, len(r.Entries))
+	for _, e := range r.Entries {
+		m[e.Name] = e
+	}
+	return m
+}
+
+// Names returns the sorted entry names of the report.
+func (r *Report) Names() []string {
+	names := make([]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}

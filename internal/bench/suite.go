@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"strider/internal/arch"
+	"strider/internal/core/jit"
+	"strider/internal/harness"
+	"strider/internal/memsim"
+	"strider/internal/oracle"
+	"strider/internal/vm"
+	"strider/internal/workloads"
+)
+
+// Suite returns the pinned benchmark suite. The entries are fixed: CI and
+// the committed BENCH_<n>.json trajectory compare runs by name, so renaming
+// or removing an entry is itself flagged as a regression by Diff. All
+// entries use the small problem size — the point is a stable, fast signal
+// on the hot path, not a re-run of the paper's evaluation.
+func Suite() []Entry {
+	return []Entry{
+		// The full stack end to end: program build, JIT with object
+		// inspection, memory simulation — the exact loop every grid cell,
+		// oracle replay, and fuzz iteration pays.
+		vmEntry("vm/jess-small", "jess"),
+		vmEntry("vm/db-small", "db"),
+
+		// The differential suite's reference side: the prefetch-blind naive
+		// interpreter, fingerprint included.
+		{Name: "oracle/jess-small", Make: func() (func() (Work, error), error) {
+			w, err := workloads.ByName("jess")
+			if err != nil {
+				return nil, err
+			}
+			return func() (Work, error) {
+				// Rebuilt each iteration: the oracle runs over the program's
+				// own universe, so statics carry state between runs.
+				prog := w.Build(workloads.SizeSmall)
+				fp, err := oracle.Run(prog, nil, oracle.Config{HeapBytes: w.HeapBytes})
+				if err != nil {
+					return Work{}, err
+				}
+				if fp.Trap != oracle.TrapNone {
+					return Work{}, fmt.Errorf("oracle trapped: %s", fp.Trap)
+				}
+				return Work{Instructions: fp.Loads, Checksum: fp.Checksum}, nil
+			}, nil
+		}},
+
+		// Steady-state engine speed: one VM reused across iterations
+		// (ResetRun between runs), so this isolates the interpreter +
+		// memory-model loop from build and JIT costs. After the first
+		// (warmup) iteration this path performs zero heap allocations.
+		{Name: "interp/search-small-steady", Make: func() (func() (Work, error), error) {
+			w, err := workloads.ByName("search")
+			if err != nil {
+				return nil, err
+			}
+			prog := w.Build(workloads.SizeSmall)
+			v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.Baseline, HeapBytes: w.HeapBytes})
+			// One untimed run so the JIT reaches steady state: the first
+			// run compiles methods as they cross the invocation threshold
+			// and so retires different (interpreted) cycle counts.
+			if _, err := v.Run(nil); err != nil {
+				return nil, err
+			}
+			return func() (Work, error) {
+				v.ResetRun()
+				s, err := v.Run(nil)
+				if err != nil {
+					return Work{}, err
+				}
+				return Work{Cycles: s.Cycles, Instructions: s.Instructions, Checksum: s.Checksum}, nil
+			}, nil
+		}},
+
+		// The cache/TLB model alone: a strided load/store sweep with a
+		// pointer-chase-like reuse pattern, no interpreter in the loop.
+		{Name: "memsim/stride-sweep", Make: func() (func() (Work, error), error) {
+			machine := arch.Pentium4()
+			return func() (Work, error) {
+				mem := memsim.New(machine)
+				var now, sum uint64
+				const n = 200_000
+				addr := uint32(64)
+				for i := 0; i < n; i++ {
+					now += mem.Load(addr, 4, now)
+					if i%4 == 0 {
+						now += mem.Store(addr+16, 4, now)
+					}
+					if i%8 == 0 {
+						mem.Prefetch(addr+512, i%16 == 0, now)
+					}
+					addr += 72 // object-sized stride, crosses lines and pages
+					if addr >= 1<<24 {
+						addr = 64
+					}
+				}
+				sum = mem.C.LoadStallCycles + mem.C.StoreStallCycles
+				return Work{Cycles: now, Instructions: mem.C.Loads + mem.C.Stores, Checksum: sum}, nil
+			}, nil
+		}},
+
+		// The experiment engine: one three-mode grid (BASELINE, INTER,
+		// INTER+INTRA) scheduled through the harness worker pool. The
+		// process cache is cleared each iteration so every cell really
+		// executes; Work folds all three cells' cycles.
+		{Name: "grid/compress-small-3modes", Make: func() (func() (Work, error), error) {
+			specs := []harness.Spec{
+				{Workload: "compress", Size: workloads.SizeSmall, Mode: jit.Baseline},
+				{Workload: "compress", Size: workloads.SizeSmall, Mode: jit.Inter},
+				{Workload: "compress", Size: workloads.SizeSmall, Mode: jit.InterIntra},
+			}
+			return func() (Work, error) {
+				harness.ClearCache()
+				results, err := harness.RunAll(specs)
+				if err != nil {
+					return Work{}, err
+				}
+				var w Work
+				for _, r := range results {
+					w.Cycles += r.Stats.Cycles
+					w.Instructions += r.Stats.Instructions
+					w.Checksum ^= r.Stats.Checksum
+				}
+				return w, nil
+			}, nil
+		}},
+
+		// Per-workload cells under the paper's full algorithm — the list
+		// mixes pointer-chasing, array-striding, and allocation-heavy
+		// behaviour so a regression in any hot-path layer moves at least one.
+		cellEntry("cell/mtrt-small-interintra", "mtrt", "Pentium4"),
+		cellEntry("cell/euler-small-interintra", "euler", "AthlonMP"),
+	}
+}
+
+// vmEntry builds a full-stack entry: fresh program, fresh VM, one run.
+func vmEntry(name, workload string) Entry {
+	return Entry{Name: name, Make: func() (func() (Work, error), error) {
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return func() (Work, error) {
+			prog := w.Build(workloads.SizeSmall)
+			v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
+			s, err := v.Run(nil)
+			if err != nil {
+				return Work{}, err
+			}
+			return Work{Cycles: s.Cycles, Instructions: s.Instructions, Checksum: s.Checksum}, nil
+		}, nil
+	}}
+}
+
+// cellEntry builds a measured-run entry (warmup + measured, the paper's
+// methodology) on a fresh VM each iteration, bypassing the harness cache.
+func cellEntry(name, workload, machine string) Entry {
+	return Entry{Name: name, Make: func() (func() (Work, error), error) {
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		m := arch.ByName(machine)
+		if m == nil {
+			return nil, fmt.Errorf("bench: unknown machine %q", machine)
+		}
+		return func() (Work, error) {
+			prog := w.Build(workloads.SizeSmall)
+			v := vm.New(prog, vm.Config{Machine: m, Mode: jit.InterIntra, HeapBytes: w.HeapBytes})
+			s, err := v.Measure(nil, 1)
+			if err != nil {
+				return Work{}, err
+			}
+			return Work{Cycles: s.Cycles, Instructions: s.Instructions, Checksum: s.Checksum}, nil
+		}, nil
+	}}
+}

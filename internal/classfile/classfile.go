@@ -106,6 +106,10 @@ type Universe struct {
 	statics      []*Field // all static fields, in declaration order
 	staticVals   []value.Value
 	staticsByKey map[*Field]int
+
+	// arrayByKind memoizes ArrayClass per element kind so the allocation
+	// hot path never rebuilds the "<kind>[]" name string.
+	arrayByKind [8]*Class
 }
 
 // NewUniverse returns an empty universe.
@@ -193,8 +197,16 @@ func ArrayClassName(elem value.Kind) string { return elem.String() + "[]" }
 // ArrayClass returns (creating on first use) the array class for the given
 // element kind.
 func (u *Universe) ArrayClass(elem value.Kind) *Class {
+	if int(elem) < len(u.arrayByKind) {
+		if c := u.arrayByKind[elem]; c != nil {
+			return c
+		}
+	}
 	name := ArrayClassName(elem)
 	if c, ok := u.byName[name]; ok {
+		if int(elem) < len(u.arrayByKind) {
+			u.arrayByKind[elem] = c
+		}
 		return c
 	}
 	c := &Class{
@@ -207,6 +219,9 @@ func (u *Universe) ArrayClass(elem value.Kind) *Class {
 	}
 	u.classes = append(u.classes, c)
 	u.byName[name] = c
+	if int(elem) < len(u.arrayByKind) {
+		u.arrayByKind[elem] = c
+	}
 	return c
 }
 

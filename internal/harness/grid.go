@@ -81,6 +81,20 @@ func progressWriter() io.Writer {
 	return progressW
 }
 
+// printMu serializes all progress-line writes process-wide. The per-Run
+// bookkeeping mutex is not enough: concurrent Grids (the differ, nested
+// figure batches, tests with -parallel) share one progress writer, and
+// unserialized Write calls from two pools race and interleave lines.
+var printMu sync.Mutex
+
+// printProgress writes one complete progress line under the process-wide
+// printer lock.
+func printProgress(w io.Writer, line string) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	io.WriteString(w, line)
+}
+
 // Run executes every cell and returns results in Specs order.
 func (g Grid) Run() []Result {
 	results := make([]Result, len(g.Specs))
@@ -127,9 +141,10 @@ func (g Grid) Run() []Result {
 			if r.Err != nil {
 				note = " ERROR: " + r.Err.Error()
 			}
-			fmt.Fprintf(w, "[%*d/%d] %-40s %10s%s\n",
+			line := fmt.Sprintf("[%*d/%d] %-40s %10s%s\n",
 				len(fmt.Sprint(len(g.Specs))), done, len(g.Specs),
 				r.Spec.withDefaults().String(), r.Wall.Round(time.Millisecond), note)
+			printProgress(w, line)
 		}
 		if g.Progress != nil {
 			g.Progress(done, len(g.Specs), r)

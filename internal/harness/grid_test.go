@@ -3,6 +3,7 @@ package harness
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"strider/internal/core/jit"
@@ -91,6 +92,80 @@ func TestGridRunOrderAndDedup(t *testing.T) {
 	}
 	if c := EngineCounters(); c.Executions != 2 {
 		t.Errorf("executions = %d, want 2 (one per distinct cell)", c.Executions)
+	}
+}
+
+// exclusiveLineWriter fails the test if two Write calls overlap in time or
+// if any Write is not one complete newline-terminated progress line — the
+// two symptoms of unserialized progress printing.
+type exclusiveLineWriter struct {
+	t      *testing.T
+	busy   atomic.Bool
+	lines  atomic.Int64
+	racing atomic.Bool
+	torn   atomic.Bool
+}
+
+func (w *exclusiveLineWriter) Write(p []byte) (int, error) {
+	if !w.busy.CompareAndSwap(false, true) {
+		w.racing.Store(true)
+	}
+	s := string(p)
+	if !strings.HasSuffix(s, "\n") || strings.Count(s, "\n") != 1 {
+		w.torn.Store(true)
+	}
+	w.lines.Add(1)
+	w.busy.Store(false)
+	return len(p), nil
+}
+
+// TestProgressNoInterleaving runs several grids concurrently, each with its
+// own wide worker pool, all sharing one progress writer — the differ and
+// nested figure batches do exactly this. Every progress line must reach the
+// writer as one exclusive, complete Write. Run under -race in CI: the
+// pre-fix per-Run progress mutex also made concurrent grids race on the
+// writer itself.
+func TestProgressNoInterleaving(t *testing.T) {
+	ClearCache()
+	w := &exclusiveLineWriter{t: t}
+	SetProgress(w)
+	defer SetProgress(nil)
+
+	mkSpecs := func(machine string) []Spec {
+		var specs []Spec
+		for _, mode := range []jit.Mode{jit.Baseline, jit.Inter, jit.InterIntra} {
+			specs = append(specs, Spec{Workload: "search", Size: workloads.SizeSmall, Machine: machine, Mode: mode})
+		}
+		return specs
+	}
+
+	const grids = 4
+	var wg sync.WaitGroup
+	for i := 0; i < grids; i++ {
+		machine := "Pentium4"
+		if i%2 == 1 {
+			machine = "AthlonMP"
+		}
+		wg.Add(1)
+		go func(machine string) {
+			defer wg.Done()
+			for _, r := range (Grid{Specs: mkSpecs(machine), Parallel: 3}.Run()) {
+				if r.Err != nil {
+					t.Errorf("cell %s: %v", r.Spec.String(), r.Err)
+				}
+			}
+		}(machine)
+	}
+	wg.Wait()
+
+	if w.racing.Load() {
+		t.Error("progress writer saw overlapping Write calls (interleaving)")
+	}
+	if w.torn.Load() {
+		t.Error("progress writer received a torn or multi-line Write")
+	}
+	if got, want := w.lines.Load(), int64(grids*3); got != want {
+		t.Errorf("progress lines = %d, want %d", got, want)
 	}
 }
 

@@ -51,9 +51,20 @@ type Stats struct {
 }
 
 // Heap is a simulated heap.
+//
+// The backing store is materialized lazily: `size` is the configured
+// (logical) capacity — the address space Valid accepts and allocation is
+// bounded by — while `mem` holds only the physically-touched prefix and
+// grows on demand. Most workloads configure tens of megabytes and touch a
+// fraction of them, so eagerly zeroing the full capacity on New/Reset
+// dominated VM construction cost. Reads of valid-but-untouched addresses
+// (the guarded speculative loads of Sec. 3.3 can reach any heap address)
+// return zero, exactly as the eagerly-zeroed backing did.
 type Heap struct {
 	mem      []byte
+	size     uint32 // logical capacity; len(mem) <= size
 	top      uint32 // bump pointer (next free address in compact mode)
+	hwm      uint32 // high-water mark of top: the dirty prefix Reset zeroes
 	universe *classfile.Universe
 	mode     GCMode
 	stats    Stats
@@ -61,11 +72,17 @@ type Heap struct {
 	// free list for GCMarkSweepFreeList mode: sorted, coalesced spans.
 	free []span
 
-	// marks is a side bitmap, one bit per 8 heap bytes.
+	// marks is a side bitmap, one bit per 8 heap bytes (physical prefix).
 	marks []uint64
+
+	// markStack is the mark-phase worklist, reused across collections.
+	markStack []uint32
 }
 
 type span struct{ addr, size uint32 }
+
+// initialPhys bounds the physical backing allocated up front.
+const initialPhys = 1 << 20
 
 // New creates a heap of the given size bound to a class universe.
 func New(size uint32, u *classfile.Universe) *Heap {
@@ -73,19 +90,48 @@ func New(size uint32, u *classfile.Universe) *Heap {
 		size = 1024
 	}
 	size = (size + 7) &^ 7
-	return &Heap{
-		mem:      make([]byte, size),
-		top:      heapBase,
-		universe: u,
-		marks:    make([]uint64, (size/8+63)/64),
+	phys := size
+	if phys > initialPhys {
+		phys = initialPhys
 	}
+	return &Heap{
+		mem:      make([]byte, phys),
+		size:     size,
+		top:      heapBase,
+		hwm:      heapBase,
+		universe: u,
+		marks:    make([]uint64, (phys/8+63)/64),
+	}
+}
+
+// ensure grows the physical backing to cover at least `need` bytes.
+// Growth doubles (bounded by the logical size) to amortize the copy; the
+// fresh tail make() returns is already zero, preserving the all-zero
+// invariant for never-allocated memory.
+func (h *Heap) ensure(need uint64) {
+	if need <= uint64(len(h.mem)) {
+		return
+	}
+	phys := uint64(len(h.mem))
+	for phys < need {
+		phys *= 2
+	}
+	if phys > uint64(h.size) {
+		phys = uint64(h.size)
+	}
+	mem := make([]byte, phys)
+	copy(mem, h.mem)
+	h.mem = mem
+	marks := make([]uint64, (phys/8+63)/64)
+	copy(marks, h.marks)
+	h.marks = marks
 }
 
 // SetGCMode selects the collector (default GCSlidingCompact).
 func (h *Heap) SetGCMode(m GCMode) { h.mode = m }
 
 // Size returns the heap capacity in bytes.
-func (h *Heap) Size() uint32 { return uint32(len(h.mem)) }
+func (h *Heap) Size() uint32 { return h.size }
 
 // Top returns the bump pointer (useful in tests).
 func (h *Heap) Top() uint32 { return h.top }
@@ -96,31 +142,48 @@ func (h *Heap) Stats() Stats { return h.stats }
 // Universe returns the bound class universe.
 func (h *Heap) Universe() *classfile.Universe { return h.universe }
 
-// Reset discards all objects and statistics.
+// Reset discards all objects and statistics. Only the dirty prefix (up to
+// the allocation high-water mark) is re-zeroed; memory beyond it was never
+// written.
 func (h *Heap) Reset() {
-	for i := range h.mem {
-		h.mem[i] = 0
+	b := h.mem[:h.hwm]
+	for i := range b {
+		b[i] = 0
 	}
 	h.top = heapBase
-	h.free = nil
+	h.hwm = heapBase
+	h.free = h.free[:0]
 	h.stats = Stats{}
 }
 
 // --- raw access -----------------------------------------------------------
 
-// Valid reports whether [addr, addr+size) lies within the heap.
+// Valid reports whether [addr, addr+size) lies within the heap's logical
+// address space (which may extend beyond the materialized backing).
 func (h *Heap) Valid(addr, size uint32) bool {
-	return addr >= heapBase && uint64(addr)+uint64(size) <= uint64(len(h.mem))
+	return addr >= heapBase && uint64(addr)+uint64(size) <= uint64(h.size)
 }
 
-// Load4 reads a 32-bit little-endian word.
+// Load4 reads a 32-bit little-endian word. Valid addresses beyond the
+// materialized backing read as zero — they have never been written.
 func (h *Heap) Load4(addr uint32) uint32 {
+	if uint64(addr)+4 > uint64(len(h.mem)) {
+		return 0
+	}
 	b := h.mem[addr : addr+4 : addr+4]
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-// Store4 writes a 32-bit little-endian word.
+// Store4 writes a 32-bit little-endian word, materializing backing as
+// needed (stores normally land inside allocated objects, which allocRaw
+// already materialized).
 func (h *Heap) Store4(addr uint32, v uint32) {
+	if uint64(addr)+4 > uint64(len(h.mem)) {
+		h.ensure(uint64(addr) + 4)
+	}
+	if addr+4 > h.hwm {
+		h.hwm = addr + 4
+	}
 	b := h.mem[addr : addr+4 : addr+4]
 	b[0] = byte(v)
 	b[1] = byte(v >> 8)
@@ -221,11 +284,15 @@ func (h *Heap) allocRaw(size uint32) (uint32, error) {
 			return s.addr, nil
 		}
 	}
-	if uint64(h.top)+uint64(size) > uint64(len(h.mem)) {
+	if uint64(h.top)+uint64(size) > uint64(h.size) {
 		return 0, ErrOutOfMemory
 	}
+	h.ensure(uint64(h.top) + uint64(size))
 	addr := h.top
 	h.top += size
+	if h.top > h.hwm {
+		h.hwm = h.top
+	}
 	h.zero(addr, size)
 	h.stats.Allocations++
 	h.stats.BytesAlloc += uint64(size)
@@ -270,8 +337,11 @@ func (h *Heap) Collect(roots RootSet) uint64 {
 	h.stats.Collections++
 	h.clearMarks()
 
-	// Mark phase: iterative DFS over reference fields/elements.
-	var stack []uint32
+	// Mark phase: iterative DFS over reference fields/elements. The
+	// worklist buffer is retained on the heap across collections so a
+	// steady-state mutator does not allocate to collect.
+	stack := h.markStack[:0]
+	defer func() { h.markStack = stack[:0] }()
 	push := func(ref uint32) {
 		if ref == 0 {
 			return

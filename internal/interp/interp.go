@@ -121,7 +121,14 @@ type Engine struct {
 
 	S Stats
 
-	frames []*frame
+	// frames is the activation stack. It is a value slice with capacity
+	// MaxFrames fixed at creation, so frame pointers handed to step stay
+	// valid across pushes and popped frames keep their register slices for
+	// reuse — the steady-state call path allocates nothing.
+	frames []frame
+	// argbuf is the scratch buffer call argument values are staged in
+	// before they are copied into the callee frame.
+	argbuf []value.Value
 	sites  map[siteKey]*siteAgg
 }
 
@@ -143,6 +150,7 @@ func New(prog *ir.Program, h *heap.Heap, mem MemModel, disp Dispatcher, m *arch.
 		Prog: prog, Heap: h, Mem: mem, Disp: disp, Machine: m,
 		MaxInstructions: DefaultMaxInstructions,
 		ChargeGC:        true,
+		frames:          make([]frame, 0, MaxFrames),
 	}
 }
 
@@ -224,28 +232,41 @@ func (e *Engine) FlushSites() {
 func (e *Engine) lineBytes() uint32 { return e.Machine.L1D.LineBytes }
 
 func (e *Engine) push(m *ir.Method, args []value.Value, retReg ir.Reg) error {
-	if len(e.frames) >= MaxFrames {
+	n := len(e.frames)
+	if n >= MaxFrames {
 		return ErrStackOverflow
 	}
 	code := e.Disp.Invoke(m, args)
-	f := &frame{
-		m:        m,
-		code:     code.Instrs,
-		compiled: code.Compiled,
-		regs:     make([]value.Value, code.NumRegs),
-		retReg:   retReg,
+	e.frames = e.frames[:n+1]
+	f := &e.frames[n]
+	f.m = m
+	f.code = code.Instrs
+	f.compiled = code.Compiled
+	f.pc = 0
+	f.retReg = retReg
+	if cap(f.regs) >= code.NumRegs {
+		f.regs = f.regs[:code.NumRegs]
+	} else {
+		f.regs = make([]value.Value, code.NumRegs)
 	}
-	copy(f.regs, args)
-	e.frames = append(e.frames, f)
+	na := copy(f.regs, args)
+	// A reused register slice carries the previous activation's values;
+	// clear the non-argument registers so GC roots and def-before-use
+	// behaviour match a freshly zeroed frame.
+	tail := f.regs[na:]
+	for i := range tail {
+		tail[i] = value.Value{}
+	}
 	return nil
 }
 
 // roots enumerates all reference slots in live frames for the collector.
 func (e *Engine) roots(visit func(*value.Value)) {
-	for _, f := range e.frames {
-		for i := range f.regs {
-			if f.regs[i].K == value.KindRef {
-				visit(&f.regs[i])
+	for fi := range e.frames {
+		regs := e.frames[fi].regs
+		for i := range regs {
+			if regs[i].K == value.KindRef {
+				visit(&regs[i])
 			}
 		}
 	}
@@ -324,7 +345,7 @@ func (e *Engine) Run(entry *ir.Method, args []value.Value) (value.Value, error) 
 	}
 	var result value.Value
 	for len(e.frames) > 0 {
-		f := e.frames[len(e.frames)-1]
+		f := &e.frames[len(e.frames)-1]
 		v, done, err := e.step(f)
 		if err != nil {
 			return value.Value{}, &RuntimeError{Method: f.m, PC: f.pc, Err: err}
@@ -357,15 +378,48 @@ func (e *Engine) charge(compiled bool, extra uint64) {
 
 // step executes instructions of the top frame until it returns, calls, or
 // traps. Returning done=true with a value pops the frame.
+//
+// The loop is the hot path of every simulation: per-instruction state
+// (pc, issue cost, interpretation penalty, telemetry presence) lives in
+// locals hoisted out of the loop, the dense Op switch compiles to a jump
+// table, and the common int arithmetic/branch ops are evaluated inline
+// instead of going through the ir.EvalBinary/EvalCond kind-dispatch
+// chains. f.pc is synchronized on every exit so trap attribution
+// (RuntimeError.PC) is identical to the straightforward implementation.
 func (e *Engine) step(f *frame) (value.Value, bool, error) {
 	code := f.code
 	regs := f.regs
-	for {
-		if e.S.Instructions >= e.MaxInstructions {
-			return value.Value{}, false, ErrBudget
+	pc := f.pc
+	compiled := f.compiled
+	maxInstr := e.MaxInstructions
+	perInstr := e.Machine.IssueCycles
+	if !compiled {
+		perInstr += e.Machine.InterpPenalty
+	}
+	rec := e.Rec != nil
+
+	// fail synchronizes the faulting pc and returns the trap.
+	fail := func(err error) (value.Value, bool, error) {
+		f.pc = pc
+		return value.Value{}, false, err
+	}
+	// charge accounts one retired instruction at cost perInstr+extra.
+	charge := func(extra uint64) {
+		cost := perInstr + extra
+		e.S.Cycles += cost
+		e.S.Instructions++
+		if compiled {
+			e.S.CompiledCycles += cost
+			e.S.CompiledInstructions++
 		}
-		in := &code[f.pc]
-		next := f.pc + 1
+	}
+
+	for {
+		if e.S.Instructions >= maxInstr {
+			return fail(ErrBudget)
+		}
+		in := &code[pc]
+		next := pc + 1
 		var memStall uint64
 
 		switch in.Op {
@@ -374,38 +428,91 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			regs[in.Dst] = constValue(in)
 		case ir.OpMove:
 			regs[in.Dst] = regs[in.A]
-		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		case ir.OpAdd:
+			if in.Kind == value.KindInt {
+				regs[in.Dst] = value.Int(regs[in.A].Int() + regs[in.B].Int())
+			} else {
+				v, err := ir.EvalBinary(in.Op, in.Kind, regs[in.A], regs[in.B])
+				if err != nil {
+					return fail(err)
+				}
+				regs[in.Dst] = v
+			}
+		case ir.OpSub:
+			if in.Kind == value.KindInt {
+				regs[in.Dst] = value.Int(regs[in.A].Int() - regs[in.B].Int())
+			} else {
+				v, err := ir.EvalBinary(in.Op, in.Kind, regs[in.A], regs[in.B])
+				if err != nil {
+					return fail(err)
+				}
+				regs[in.Dst] = v
+			}
+		case ir.OpMul:
+			if in.Kind == value.KindInt {
+				regs[in.Dst] = value.Int(regs[in.A].Int() * regs[in.B].Int())
+			} else {
+				v, err := ir.EvalBinary(in.Op, in.Kind, regs[in.A], regs[in.B])
+				if err != nil {
+					return fail(err)
+				}
+				regs[in.Dst] = v
+			}
+		case ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
 			ir.OpXor, ir.OpShl, ir.OpShr, ir.OpUshr:
 			v, err := ir.EvalBinary(in.Op, in.Kind, regs[in.A], regs[in.B])
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			regs[in.Dst] = v
 		case ir.OpNeg:
 			v, err := ir.EvalUnary(in.Op, in.Kind, regs[in.A])
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			regs[in.Dst] = v
 		case ir.OpConv:
 			v, err := ir.Convert(in.Kind, regs[in.A])
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			regs[in.Dst] = v
 
 		case ir.OpGoto:
 			next = in.Target
 		case ir.OpBr:
-			taken, err := ir.EvalCond(in.Cond, in.Kind, regs[in.A], regs[in.B])
-			if err != nil {
-				return value.Value{}, false, err
+			var taken bool
+			if in.Kind == value.KindInt {
+				x, y := regs[in.A].Int(), regs[in.B].Int()
+				switch in.Cond {
+				case ir.CondEQ:
+					taken = x == y
+				case ir.CondNE:
+					taken = x != y
+				case ir.CondLT:
+					taken = x < y
+				case ir.CondLE:
+					taken = x <= y
+				case ir.CondGT:
+					taken = x > y
+				case ir.CondGE:
+					taken = x >= y
+				default:
+					return fail(ir.ErrBadOperand)
+				}
+			} else {
+				var err error
+				taken, err = ir.EvalCond(in.Cond, in.Kind, regs[in.A], regs[in.B])
+				if err != nil {
+					return fail(err)
+				}
 			}
 			if taken {
 				next = in.Target
 			}
 		case ir.OpReturn:
-			e.charge(f.compiled, 0)
+			charge(0)
+			f.pc = pc
 			if in.A == ir.NoReg {
 				return value.Value{}, true, nil
 			}
@@ -414,10 +521,10 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpGetField:
 			obj := regs[in.A]
 			if !obj.IsRef() {
-				return value.Value{}, false, ErrBadValue
+				return fail(ErrBadValue)
 			}
 			if obj.IsNull() {
-				return value.Value{}, false, ErrNullDeref
+				return fail(ErrNullDeref)
 			}
 			addr := obj.Ref() + in.Field.Offset
 			memStall = e.Mem.Load(addr, in.Field.Kind.Size(), e.S.Cycles)
@@ -425,10 +532,10 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpPutField:
 			obj := regs[in.A]
 			if !obj.IsRef() {
-				return value.Value{}, false, ErrBadValue
+				return fail(ErrBadValue)
 			}
 			if obj.IsNull() {
-				return value.Value{}, false, ErrNullDeref
+				return fail(ErrNullDeref)
 			}
 			addr := obj.Ref() + in.Field.Offset
 			memStall = e.Mem.Store(addr, in.Field.Kind.Size(), e.S.Cycles)
@@ -441,24 +548,24 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpArrayLoad:
 			addr, err := e.elemAddr(regs[in.A], regs[in.B])
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			memStall = e.Mem.Load(addr, in.Kind.Size(), e.S.Cycles)
 			regs[in.Dst] = e.loadHeap(in.Kind, addr)
 		case ir.OpArrayStore:
 			addr, err := e.elemAddr(regs[in.A], regs[in.B])
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			memStall = e.Mem.Store(addr, in.Kind.Size(), e.S.Cycles)
 			e.storeHeap(addr, regs[in.C])
 		case ir.OpArrayLen:
 			arr := regs[in.A]
 			if !arr.IsRef() {
-				return value.Value{}, false, ErrBadValue
+				return fail(ErrBadValue)
 			}
 			if arr.IsNull() {
-				return value.Value{}, false, ErrNullDeref
+				return fail(ErrNullDeref)
 			}
 			addr := arr.Ref() + classfile.AuxOffset
 			memStall = e.Mem.Load(addr, 4, e.S.Cycles)
@@ -467,20 +574,20 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpNew:
 			addr, err := e.allocObject(in.Class)
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			regs[in.Dst] = value.Ref(addr)
 		case ir.OpNewArray:
 			n := regs[in.A]
 			if n.K != value.KindInt {
-				return value.Value{}, false, ErrBadValue
+				return fail(ErrBadValue)
 			}
 			if n.Int() < 0 {
-				return value.Value{}, false, ErrNegativeSize
+				return fail(ErrNegativeSize)
 			}
 			addr, err := e.allocArray(in.Kind, uint32(n.Int()))
 			if err != nil {
-				return value.Value{}, false, err
+				return fail(err)
 			}
 			regs[in.Dst] = value.Ref(addr)
 
@@ -489,19 +596,22 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			if in.Op == ir.OpCallVirt {
 				recv := regs[in.Args[0]]
 				if !recv.IsRef() {
-					return value.Value{}, false, ErrBadValue
+					return fail(ErrBadValue)
 				}
 				if recv.IsNull() {
-					return value.Value{}, false, ErrNullDeref
+					return fail(ErrNullDeref)
 				}
 				c := e.Heap.ClassOf(recv.Ref())
 				callee = e.Prog.LookupVirtual(c, in.Name)
 				if callee == nil {
-					return value.Value{}, false, fmt.Errorf("%w: %s on %s", ErrNoMethod, in.Name, c.Name)
+					return fail(fmt.Errorf("%w: %s on %s", ErrNoMethod, in.Name, c.Name))
 				}
 			}
-			e.charge(f.compiled, 4) // call overhead
-			args := make([]value.Value, len(in.Args))
+			charge(4) // call overhead
+			if cap(e.argbuf) < len(in.Args) {
+				e.argbuf = make([]value.Value, len(in.Args))
+			}
+			args := e.argbuf[:len(in.Args)]
 			for i, r := range in.Args {
 				args[i] = regs[r]
 			}
@@ -517,7 +627,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		case ir.OpPrefetch:
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
 				out := e.Mem.Prefetch(addr, in.Guarded, e.S.Cycles)
-				if e.Rec != nil {
+				if rec {
 					e.notePrefetch(f.m, int(in.Site), out)
 				}
 			}
@@ -530,7 +640,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			// the collector.
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
 				out := e.Mem.Prefetch(addr, true, e.S.Cycles)
-				if e.Rec != nil {
+				if rec {
 					e.notePrefetch(f.m, int(in.Site), out)
 				}
 				regs[in.Dst] = value.SpecRef(e.Heap.Load4(addr))
@@ -538,17 +648,17 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 				regs[in.Dst] = value.SpecRef(0)
 			}
 		default:
-			return value.Value{}, false, fmt.Errorf("interp: unimplemented op %s", in.Op)
+			return fail(fmt.Errorf("interp: unimplemented op %s", in.Op))
 		}
 
-		if e.Rec != nil && memStall != 0 {
+		if rec && memStall != 0 {
 			switch in.Op {
 			case ir.OpGetField, ir.OpArrayLoad, ir.OpArrayLen:
-				e.noteLoad(f.m, f.pc, memStall)
+				e.noteLoad(f.m, pc, memStall)
 			}
 		}
-		e.charge(f.compiled, memStall)
-		f.pc = next
+		charge(memStall)
+		pc = next
 	}
 }
 

@@ -1,0 +1,39 @@
+package memsim
+
+import (
+	"testing"
+
+	"strider/internal/arch"
+)
+
+// TestHotPathZeroAllocs pins the allocation-free property of the
+// simulation hot path: after construction, Load/Store/Prefetch perform no
+// Go heap allocations regardless of hit/miss mix — all cache, TLB, stream,
+// and in-flight state is preallocated in New.
+func TestHotPathZeroAllocs(t *testing.T) {
+	for _, m := range arch.Machines() {
+		t.Run(m.Name, func(t *testing.T) {
+			mem := New(m)
+			var now uint64
+			addr := uint32(64)
+			allocs := testing.AllocsPerRun(5, func() {
+				for i := 0; i < 10_000; i++ {
+					now += mem.Load(addr, 4, now)
+					if i%4 == 0 {
+						now += mem.Store(addr+16, 4, now)
+					}
+					if i%8 == 0 {
+						mem.Prefetch(addr+512, i%16 == 0, now)
+					}
+					addr += 72
+					if addr >= 1<<22 {
+						addr = 64
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("hot path allocates %.1f objects/run, want 0", allocs)
+			}
+		})
+	}
+}

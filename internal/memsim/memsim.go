@@ -54,20 +54,31 @@ type line struct {
 	lastUse uint64
 }
 
+// cache stores its lines in one flat slice — set s occupies the window
+// lines[s*assoc : (s+1)*assoc] — so a set lookup is a scan of adjacent
+// memory with no per-set slice header indirection. The set count is a
+// power of two (Table 2 machines), so indexing is a mask.
 type cache struct {
-	sets      [][]line
+	lines     []line
+	assoc     uint64
 	lineShift uint
 	setMask   uint64
 	useTick   uint64
+	// mru[s] is the most-recently-hit way of set s — a pure lookup
+	// accelerator. Sequential access patterns hit the same line many times
+	// in a row, so checking this way first skips the associative scan;
+	// Table 2's fully-associative 64-entry Pentium 4 DTLB would otherwise
+	// pay a 64-way scan on every access. The hint never changes which line
+	// is returned, filled, or evicted.
+	mru []uint32
 }
 
 func newCache(p arch.CacheParams) *cache {
 	c := &cache{
-		sets:    make([][]line, p.Sets()),
+		lines:   make([]line, uint64(p.Sets())*uint64(p.Assoc)),
+		assoc:   uint64(p.Assoc),
 		setMask: uint64(p.Sets() - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, p.Assoc)
+		mru:     make([]uint32, p.Sets()),
 	}
 	for s := uint32(1); s < p.LineBytes; s <<= 1 {
 		c.lineShift++
@@ -84,10 +95,16 @@ func (c *cache) index(addr uint64) (set uint64, tag uint64) {
 func (c *cache) lookup(addr uint64) *line {
 	set, tag := c.index(addr)
 	c.useTick++
-	ways := c.sets[set]
+	base := set * c.assoc
+	if h := &c.lines[base+uint64(c.mru[set])]; h.valid && h.tag == tag {
+		h.lastUse = c.useTick
+		return h
+	}
+	ways := c.lines[base : base+c.assoc]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lastUse = c.useTick
+			c.mru[set] = uint32(i)
 			return &ways[i]
 		}
 	}
@@ -97,9 +114,14 @@ func (c *cache) lookup(addr uint64) *line {
 // probe is lookup without LRU update (used by prefetch presence checks).
 func (c *cache) probe(addr uint64) *line {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	base := set * c.assoc
+	if h := &c.lines[base+uint64(c.mru[set])]; h.valid && h.tag == tag {
+		return h
+	}
+	ways := c.lines[base : base+c.assoc]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
+			c.mru[set] = uint32(i)
 			return &ways[i]
 		}
 	}
@@ -110,7 +132,7 @@ func (c *cache) probe(addr uint64) *line {
 func (c *cache) fill(addr uint64, readyAt uint64) *line {
 	set, tag := c.index(addr)
 	c.useTick++
-	ways := c.sets[set]
+	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
 	victim := 0
 	for i := range ways {
 		if !ways[i].valid {
@@ -122,15 +144,14 @@ func (c *cache) fill(addr uint64, readyAt uint64) *line {
 		}
 	}
 	ways[victim] = line{tag: tag, valid: true, readyAt: readyAt, lastUse: c.useTick}
+	c.mru[set] = uint32(victim)
 	return &ways[victim]
 }
 
 func (c *cache) flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-	}
+	clear(c.lines)
+	clear(c.mru)
+	c.useTick = 0
 }
 
 // hwStream is one tracked stream of the hardware prefetcher. Both
@@ -167,7 +188,11 @@ type Memory struct {
 	inflight []uint64
 
 	streams [hwStreams]hwStream
-	useTick uint64
+	// lastStream is the index of the stream hwTrain matched most recently —
+	// a scan-skipping hint (misses of one page cluster in time), never a
+	// behaviour change.
+	lastStream int
+	useTick    uint64
 
 	// selfCheck enables fill-time structural invariant checking (see
 	// EnableSelfCheck). Off by default: zero cost, identical behaviour.
@@ -199,6 +224,7 @@ func (mem *Memory) Reset() {
 	mem.C = Counters{}
 	mem.inflight = mem.inflight[:0]
 	mem.streams = [hwStreams]hwStream{}
+	mem.lastStream = 0
 }
 
 // hwTrain observes a demand L1 miss and, once a stream is established,
@@ -209,23 +235,29 @@ func (mem *Memory) hwTrain(addr uint64, now uint64) {
 	line := addr >> mem.l2.lineShift
 	mem.useTick++
 
-	victim := 0
 	var s *hwStream
-	for i := range mem.streams {
-		e := &mem.streams[i]
-		if e.valid && e.page == page {
-			s = e
-			break
+	if h := &mem.streams[mem.lastStream]; h.valid && h.page == page {
+		s = h
+	} else {
+		victim := 0
+		for i := range mem.streams {
+			e := &mem.streams[i]
+			if e.valid && e.page == page {
+				s = e
+				mem.lastStream = i
+				break
+			}
+			if !e.valid {
+				victim = i
+			} else if mem.streams[victim].valid && e.lastUse < mem.streams[victim].lastUse {
+				victim = i
+			}
 		}
-		if !e.valid {
-			victim = i
-		} else if mem.streams[victim].valid && e.lastUse < mem.streams[victim].lastUse {
-			victim = i
+		if s == nil {
+			mem.streams[victim] = hwStream{page: page, lastLine: line, lastUse: mem.useTick, valid: true}
+			mem.lastStream = victim
+			return
 		}
-	}
-	if s == nil {
-		mem.streams[victim] = hwStream{page: page, lastLine: line, lastUse: mem.useTick, valid: true}
-		return
 	}
 	s.lastUse = mem.useTick
 	d := int64(line) - int64(s.lastLine)

@@ -110,7 +110,7 @@ func Program(seed uint64) *ir.Program {
 		fVal: node.FieldByName("val"), fNext: node.FieldByName("next"),
 		fData: node.FieldByName("data"),
 		fA:    obj.FieldByName("a"), fB: obj.FieldByName("b"), fV: obj.FieldByName("v"),
-		fK:    fK,
+		fK: fK,
 	}
 	g.sum = b.ConstInt(0)
 

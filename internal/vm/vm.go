@@ -116,6 +116,10 @@ type VM struct {
 
 	compiled map[*ir.Method]*jit.Compiled
 	counts   map[*ir.Method]int
+	// codes caches the dispatch artifact per method in its current tier
+	// (interpreted until the threshold, then the compiled body), so the
+	// steady-state Invoke path is a single map hit with no allocation.
+	codes map[*ir.Method]*interp.Code
 
 	jitUnits      uint64
 	prefetchUnits uint64
@@ -136,6 +140,7 @@ func New(prog *ir.Program, cfg Config) *VM {
 		Mem:      mem,
 		compiled: make(map[*ir.Method]*jit.Compiled),
 		counts:   make(map[*ir.Method]int),
+		codes:    make(map[*ir.Method]*interp.Code),
 	}
 	if cfg.JIT != nil {
 		v.JITOpts = *cfg.JIT
@@ -153,12 +158,17 @@ func New(prog *ir.Program, cfg Config) *VM {
 // Invoke implements interp.Dispatcher: mixed-mode dispatch with
 // compile-at-threshold using the live argument values.
 func (v *VM) Invoke(m *ir.Method, args []value.Value) *interp.Code {
-	if c, ok := v.compiled[m]; ok {
-		return &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+	if code, ok := v.codes[m]; ok && code.Compiled {
+		return code
 	}
 	v.counts[m]++
 	if v.counts[m] < v.Config.CompileThreshold {
-		return &interp.Code{Instrs: m.Code, NumRegs: m.NumRegs, Compiled: false}
+		code, ok := v.codes[m]
+		if !ok {
+			code = &interp.Code{Instrs: m.Code, NumRegs: m.NumRegs, Compiled: false}
+			v.codes[m] = code
+		}
+		return code
 	}
 	c := jit.Compile(v.Prog, v.Heap, m, args, v.JITOpts)
 	v.compiled[m] = c
@@ -178,7 +188,9 @@ func (v *VM) Invoke(m *ir.Method, args []value.Value) *interp.Code {
 			Prefetches:    c.Prefetch.Total(),
 		})
 	}
-	return &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+	code := &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+	v.codes[m] = code
+	return code
 }
 
 func addStats(dst *prefetch.Stats, s prefetch.Stats) {
