@@ -4,9 +4,12 @@
 // Usage:
 //
 //	experiments [-size small|full] [-only table1,fig6,...] [-parallel N]
-//	            [-json] [-trace out.json] [-metrics out.csv]
+//	            [-json] [-trace out.json] [-metrics out.csv] [-hw model]
 //
-// Without -only it runs everything in paper order. Results are printed as
+// Without -only it runs everything in paper order (the opt-in hwcross
+// artifact — the software×hardware prefetching cross-product — runs only
+// when selected explicitly). -hw replays every cell under one
+// hardware-prefetcher model instead of each machine's default. Results are printed as
 // text tables with the paper's reported numbers alongside for comparison;
 // -json emits one JSON object per row instead (machine-readable, for
 // tracking benchmark trajectories across commits). Experiment cells are
@@ -38,11 +41,18 @@ import (
 	"strider/internal/workloads"
 )
 
-// artifacts is the known -only selector set, in paper order.
+// artifacts is the known -only selector set, in paper order. hwcross
+// (the software×hardware prefetching cross-product) is opt-in: it is not
+// part of the paper's evaluation, and the default run's stdout must stay
+// byte-identical across revisions.
 var artifacts = []string{
 	"table1", "table2", "table3",
 	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+	"hwcross",
 }
+
+// defaultSkip lists artifacts excluded from a run without -only.
+var defaultSkip = map[string]bool{"hwcross": true}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -62,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", true, "print per-cell progress and timing to stderr")
 	traceOut := fs.String("trace", "", "write telemetry as Chrome trace_event JSON to this file")
 	metricsOut := fs.String("metrics", "", "write telemetry as CSV metric rows to this file")
+	hwFlag := fs.String("hw", "", "hardware-prefetcher model for every cell (default: each machine's model)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,6 +88,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "experiments: -chart and -json are mutually exclusive\n")
 		return 2
 	}
+	if err := harness.SetHWModel(*hwFlag); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer harness.SetHWModel("")
 
 	known := map[string]bool{}
 	for _, a := range artifacts {
@@ -137,7 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	start := time.Now()
 
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	sel := func(name string) bool {
+		if len(want) > 0 {
+			return want[name]
+		}
+		return !defaultSkip[name]
+	}
 	var runErr error
 	fail := func(err error) { runErr = err }
 
@@ -258,6 +279,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		} else {
 			fmt.Fprintln(stdout, harness.FormatCompile(rows))
+		}
+	}
+
+	if sel("hwcross") && runErr == nil {
+		rows, err := harness.HWCross(size)
+		if err != nil {
+			fail(err)
+		} else if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact       string  `json:"artifact"`
+					Machine        string  `json:"machine"`
+					HW             string  `json:"hw_model"`
+					Workload       string  `json:"workload"`
+					BaselineCycles uint64  `json:"baseline_cycles"`
+					Inter          float64 `json:"inter_pct"`
+					InterIntra     float64 `json:"inter_intra_pct"`
+					HWTrains       uint64  `json:"hw_trains"`
+					HWIssued       uint64  `json:"hw_issued"`
+					HWSuppressed   uint64  `json:"hw_suppressed"`
+				}{"hwcross", r.Machine, r.HW, r.Workload, r.BaselineCycles,
+					r.InterPct, r.InterIntraPct, r.HWTrains, r.HWIssued, r.HWSuppressed})
+			}
+		} else {
+			fmt.Fprintln(stdout, harness.FormatHWCross(rows))
 		}
 	}
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	striderun -workload db -machine Pentium4 -mode inter+intra -size full
+//	striderun -workload db -hw ipstride
 //	striderun -workload jess -explain
 //	striderun -workload jess -verify
 //	striderun -list
@@ -18,8 +19,13 @@
 // be reproduced by the full JIT+memsim stack under every prefetching
 // configuration on both machines.
 //
+// -hw selects the simulated hardware-prefetcher model (none, nextline,
+// stream, ipstride, tracker, multistride); the default is the machine's
+// own model, the per-page stream detector.
+//
 // Exit status: 0 on success, 1 on execution or verification failure,
-// 2 on a usage error (unknown workload, machine, mode, size, or gc).
+// 2 on a usage error (unknown workload, machine, mode, size, gc, or hw
+// model).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"strider/internal/core/jit"
 	"strider/internal/harness"
 	"strider/internal/heap"
+	"strider/internal/memsim"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -52,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	modeFlag := fs.String("mode", "inter+intra", "baseline, inter, or inter+intra")
 	sizeFlag := fs.String("size", "small", "small or full")
 	gcFlag := fs.String("gc", "compact", "compact (sliding compaction) or freelist")
+	hwFlag := fs.String("hw", "", "hardware-prefetcher model: "+strings.Join(memsim.HWModels(), ", ")+" (default: the machine's model)")
 	list := fs.Bool("list", false, "list workloads and exit")
 	dot := fs.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
 	explain := fs.Bool("explain", false, "print the per-loop prefetch decision log instead of the metric summary")
@@ -109,6 +117,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "striderun: unknown gc %q (valid: compact, freelist)\n", *gcFlag)
 		return 2
 	}
+	if !memsim.ValidHWModel(*hwFlag) {
+		fmt.Fprintf(stderr, "striderun: unknown hardware-prefetcher model %q (valid: %s)\n",
+			*hwFlag, strings.Join(memsim.HWModels(), ", "))
+		return 2
+	}
 
 	if *verify {
 		rep, err := harness.Verify(*workload, size, gc)
@@ -133,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *explain {
 		log, err := harness.Explain(harness.Spec{
-			Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
+			Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc, HW: *hwFlag,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "striderun: %v\n", err)
@@ -144,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s, err := harness.Run(harness.Spec{
-		Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc,
+		Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc, HW: *hwFlag,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "striderun: %v\n", err)
@@ -162,6 +175,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "prefetches   issued=%d guarded=%d dropped=%d useless=%d hw=%d\n",
 		s.Mem.PrefetchesIssued, s.Mem.PrefetchesGuarded, s.Mem.PrefetchesDropped,
 		s.Mem.PrefetchesUseless, s.Mem.HWPrefetches)
+	fmt.Fprintf(stdout, "hw prefetch  model=%s trains=%d hits=%d issued=%d suppressed=%d\n",
+		s.HWModel, s.HW.Trains, s.HW.Hits, s.HW.Issued, s.HW.Suppressed)
 	fmt.Fprintf(stdout, "codegen      inter=%d specload=%d deref=%d intra=%d (filtered: line=%d dup=%d use=%d)\n",
 		s.Prefetch.InterPrefetches, s.Prefetch.SpecLoads, s.Prefetch.DerefPrefetches,
 		s.Prefetch.IntraPrefetches, s.Prefetch.FilteredLine, s.Prefetch.FilteredDup, s.Prefetch.FilteredUse)

@@ -67,6 +67,13 @@ type Machine struct {
 	// Pentium 4 because of its small DTLB).
 	GuardedIntraPrefetch bool
 
+	// HWPrefetcher names the hardware-prefetcher model the memory system
+	// simulates ("" selects memsim's default, the per-page stream
+	// detector). Valid names are enumerated by memsim.HWModels; the arch
+	// package cannot validate them (it would invert the dependency), so
+	// spec and flag layers check with memsim.ValidHWModel.
+	HWPrefetcher string
+
 	// Timing model (cycles).
 	L1HitCycles    uint64 // access time charged on an L1 hit
 	L2HitCycles    uint64 // additional stall on an L1 miss that hits L2

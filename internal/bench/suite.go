@@ -101,6 +101,13 @@ func Suite() []Entry {
 			}, nil
 		}},
 
+		// The pc-indexed hardware-prefetcher trainers on the same sweep:
+		// every L1 miss trains the model, so trainer overhead lands directly
+		// on the simulation hot path. Checksum pins the model's issue count,
+		// so a behaviour change fails before the diff gate is reached.
+		hwEntry("memsim/ipstride-train", "ipstride"),
+		hwEntry("memsim/multistride-train", "multistride"),
+
 		// The experiment engine: one three-mode grid (BASELINE, INTER,
 		// INTER+INTRA) scheduled through the harness worker pool. The
 		// process cache is cleared each iteration so every cell really
@@ -133,6 +140,36 @@ func Suite() []Entry {
 		cellEntry("cell/mtrt-small-interintra", "mtrt", "Pentium4"),
 		cellEntry("cell/euler-small-interintra", "euler", "AthlonMP"),
 	}
+}
+
+// hwEntry builds a memory-model entry with the named hardware-prefetcher
+// model: a deterministic multi-site load sweep (two strided walks and a
+// compound +1/+3-line pattern) that keeps the trainer busy on every miss.
+func hwEntry(name, model string) Entry {
+	return Entry{Name: name, Make: func() (func() (Work, error), error) {
+		m := *arch.Pentium4()
+		m.HWPrefetcher = model
+		return func() (Work, error) {
+			mem := memsim.New(&m)
+			var now uint64
+			const n = 200_000
+			for i := 0; i < n; i++ {
+				step := uint32(i % 50_000)
+				switch i % 4 {
+				case 0: // dense ascending walk
+					now += mem.LoadAt(64*step, 4, now, 1)
+				case 1: // two-line stride
+					now += mem.LoadAt(1<<26+256*step, 4, now, 2)
+				case 2: // compound stride: lines +1, +3 alternating
+					now += mem.LoadAt(1<<27+128*(step+2*(step/2)), 4, now, 3)
+				case 3: // no stable site (the pc==0 fast path)
+					now += mem.LoadAt(1<<28+8192*step, 4, now, 0)
+				}
+			}
+			hw := mem.HWStats()
+			return Work{Cycles: now, Instructions: mem.C.Loads, Checksum: hw.Issued ^ hw.Trains<<32}, nil
+		}, nil
+	}}
 }
 
 // vmEntry builds a full-stack entry: fresh program, fresh VM, one run.

@@ -19,6 +19,7 @@ import (
 	"strider/internal/arch"
 	"strider/internal/core/jit"
 	"strider/internal/heap"
+	"strider/internal/memsim"
 	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
@@ -39,6 +40,10 @@ type Spec struct {
 	HeapBytes uint32
 	// JIT overrides the paper-default compiler options when non-nil.
 	JIT *jit.Options
+	// HW selects the hardware-prefetcher model memsim simulates. Empty
+	// means the process default (SetHWModel), which itself defaults to the
+	// machine's model (the stream detector).
+	HW string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -47,6 +52,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Warmups == 0 {
 		s.Warmups = 1
+	}
+	if s.HW == "" {
+		s.HW = HWModel()
 	}
 	return s
 }
@@ -57,6 +65,9 @@ func (s Spec) key() string {
 		j = fmt.Sprintf("|c%d|k%d|t%.2f|st%d|ip%v|ac%v",
 			s.JIT.C, s.JIT.Inspect.Iterations, s.JIT.Threshold,
 			s.JIT.SmallTrip, s.JIT.Inspect.Interprocedural, s.JIT.AdaptiveC)
+	}
+	if s.HW != "" {
+		j += "|hw:" + s.HW
 	}
 	return fmt.Sprintf("%s|%s|%s|%s|gc%d|w%d|h%d%s",
 		s.Workload, s.Size, s.Machine, s.Mode, s.GC, s.Warmups, s.HeapBytes, j)
@@ -81,7 +92,33 @@ var (
 
 	recorderMu sync.Mutex
 	recorder   telemetry.Recorder
+
+	hwMu      sync.Mutex
+	hwDefault string
 )
+
+// SetHWModel installs the process-wide default hardware-prefetcher model
+// applied to specs that leave HW empty (the experiments CLI's -hw flag).
+// Empty restores the built-in default (the machine's stream detector).
+// Returns an error for a model memsim does not know.
+func SetHWModel(name string) error {
+	if !memsim.ValidHWModel(name) {
+		return fmt.Errorf("harness: unknown hardware-prefetcher model %q (valid: %v)",
+			name, memsim.HWModels())
+	}
+	hwMu.Lock()
+	defer hwMu.Unlock()
+	hwDefault = name
+	return nil
+}
+
+// HWModel returns the process-wide default hardware-prefetcher model
+// ("" when unset).
+func HWModel() string {
+	hwMu.Lock()
+	defer hwMu.Unlock()
+	return hwDefault
+}
 
 // SetRecorder installs a process-wide telemetry Recorder: every fresh VM
 // execution threads it through the VM (compile/loop/decision/site events)
@@ -192,6 +229,10 @@ func execute(s Spec) (vm.RunStats, error) {
 	if m == nil {
 		return vm.RunStats{}, fmt.Errorf("harness: unknown machine %q", s.Machine)
 	}
+	m, err = machineWithHW(m, s.HW)
+	if err != nil {
+		return vm.RunStats{}, err
+	}
 	heapBytes := s.HeapBytes
 	if heapBytes == 0 {
 		heapBytes = w.HeapBytes
@@ -238,6 +279,10 @@ func Explain(s Spec) (string, error) {
 	if m == nil {
 		return "", fmt.Errorf("harness: unknown machine %q", s.Machine)
 	}
+	m, err = machineWithHW(m, s.HW)
+	if err != nil {
+		return "", err
+	}
 	heapBytes := s.HeapBytes
 	if heapBytes == 0 {
 		heapBytes = w.HeapBytes
@@ -267,6 +312,23 @@ func Explain(s Spec) (string, error) {
 	}
 	v.FlushTelemetry()
 	return tr.DecisionLog(), nil
+}
+
+// machineWithHW applies a spec's hardware-prefetcher selection to the
+// machine. Registry machines are shared pointers, so a non-empty
+// selection runs on a private copy; an empty selection returns the
+// machine untouched (its own default model).
+func machineWithHW(m *arch.Machine, hw string) (*arch.Machine, error) {
+	if !memsim.ValidHWModel(hw) {
+		return nil, fmt.Errorf("harness: unknown hardware-prefetcher model %q (valid: %v)",
+			hw, memsim.HWModels())
+	}
+	if hw == "" {
+		return m, nil
+	}
+	mc := *m
+	mc.HWPrefetcher = hw
+	return &mc, nil
 }
 
 // SpeedupPct returns the percentage speedup of opt over base

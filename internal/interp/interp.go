@@ -24,10 +24,14 @@ import (
 )
 
 // MemModel is the memory-hierarchy interface the engine drives
-// (implemented by memsim.Memory). Prefetch reports what became of the
-// request so outcomes can be attributed to the emitting site.
+// (implemented by memsim.Memory). LoadAt carries the load-site pc —
+// (method index << 16) | instruction index — which pc-indexed hardware
+// prefetchers key their prediction tables on; stores and software
+// prefetches do not train those tables and carry no site. Prefetch
+// reports what became of the request so outcomes can be attributed to the
+// emitting site.
 type MemModel interface {
-	Load(addr, size uint32, now uint64) uint64
+	LoadAt(addr, size uint32, now uint64, pc uint64) uint64
 	Store(addr, size uint32, now uint64) uint64
 	Prefetch(addr uint32, guarded bool, now uint64) telemetry.PrefetchOutcome
 }
@@ -391,6 +395,10 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 	regs := f.regs
 	pc := f.pc
 	compiled := f.compiled
+	// siteBase makes load-site pcs globally unique and deterministic:
+	// (method index + 1) << 16 keeps pc 0 reserved for "no stable site"
+	// and gives each method a private 64K instruction-index window.
+	siteBase := uint64(f.m.Index()+1) << 16
 	maxInstr := e.MaxInstructions
 	perInstr := e.Machine.IssueCycles
 	if !compiled {
@@ -527,7 +535,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 				return fail(ErrNullDeref)
 			}
 			addr := obj.Ref() + in.Field.Offset
-			memStall = e.Mem.Load(addr, in.Field.Kind.Size(), e.S.Cycles)
+			memStall = e.Mem.LoadAt(addr, in.Field.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
 			regs[in.Dst] = e.loadHeap(in.Field.Kind, addr)
 		case ir.OpPutField:
 			obj := regs[in.A]
@@ -550,7 +558,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			if err != nil {
 				return fail(err)
 			}
-			memStall = e.Mem.Load(addr, in.Kind.Size(), e.S.Cycles)
+			memStall = e.Mem.LoadAt(addr, in.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
 			regs[in.Dst] = e.loadHeap(in.Kind, addr)
 		case ir.OpArrayStore:
 			addr, err := e.elemAddr(regs[in.A], regs[in.B])
@@ -568,7 +576,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 				return fail(ErrNullDeref)
 			}
 			addr := arr.Ref() + classfile.AuxOffset
-			memStall = e.Mem.Load(addr, 4, e.S.Cycles)
+			memStall = e.Mem.LoadAt(addr, 4, e.S.Cycles, siteBase|uint64(pc))
 			regs[in.Dst] = value.Int(int32(e.Heap.Load4(addr)))
 
 		case ir.OpNew:

@@ -17,7 +17,17 @@ type Method struct {
 	Returns value.Kind // KindInvalid for void
 	NumRegs int
 	Code    []Instr
+
+	// index is the method's position in its program's definition order,
+	// assigned by Program.Define. It gives every load site a stable,
+	// deterministic identity (method index, instruction index) across runs
+	// and configurations — pointer values would not be.
+	index int
 }
+
+// Index returns the method's definition-order position in its program
+// (0 for a method never registered with Define).
+func (m *Method) Index() int { return m.index }
 
 // QName returns "Class::name" or "::name".
 func (m *Method) QName() string {
@@ -69,6 +79,7 @@ func (p *Program) Define(m *Method) *Method {
 		panic("ir: duplicate method " + key)
 	}
 	p.byKey[key] = m
+	m.index = len(p.methods)
 	p.methods = append(p.methods, m)
 	if m.Class != nil {
 		p.virtuals[virtKey{m.Class, m.Name}] = m

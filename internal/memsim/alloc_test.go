@@ -8,32 +8,38 @@ import (
 
 // TestHotPathZeroAllocs pins the allocation-free property of the
 // simulation hot path: after construction, Load/Store/Prefetch perform no
-// Go heap allocations regardless of hit/miss mix — all cache, TLB, stream,
-// and in-flight state is preallocated in New.
+// Go heap allocations regardless of hit/miss mix — all cache, TLB,
+// hardware-prefetcher, and in-flight state is preallocated in New. Every
+// hardware model is covered: each trainer runs on the L1-miss path, so an
+// allocating trainer would tax every simulated miss.
 func TestHotPathZeroAllocs(t *testing.T) {
-	for _, m := range arch.Machines() {
-		t.Run(m.Name, func(t *testing.T) {
-			mem := New(m)
-			var now uint64
-			addr := uint32(64)
-			allocs := testing.AllocsPerRun(5, func() {
-				for i := 0; i < 10_000; i++ {
-					now += mem.Load(addr, 4, now)
-					if i%4 == 0 {
-						now += mem.Store(addr+16, 4, now)
+	for _, base := range arch.Machines() {
+		for _, hw := range HWModels() {
+			m := *base
+			m.HWPrefetcher = hw
+			t.Run(m.Name+"/"+hw, func(t *testing.T) {
+				mem := New(&m)
+				var now uint64
+				addr := uint32(64)
+				allocs := testing.AllocsPerRun(5, func() {
+					for i := 0; i < 10_000; i++ {
+						now += mem.LoadAt(addr, 4, now, uint64(i%7))
+						if i%4 == 0 {
+							now += mem.Store(addr+16, 4, now)
+						}
+						if i%8 == 0 {
+							mem.Prefetch(addr+512, i%16 == 0, now)
+						}
+						addr += 72
+						if addr >= 1<<22 {
+							addr = 64
+						}
 					}
-					if i%8 == 0 {
-						mem.Prefetch(addr+512, i%16 == 0, now)
-					}
-					addr += 72
-					if addr >= 1<<22 {
-						addr = 64
-					}
+				})
+				if allocs != 0 {
+					t.Errorf("hot path allocates %.1f objects/run, want 0", allocs)
 				}
 			})
-			if allocs != 0 {
-				t.Errorf("hot path allocates %.1f objects/run, want 0", allocs)
-			}
-		})
+		}
 	}
 }

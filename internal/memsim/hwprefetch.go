@@ -1,0 +1,560 @@
+// Hardware-prefetcher zoo. Both evaluation machines "provide ... software
+// and hardware prefetching mechanisms" (Sec. 4), and the profitability
+// analysis exists because "prefetching for such a load instruction will
+// not be profitable, especially on processors with hardware prefetching"
+// (Sec. 3.3) — so whether dynamic object inspection still wins depends on
+// how strong the hardware unit is. This file makes the hardware unit a
+// pluggable axis: every model trains on the demand-miss/prefetch reference
+// stream through one interface and issues fills into the L2 through a
+// narrow port, and none of them may cross a page boundary or follow a
+// pointer — the limits the paper's software approach exists to beat.
+package memsim
+
+import "fmt"
+
+// HWStats counts what one hardware prefetcher did during a run. The
+// counters obey (and CheckInvariants asserts): Hits <= Trains,
+// Allocs <= Trains, and Issued+Suppressed <= maxHWDegree*Trains.
+type HWStats struct {
+	// Trains counts Train calls (demand L1 misses plus software-prefetch
+	// references — the reference stream the unit observes).
+	Trains uint64
+	// Allocs counts new table/tracker entries allocated for previously
+	// untracked streams.
+	Allocs uint64
+	// Hits counts trains whose observed delta matched the predicted one.
+	Hits uint64
+	// Issued counts prefetch fills actually installed into the L2.
+	Issued uint64
+	// Suppressed counts predicted prefetches withheld because the target
+	// crossed a page boundary or was already present in the L2.
+	Suppressed uint64
+}
+
+// maxHWDegree bounds how many prefetches any model may issue per train
+// (the multi-stride model issues up to one period, capped at 4 lines).
+const maxHWDegree = 4
+
+// HWPort is the narrow window a hardware prefetcher gets into the memory
+// system: probe and fill the L2, and read the machine's line and page
+// geometry. Memory implements it; FillL2 accounts the fill in the run's
+// HWPrefetches counter.
+type HWPort interface {
+	// ProbeL2 reports whether addr's line is already present in the L2
+	// (without touching LRU state).
+	ProbeL2(addr uint64) bool
+	// FillL2 installs addr's line into the L2 with a full memory-latency
+	// arrival time and counts it as a hardware prefetch.
+	FillL2(addr uint64, now uint64)
+	// LineShift is log2 of the L2 line size (the training granule).
+	LineShift() uint
+	// PageShift is log2 of the machine's DTLB page size (the boundary no
+	// hardware prefetcher may cross).
+	PageShift() uint
+}
+
+// HWPrefetcher is one pluggable hardware prefetch unit. Train observes one
+// reference (a demand L1 miss or a software prefetch) and may issue fills
+// through the port; pc is the load-site identifier for pc-indexed models
+// (0 when the reference has no stable site, e.g. software prefetches —
+// pc-indexed models must not corrupt their tables on it). Reset returns
+// the unit to its just-constructed state, statistics included, so a reset
+// Memory is bit-identical to a fresh one.
+type HWPrefetcher interface {
+	Name() string
+	Train(addr uint64, pc uint64, now uint64)
+	Reset()
+	Stats() HWStats
+	// ClearStats zeroes the statistics while keeping the trained state
+	// (used between a warmup run and a measured run).
+	ClearStats()
+}
+
+// DefaultHWModel is the model used when a machine does not name one: the
+// per-page stream detector the simulator has always had.
+const DefaultHWModel = "stream"
+
+// hwModels lists the zoo in documentation order.
+var hwModels = []string{"none", "nextline", "stream", "ipstride", "tracker", "multistride"}
+
+// HWModels returns the names of every available hardware-prefetcher model.
+func HWModels() []string {
+	out := make([]string, len(hwModels))
+	copy(out, hwModels)
+	return out
+}
+
+// ValidHWModel reports whether name selects a model ("" selects the
+// default).
+func ValidHWModel(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, m := range hwModels {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// newHWPrefetcher constructs the named model over a port. Callers validate
+// names at the flag/spec boundary; an unknown name here is a programming
+// error.
+func newHWPrefetcher(name string, port HWPort) HWPrefetcher {
+	switch name {
+	case "", DefaultHWModel:
+		return newStreamPrefetcher(port)
+	case "none":
+		return &nonePrefetcher{}
+	case "nextline":
+		return &nextlinePrefetcher{port: port}
+	case "ipstride":
+		return &ipstridePrefetcher{port: port}
+	case "tracker":
+		return newTrackerPrefetcher(port)
+	case "multistride":
+		return &multistridePrefetcher{port: port}
+	}
+	panic(fmt.Sprintf("memsim: unknown hardware-prefetcher model %q (valid: %v)", name, hwModels))
+}
+
+// issue fills addr's next line unless it crosses out of page or is already
+// cached, updating stats accordingly. Shared by every model.
+func issueHW(port HWPort, stats *HWStats, nextLine int64, page uint64, now uint64) {
+	nextAddr := uint64(nextLine) << port.LineShift()
+	if nextAddr>>port.PageShift() != page {
+		stats.Suppressed++
+		return // hardware prefetchers stop at page boundaries
+	}
+	if port.ProbeL2(nextAddr) {
+		stats.Suppressed++
+		return
+	}
+	stats.Issued++
+	port.FillL2(nextAddr, now)
+}
+
+// ---------------------------------------------------------------------------
+// none: no hardware prefetching (the software-only ablation point).
+
+type nonePrefetcher struct {
+	stats HWStats
+}
+
+func (p *nonePrefetcher) Name() string               { return "none" }
+func (p *nonePrefetcher) Train(addr, pc, now uint64) { p.stats.Trains++ }
+func (p *nonePrefetcher) Reset()                     { p.stats = HWStats{} }
+func (p *nonePrefetcher) Stats() HWStats             { return p.stats }
+func (p *nonePrefetcher) ClearStats()                { p.stats = HWStats{} }
+
+// ---------------------------------------------------------------------------
+// nextline: one-block-lookahead — fetch line n+1 on every reference to
+// line n (Smith's classic sequential prefetch). No confidence, no
+// direction detection; the weakest real unit and the strongest generator
+// of useless traffic.
+
+type nextlinePrefetcher struct {
+	port  HWPort
+	stats HWStats
+}
+
+func (p *nextlinePrefetcher) Name() string { return "nextline" }
+
+func (p *nextlinePrefetcher) Train(addr, pc, now uint64) {
+	p.stats.Trains++
+	p.stats.Hits++ // the prediction is unconditional
+	line := int64(addr >> p.port.LineShift())
+	issueHW(p.port, &p.stats, line+1, addr>>p.port.PageShift(), now)
+}
+
+func (p *nextlinePrefetcher) Reset()         { p.stats = HWStats{} }
+func (p *nextlinePrefetcher) Stats() HWStats { return p.stats }
+func (p *nextlinePrefetcher) ClearStats()    { p.stats = HWStats{} }
+
+// ---------------------------------------------------------------------------
+// stream: the simulator's original per-page stream detector — trains on
+// two same-delta references within a page, then prefetches one line ahead
+// for near-sequential streams. Kept behaviourally identical to the
+// pre-refactor hwTrain (the default model's outputs are golden).
+
+// hwStream is one tracked stream of the stream detector.
+type hwStream struct {
+	page     uint64
+	lastLine uint64
+	delta    int64
+	conf     int8
+	lastUse  uint64
+	valid    bool
+}
+
+const hwStreams = 16
+
+type streamPrefetcher struct {
+	port    HWPort
+	streams [hwStreams]hwStream
+	// lastStream is the index of the stream Train matched most recently —
+	// a scan-skipping hint (misses of one page cluster in time), never a
+	// behaviour change.
+	lastStream int
+	useTick    uint64
+	stats      HWStats
+}
+
+func newStreamPrefetcher(port HWPort) *streamPrefetcher {
+	return &streamPrefetcher{port: port}
+}
+
+func (p *streamPrefetcher) Name() string { return "stream" }
+
+func (p *streamPrefetcher) Train(addr, pc, now uint64) {
+	p.stats.Trains++
+	page := addr >> p.port.PageShift()
+	line := addr >> p.port.LineShift()
+	p.useTick++
+
+	var s *hwStream
+	if h := &p.streams[p.lastStream]; h.valid && h.page == page {
+		s = h
+	} else {
+		victim := 0
+		for i := range p.streams {
+			e := &p.streams[i]
+			if e.valid && e.page == page {
+				s = e
+				p.lastStream = i
+				break
+			}
+			if !e.valid {
+				victim = i
+			} else if p.streams[victim].valid && e.lastUse < p.streams[victim].lastUse {
+				victim = i
+			}
+		}
+		if s == nil {
+			p.streams[victim] = hwStream{page: page, lastLine: line, lastUse: p.useTick, valid: true}
+			p.lastStream = victim
+			p.stats.Allocs++
+			return
+		}
+	}
+	s.lastUse = p.useTick
+	d := int64(line) - int64(s.lastLine)
+	s.lastLine = line
+	if d == 0 {
+		return
+	}
+	if d == s.delta {
+		if s.conf < 4 {
+			s.conf++
+		}
+		p.stats.Hits++
+	} else {
+		s.delta = d
+		s.conf = 1
+		return
+	}
+	if s.conf < 2 || s.delta > 2 || s.delta < -2 {
+		return // only near-sequential streams, after confirmation
+	}
+	// Prefetch one line ahead along the stream, within the page.
+	issueHW(p.port, &p.stats, int64(line)+s.delta, page, now)
+}
+
+func (p *streamPrefetcher) Reset() {
+	p.streams = [hwStreams]hwStream{}
+	p.lastStream = 0
+	p.useTick = 0
+	p.stats = HWStats{}
+}
+
+func (p *streamPrefetcher) Stats() HWStats { return p.stats }
+func (p *streamPrefetcher) ClearStats()    { p.stats = HWStats{} }
+
+// ---------------------------------------------------------------------------
+// ipstride: the Baer–Chen reference prediction table — a pc-indexed,
+// direct-mapped table of (last address, stride, state) entries with the
+// four-state Initial/Transient/Steady/NoPred confidence machine. Prefetch
+// is issued only from Steady, so one wrong delta silences a stream until
+// the stride re-confirms. (After Baer & Chen 1991; cf. the RPT models in
+// SNIPPETS 1 and 3.)
+
+type rptState uint8
+
+const (
+	rptInitial rptState = iota
+	rptTransient
+	rptSteady
+	rptNoPred
+)
+
+const rptEntries = 64 // direct-mapped; indexed by pc & (rptEntries-1)
+
+type rptEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64 // byte stride: RPTs predict addresses, not lines
+	state    rptState
+	valid    bool
+}
+
+type ipstridePrefetcher struct {
+	port  HWPort
+	table [rptEntries]rptEntry
+	stats HWStats
+}
+
+func (p *ipstridePrefetcher) Name() string { return "ipstride" }
+
+func (p *ipstridePrefetcher) Train(addr, pc, now uint64) {
+	p.stats.Trains++
+	if pc == 0 {
+		return // reference without a stable load site; nothing to index
+	}
+	e := &p.table[pc&(rptEntries-1)]
+	if !e.valid || e.pc != pc {
+		*e = rptEntry{pc: pc, lastAddr: addr, state: rptInitial, valid: true}
+		p.stats.Allocs++
+		return
+	}
+	d := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	correct := d == e.stride
+	switch e.state {
+	case rptInitial:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = d
+			e.state = rptTransient
+		}
+	case rptTransient:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = d
+			e.state = rptNoPred
+		}
+	case rptSteady:
+		if !correct {
+			e.state = rptInitial
+		}
+	case rptNoPred:
+		if correct {
+			e.state = rptTransient
+		} else {
+			e.stride = d
+		}
+	}
+	if correct {
+		p.stats.Hits++
+	}
+	if e.state == rptSteady && e.stride != 0 {
+		// Predict the next byte address; prefetching is still per line, so
+		// a sub-line stride that stays on the current line is covered by
+		// the demand fetch already in flight.
+		predLine := (int64(addr) + e.stride) >> p.port.LineShift()
+		if predLine == int64(addr>>p.port.LineShift()) {
+			p.stats.Suppressed++
+		} else {
+			issueHW(p.port, &p.stats, predLine, addr>>p.port.PageShift(), now)
+		}
+	}
+}
+
+func (p *ipstridePrefetcher) Reset() {
+	p.table = [rptEntries]rptEntry{}
+	p.stats = HWStats{}
+}
+
+func (p *ipstridePrefetcher) Stats() HWStats { return p.stats }
+func (p *ipstridePrefetcher) ClearStats()    { p.stats = HWStats{} }
+
+// ---------------------------------------------------------------------------
+// tracker: a small LRU deque of per-pc trackers (after Hermes' stride
+// prefetcher, SNIPPET 2): each tracker remembers the last byte address and
+// last byte stride for one load site; two consecutive equal nonzero strides
+// issue degree-2 prefetches along the predicted addresses. Unlike the RPT
+// it has no confidence decay — capacity pressure on the deque is what
+// forgets cold sites.
+
+const (
+	trackerEntries = 16
+	trackerDegree  = 2
+)
+
+type trackerEntry struct {
+	pc         uint64
+	lastAddr   uint64
+	lastStride int64 // byte stride
+}
+
+type trackerPrefetcher struct {
+	port HWPort
+	// deque order: front (index 0) is the eviction candidate, back is the
+	// most recently used tracker.
+	deque []trackerEntry
+	stats HWStats
+}
+
+func newTrackerPrefetcher(port HWPort) *trackerPrefetcher {
+	return &trackerPrefetcher{port: port, deque: make([]trackerEntry, 0, trackerEntries)}
+}
+
+func (p *trackerPrefetcher) Name() string { return "tracker" }
+
+func (p *trackerPrefetcher) Train(addr, pc, now uint64) {
+	p.stats.Trains++
+	if pc == 0 {
+		return
+	}
+	hit := -1
+	for i := range p.deque {
+		if p.deque[i].pc == pc {
+			hit = i
+			break
+		}
+	}
+	if hit < 0 {
+		if len(p.deque) == trackerEntries {
+			copy(p.deque, p.deque[1:]) // evict the front (LRU)
+			p.deque = p.deque[:trackerEntries-1]
+		}
+		p.deque = append(p.deque, trackerEntry{pc: pc, lastAddr: addr})
+		p.stats.Allocs++
+		return
+	}
+	t := p.deque[hit]
+	// Move the matched tracker to the back (MRU).
+	copy(p.deque[hit:], p.deque[hit+1:])
+	p.deque[len(p.deque)-1] = t
+	t2 := &p.deque[len(p.deque)-1]
+	stride := int64(addr) - int64(t.lastAddr)
+	t2.lastAddr = addr
+	if stride != 0 && stride == t.lastStride {
+		p.stats.Hits++
+		page := addr >> p.port.PageShift()
+		line := int64(addr >> p.port.LineShift())
+		// Walk the predicted byte addresses; per-line fetch means a target
+		// still on a previously covered line is counted suppressed (the
+		// ProbeL2 check in issueHW dedupes the just-filled ones).
+		prev := line
+		for i := int64(1); i <= trackerDegree; i++ {
+			tl := (int64(addr) + i*stride) >> p.port.LineShift()
+			if tl == prev {
+				p.stats.Suppressed++
+				continue
+			}
+			issueHW(p.port, &p.stats, tl, page, now)
+			prev = tl
+		}
+	}
+	t2.lastStride = stride
+}
+
+func (p *trackerPrefetcher) Reset() {
+	p.deque = p.deque[:0]
+	p.stats = HWStats{}
+}
+
+func (p *trackerPrefetcher) Stats() HWStats { return p.stats }
+func (p *trackerPrefetcher) ClearStats()    { p.stats = HWStats{} }
+
+// ---------------------------------------------------------------------------
+// multistride: compound-pattern detection after Blom et al. 2024
+// ("Multi-Strided Access Patterns to Boost Hardware Prefetching"): a
+// per-pc ring of recent line deltas is scanned for a periodic pattern of
+// period 1..4 (each period seen at least twice); on detection the next
+// period's deltas are replayed ahead of the access, covering loops that
+// alternate between several constant strides (e.g. row-walks with a
+// gap every k elements) that defeat single-stride units.
+
+const (
+	msEntries   = 32 // direct-mapped by pc
+	msHistory   = 8  // delta ring depth
+	msMaxPeriod = 4
+)
+
+type msEntry struct {
+	pc       uint64
+	lastLine uint64
+	deltas   [msHistory]int64
+	n        int // deltas recorded (saturates at msHistory)
+	valid    bool
+}
+
+type multistridePrefetcher struct {
+	port  HWPort
+	table [msEntries]msEntry
+	stats HWStats
+}
+
+func (p *multistridePrefetcher) Name() string { return "multistride" }
+
+func (p *multistridePrefetcher) Train(addr, pc, now uint64) {
+	p.stats.Trains++
+	if pc == 0 {
+		return
+	}
+	line := addr >> p.port.LineShift()
+	e := &p.table[pc&(msEntries-1)]
+	if !e.valid || e.pc != pc {
+		*e = msEntry{pc: pc, lastLine: line, valid: true}
+		p.stats.Allocs++
+		return
+	}
+	d := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	// Shift the delta ring (newest at the end).
+	copy(e.deltas[:], e.deltas[1:])
+	e.deltas[msHistory-1] = d
+	if e.n < msHistory {
+		e.n++
+	}
+	period := e.period()
+	if period == 0 {
+		return
+	}
+	p.stats.Hits++
+	// Replay the next period of deltas ahead of the current line.
+	page := addr >> p.port.PageShift()
+	next := int64(line)
+	for i := 0; i < period; i++ {
+		next += e.deltas[msHistory-period+i]
+		issueHW(p.port, &p.stats, next, page, now)
+	}
+}
+
+// period returns the shortest period p in 1..msMaxPeriod such that the
+// last 2p recorded deltas are p-periodic and not all zero, or 0 when no
+// compound pattern is established.
+func (e *msEntry) period() int {
+	for p := 1; p <= msMaxPeriod; p++ {
+		if e.n < 2*p {
+			return 0 // longer periods need history we don't have yet
+		}
+		periodic := true
+		nonzero := false
+		for i := msHistory - p; i < msHistory; i++ {
+			if e.deltas[i] != e.deltas[i-p] {
+				periodic = false
+				break
+			}
+			if e.deltas[i] != 0 {
+				nonzero = true
+			}
+		}
+		if periodic && nonzero {
+			return p
+		}
+	}
+	return 0
+}
+
+func (p *multistridePrefetcher) Reset() {
+	p.table = [msEntries]msEntry{}
+	p.stats = HWStats{}
+}
+
+func (p *multistridePrefetcher) Stats() HWStats { return p.stats }
+func (p *multistridePrefetcher) ClearStats()    { p.stats = HWStats{} }

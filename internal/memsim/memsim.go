@@ -154,26 +154,6 @@ func (c *cache) flush() {
 	c.useTick = 0
 }
 
-// hwStream is one tracked stream of the hardware prefetcher. Both
-// evaluation machines "provide ... software and hardware prefetching
-// mechanisms" (Sec. 4), and the profitability analysis exists because
-// "prefetching for such a load instruction will not be profitable,
-// especially on processors with hardware prefetching" (Sec. 3.3): small
-// constant strides are already covered in hardware. The model is a
-// per-page next-line stream detector that trains on two same-delta demand
-// misses, prefetches a fixed distance ahead into the L2, and — like the
-// real units — cannot cross a page boundary and cannot follow pointers.
-type hwStream struct {
-	page     uint64
-	lastLine uint64
-	delta    int64
-	conf     int8
-	lastUse  uint64
-	valid    bool
-}
-
-const hwStreams = 16
-
 // Memory is the simulated memory hierarchy of one machine.
 type Memory struct {
 	Arch *arch.Machine
@@ -187,12 +167,19 @@ type Memory struct {
 	// ring; entries with readyAt <= now are reclaimed lazily).
 	inflight []uint64
 
-	streams [hwStreams]hwStream
-	// lastStream is the index of the stream hwTrain matched most recently —
-	// a scan-skipping hint (misses of one page cluster in time), never a
-	// behaviour change.
-	lastStream int
-	useTick    uint64
+	// hw is the machine's hardware prefetch unit (Arch.HWPrefetcher; the
+	// per-page stream detector by default). It trains on the demand-miss
+	// and software-prefetch reference stream and fills the L2 through the
+	// HWPort methods below.
+	hw HWPrefetcher
+	// stream is inline storage for the default model: New points hw at it
+	// instead of heap-allocating, so constructing a default Memory costs
+	// no more allocations than before the prefetcher became pluggable
+	// (the bench suite gates allocs/op at zero growth).
+	stream streamPrefetcher
+	// pageShift is log2 of Arch.DTLB.PageSize — the page geometry every
+	// hardware prefetcher must respect.
+	pageShift uint
 
 	// selfCheck enables fill-time structural invariant checking (see
 	// EnableSelfCheck). Off by default: zero cost, identical behaviour.
@@ -200,99 +187,77 @@ type Memory struct {
 	violations []string
 }
 
-// New creates the memory system for a machine.
+// New creates the memory system for a machine. The machine's HWPrefetcher
+// field selects the hardware-prefetch model ("" = the default stream
+// detector); an unknown model name panics — validate with ValidHWModel at
+// the flag/spec boundary.
 func New(m *arch.Machine) *Memory {
 	tlbParams := arch.CacheParams{
 		SizeBytes: m.DTLB.Entries * m.DTLB.PageSize,
 		LineBytes: m.DTLB.PageSize,
 		Assoc:     m.DTLB.Assoc,
 	}
-	return &Memory{
+	mem := &Memory{
 		Arch:     m,
 		l1:       newCache(m.L1D),
 		l2:       newCache(m.L2U),
 		tlb:      newCache(tlbParams),
 		inflight: make([]uint64, 0, m.PrefetchQueue),
 	}
+	for s := uint32(1); s < m.DTLB.PageSize; s <<= 1 {
+		mem.pageShift++
+	}
+	if m.HWPrefetcher == "" || m.HWPrefetcher == DefaultHWModel {
+		mem.stream.port = mem
+		mem.hw = &mem.stream
+	} else {
+		mem.hw = newHWPrefetcher(m.HWPrefetcher, mem)
+	}
+	return mem
 }
 
-// Reset clears all cache, TLB, and counter state.
+// Reset clears all cache, TLB, counter, and hardware-prefetcher state; a
+// reset Memory is bit-identical to a freshly constructed one.
 func (mem *Memory) Reset() {
 	mem.l1.flush()
 	mem.l2.flush()
 	mem.tlb.flush()
 	mem.C = Counters{}
 	mem.inflight = mem.inflight[:0]
-	mem.streams = [hwStreams]hwStream{}
-	mem.lastStream = 0
+	mem.hw.Reset()
 }
 
-// hwTrain observes a demand L1 miss and, once a stream is established,
-// prefetches the next lines of the stream into the L2.
-func (mem *Memory) hwTrain(addr uint64, now uint64) {
-	const pageShift = 12
-	page := addr >> pageShift
-	line := addr >> mem.l2.lineShift
-	mem.useTick++
+// HWModel returns the name of the active hardware-prefetcher model.
+func (mem *Memory) HWModel() string { return mem.hw.Name() }
 
-	var s *hwStream
-	if h := &mem.streams[mem.lastStream]; h.valid && h.page == page {
-		s = h
-	} else {
-		victim := 0
-		for i := range mem.streams {
-			e := &mem.streams[i]
-			if e.valid && e.page == page {
-				s = e
-				mem.lastStream = i
-				break
-			}
-			if !e.valid {
-				victim = i
-			} else if mem.streams[victim].valid && e.lastUse < mem.streams[victim].lastUse {
-				victim = i
-			}
-		}
-		if s == nil {
-			mem.streams[victim] = hwStream{page: page, lastLine: line, lastUse: mem.useTick, valid: true}
-			mem.lastStream = victim
-			return
-		}
-	}
-	s.lastUse = mem.useTick
-	d := int64(line) - int64(s.lastLine)
-	s.lastLine = line
-	if d == 0 {
-		return
-	}
-	if d == s.delta {
-		if s.conf < 4 {
-			s.conf++
-		}
-	} else {
-		s.delta = d
-		s.conf = 1
-		return
-	}
-	if s.conf < 2 || s.delta > 2 || s.delta < -2 {
-		return // only near-sequential streams, after confirmation
-	}
-	// Prefetch one line ahead along the stream, within the page.
-	next := int64(line) + s.delta
-	nextAddr := uint64(next) << mem.l2.lineShift
-	if nextAddr>>pageShift != page {
-		return // hardware prefetchers stop at page boundaries
-	}
-	if mem.l2.probe(nextAddr) != nil {
-		return
-	}
+// HWStats returns the hardware prefetcher's statistics for the current
+// counter window.
+func (mem *Memory) HWStats() HWStats { return mem.hw.Stats() }
+
+// ProbeL2 implements HWPort.
+func (mem *Memory) ProbeL2(addr uint64) bool { return mem.l2.probe(addr) != nil }
+
+// FillL2 implements HWPort: install a hardware-prefetched line with full
+// memory latency and count it.
+func (mem *Memory) FillL2(addr uint64, now uint64) {
 	mem.C.HWPrefetches++
-	mem.l2.fill(nextAddr, now+mem.Arch.L2HitCycles+mem.Arch.MemCycles)
+	mem.l2.fill(addr, now+mem.Arch.L2HitCycles+mem.Arch.MemCycles)
 }
 
-// ResetCounters clears counters but keeps cache contents (used between a
-// warmup run and a measured run).
-func (mem *Memory) ResetCounters() { mem.C = Counters{} }
+// LineShift implements HWPort (the L2 line granule the units train on).
+func (mem *Memory) LineShift() uint { return mem.l2.lineShift }
+
+// PageShift implements HWPort.
+func (mem *Memory) PageShift() uint { return mem.pageShift }
+
+// ResetCounters clears counters but keeps cache contents and trained
+// prefetcher state (used between a warmup run and a measured run); the
+// hardware prefetcher's statistics are cleared with the counters so
+// C.HWPrefetches and HWStats().Issued stay in lockstep.
+func (mem *Memory) ResetCounters() {
+	mem.C = Counters{}
+	mem.hw.ClearStats()
+}
 
 // EnableSelfCheck turns on fill-time invariant checking: every L1 fill
 // verifies that the line is simultaneously present in the L2 (the
@@ -372,6 +337,24 @@ func (mem *Memory) CheckInvariants() []string {
 	if len(mem.inflight) > a.PrefetchQueue {
 		bad("in-flight prefetches %d exceed queue %d", len(mem.inflight), a.PrefetchQueue)
 	}
+	// Per-prefetcher statistics must agree with the run counters and with
+	// each other: every hardware fill is an Issued, a prediction can only
+	// hit on a train, and no model issues more than maxHWDegree prefetches
+	// (issued or suppressed) per train.
+	hw := mem.hw.Stats()
+	if c.HWPrefetches != hw.Issued {
+		bad("HWPrefetches %d != %s prefetcher issued %d", c.HWPrefetches, mem.hw.Name(), hw.Issued)
+	}
+	if hw.Hits > hw.Trains {
+		bad("hw hits %d > trains %d", hw.Hits, hw.Trains)
+	}
+	if hw.Allocs > hw.Trains {
+		bad("hw allocs %d > trains %d", hw.Allocs, hw.Trains)
+	}
+	if hw.Issued+hw.Suppressed > maxHWDegree*hw.Trains {
+		bad("hw issued %d + suppressed %d > %d * trains %d",
+			hw.Issued, hw.Suppressed, maxHWDegree, hw.Trains)
+	}
 	return v
 }
 
@@ -402,11 +385,20 @@ func extraWait(l *line, now uint64) uint64 {
 	return 0
 }
 
-// Load simulates a demand load of `size` bytes at addr issued at cycle
-// `now` and returns the stall cycles. Accesses are assumed not to cross
-// line boundaries (the VM's objects are 4/8-byte aligned and lines are
-// >= 64 bytes).
+// Load simulates a demand load with no load-site identity (pc 0); see
+// LoadAt. It exists for callers without a stable site — pc-indexed
+// hardware prefetchers ignore such references.
 func (mem *Memory) Load(addr uint32, size uint32, now uint64) uint64 {
+	return mem.LoadAt(addr, size, now, 0)
+}
+
+// LoadAt simulates a demand load of `size` bytes at addr issued at cycle
+// `now` by the load site `pc` and returns the stall cycles. pc identifies
+// the static load instruction (pc-indexed hardware prefetchers key their
+// tables on it; 0 means "no stable site"). Accesses are assumed not to
+// cross line boundaries (the VM's objects are 4/8-byte aligned and lines
+// are >= 64 bytes).
+func (mem *Memory) LoadAt(addr uint32, size uint32, now uint64, pc uint64) uint64 {
 	mem.C.Loads++
 	a := mem.Arch
 	stall := a.L1HitCycles
@@ -420,7 +412,7 @@ func (mem *Memory) Load(addr uint32, size uint32, now uint64) uint64 {
 		return stall
 	}
 	mem.C.L1LoadMisses++
-	mem.hwTrain(uint64(addr), now)
+	mem.hw.Train(uint64(addr), pc, now)
 	if l := mem.l2.lookup(uint64(addr)); l != nil {
 		stall += a.L2HitCycles + extraWait(l, now)
 		mem.fillL1(uint64(addr), now+stall)
@@ -514,8 +506,8 @@ func (mem *Memory) Prefetch(addr uint32, guarded bool, now uint64) telemetry.Pre
 	// includes software prefetch requests — the two mechanisms cooperate
 	// (software prefetches of a dense object stream keep the hardware
 	// stream alive, covering the lines the compile-time line-dedup filter
-	// skipped).
-	mem.hwTrain(uint64(addr), now)
+	// skipped). Software prefetches carry no load-site pc.
+	mem.hw.Train(uint64(addr), 0, now)
 	target := a.PrefetchTarget
 	if guarded {
 		target = arch.L1 // a real load fills L1

@@ -15,6 +15,7 @@ import (
 	"strider/internal/heap"
 	"strider/internal/interp"
 	"strider/internal/ir"
+	"strider/internal/memsim"
 	"strider/internal/telemetry"
 	"strider/internal/value"
 	"strider/internal/vm"
@@ -30,29 +31,50 @@ type Configuration struct {
 	// direct calls (Sec. 3.2 leaves it as a trade-off). Inspection must
 	// be side-effect free either way.
 	Interprocedural bool
+	// HW selects the hardware-prefetcher model memsim simulates ("" = the
+	// default stream detector). Hardware prefetching only moves lines
+	// between cache levels, so every model must reproduce the same
+	// fingerprint — the axis is prefetch-blind by construction and this
+	// matrix proves it stays that way.
+	HW string
 }
 
-// Label renders the configuration compactly, e.g. "Pentium4/inter+intra+ip".
+// Label renders the configuration compactly, e.g. "Pentium4/inter+intra+ip"
+// or "AthlonMP/inter+hw:ipstride" (the default hardware model carries no
+// suffix, so pre-existing labels are unchanged).
 func (c Configuration) Label() string {
 	l := c.Machine.Name + "/" + c.Mode.String()
 	if c.Interprocedural {
 		l += "+ip"
 	}
+	if c.HW != "" && c.HW != memsim.DefaultHWModel {
+		l += "+hw:" + c.HW
+	}
 	return l
 }
 
-// Configurations returns the verification matrix for the given machines:
-// no-prefetch, inter, inter+intra, and inter+intra with interprocedural
-// inspection — four configurations per machine.
+// Configurations returns the software-prefetch verification matrix for the
+// given machines: no-prefetch, inter, inter+intra, and inter+intra with
+// interprocedural inspection — four configurations per machine, all on the
+// default hardware model.
 func Configurations(machines []*arch.Machine) []Configuration {
+	return ConfigurationsHW(machines, []string{memsim.DefaultHWModel})
+}
+
+// ConfigurationsHW returns the full software×hardware cross-product: the
+// four software configurations of Configurations under each named
+// hardware-prefetcher model, per machine.
+func ConfigurationsHW(machines []*arch.Machine, hwModels []string) []Configuration {
 	var cs []Configuration
 	for _, m := range machines {
-		cs = append(cs,
-			Configuration{Machine: m, Mode: jit.Baseline},
-			Configuration{Machine: m, Mode: jit.Inter},
-			Configuration{Machine: m, Mode: jit.InterIntra},
-			Configuration{Machine: m, Mode: jit.InterIntra, Interprocedural: true},
-		)
+		for _, hw := range hwModels {
+			cs = append(cs,
+				Configuration{Machine: m, Mode: jit.Baseline, HW: hw},
+				Configuration{Machine: m, Mode: jit.Inter, HW: hw},
+				Configuration{Machine: m, Mode: jit.InterIntra, HW: hw},
+				Configuration{Machine: m, Mode: jit.InterIntra, Interprocedural: true, HW: hw},
+			)
+		}
 	}
 	return cs
 }
@@ -104,6 +126,11 @@ type Options struct {
 	GC heap.GCMode
 	// Machines defaults to both evaluation machines.
 	Machines []*arch.Machine
+	// HWModels lists the hardware-prefetcher models to replay every
+	// software configuration under; it defaults to every model in the zoo
+	// (memsim.HWModels), so a default Verify proves the entire
+	// software×hardware matrix prefetch-blind.
+	HWModels []string
 	// SkipLeakCheck disables the per-machine compile-time inspection leak
 	// check (used by callers that run it separately).
 	SkipLeakCheck bool
@@ -117,12 +144,21 @@ func Verify(build func() *ir.Program, opts Options) (*Report, error) {
 	if len(opts.Machines) == 0 {
 		opts.Machines = arch.Machines()
 	}
+	if len(opts.HWModels) == 0 {
+		opts.HWModels = memsim.HWModels()
+	}
+	for _, hw := range opts.HWModels {
+		if !memsim.ValidHWModel(hw) {
+			return nil, fmt.Errorf("oracle: unknown hardware-prefetcher model %q (valid: %v)",
+				hw, memsim.HWModels())
+		}
+	}
 	ref, err := Run(build(), nil, Config{HeapBytes: opts.HeapBytes, GC: opts.GC})
 	if err != nil {
 		return nil, fmt.Errorf("oracle reference run: %w", err)
 	}
 	r := &Report{Reference: ref}
-	for _, c := range Configurations(opts.Machines) {
+	for _, c := range ConfigurationsHW(opts.Machines, opts.HWModels) {
 		cell := runCell(build, c, opts.HeapBytes, opts.GC)
 		r.Cells = append(r.Cells, cell)
 		for _, d := range ref.Diff(cell.Fingerprint) {
@@ -150,9 +186,9 @@ type loadTap struct {
 	loads loadAccum
 }
 
-func (t *loadTap) Load(addr, size uint32, now uint64) uint64 {
+func (t *loadTap) LoadAt(addr, size uint32, now uint64, pc uint64) uint64 {
 	t.loads.record(addr, size)
-	return t.inner.Load(addr, size, now)
+	return t.inner.LoadAt(addr, size, now, pc)
 }
 
 func (t *loadTap) Store(addr, size uint32, now uint64) uint64 {
@@ -169,10 +205,14 @@ func (t *loadTap) Prefetch(addr uint32, guarded bool, now uint64) telemetry.Pref
 // run's architectural state.
 func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc heap.GCMode) Cell {
 	prog := build()
-	jo := jit.DefaultOptions(c.Machine, c.Mode)
+	// Configurations share machine pointers; run on a private copy so the
+	// hardware-model selection of one cell cannot leak into another.
+	m := *c.Machine
+	m.HWPrefetcher = c.HW
+	jo := jit.DefaultOptions(&m, c.Mode)
 	jo.Inspect.Interprocedural = c.Interprocedural
 	v := vm.New(prog, vm.Config{
-		Machine: c.Machine, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, JIT: &jo,
+		Machine: &m, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, JIT: &jo,
 	})
 	v.Mem.EnableSelfCheck()
 	tap := &loadTap{inner: v.Engine.Mem}

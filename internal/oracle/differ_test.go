@@ -10,15 +10,18 @@ import (
 	"strider/internal/heap"
 	"strider/internal/interp"
 	"strider/internal/ir"
+	"strider/internal/memsim"
 	"strider/internal/value"
 	"strider/internal/workloads"
 )
 
 // TestVerifyAllWorkloads is the headline differential suite: every
-// registered workload, four prefetching configurations, both machines,
-// leak checks and memory-model invariants included. Any semantic effect
-// of prefetching anywhere in the stack fails here.
+// registered workload, four software-prefetching configurations, every
+// hardware-prefetcher model, both machines, leak checks and memory-model
+// invariants included. Any semantic effect of prefetching — software or
+// hardware — anywhere in the stack fails here.
 func TestVerifyAllWorkloads(t *testing.T) {
+	wantCells := 4 * len(memsim.HWModels()) * 2
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -30,8 +33,9 @@ func TestVerifyAllWorkloads(t *testing.T) {
 			if !rep.OK() {
 				t.Fatalf("%s", rep.Summary())
 			}
-			if len(rep.Cells) != 8 {
-				t.Fatalf("got %d cells, want 8 (4 configs x 2 machines)", len(rep.Cells))
+			if len(rep.Cells) != wantCells {
+				t.Fatalf("got %d cells, want %d (4 sw configs x %d hw models x 2 machines)",
+					len(rep.Cells), wantCells, len(memsim.HWModels()))
 			}
 			if rep.Reference.Loads == 0 {
 				t.Fatalf("workload performed no demand loads; fingerprint is vacuous")
@@ -136,12 +140,41 @@ func TestConfigurations(t *testing.T) {
 		if c.Interprocedural {
 			ip++
 		}
+		// The default matrix runs the default hardware model, so its labels
+		// carry no hw suffix — they must match the pre-zoo label format.
+		if strings.Contains(c.Label(), "+hw:") {
+			t.Fatalf("default configuration label %q carries a hw suffix", c.Label())
+		}
 	}
 	if len(labels) != 8 {
 		t.Fatalf("labels not unique: %v", labels)
 	}
 	if ip != 2 {
 		t.Fatalf("want one interprocedural configuration per machine, got %d", ip)
+	}
+}
+
+func TestConfigurationsHW(t *testing.T) {
+	models := memsim.HWModels()
+	cs := ConfigurationsHW(arch.Machines(), models)
+	want := 4 * len(models) * 2
+	if len(cs) != want {
+		t.Fatalf("got %d configurations, want %d", len(cs), want)
+	}
+	labels := make(map[string]bool)
+	for _, c := range cs {
+		labels[c.Label()] = true
+	}
+	if len(labels) != want {
+		t.Fatalf("labels not unique: %d labels for %d configurations", len(labels), want)
+	}
+}
+
+func TestVerifyRejectsUnknownHWModel(t *testing.T) {
+	build := func() *ir.Program { return trapProgram(TrapDivZero) }
+	_, err := Verify(build, Options{HWModels: []string{"stream", "sdram"}})
+	if err == nil || !strings.Contains(err.Error(), "sdram") {
+		t.Fatalf("want unknown-model error naming the model, got %v", err)
 	}
 }
 

@@ -1,0 +1,100 @@
+// Tests for the hardware-prefetcher run summary event: collection,
+// Chrome trace export, and CSV export.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func hwSample() HWEvent {
+	return HWEvent{
+		Machine: "Pentium4", Model: "ipstride",
+		Trains: 1000, Allocs: 40, Hits: 700, Issued: 600, Suppressed: 90,
+	}
+}
+
+func TestTraceCollectsHWEvent(t *testing.T) {
+	tr := NewTrace()
+	tr.HW(hwSample())
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("Len = %d, want 1", len(evs))
+	}
+	e, ok := evs[0].(HWEvent)
+	if !ok {
+		t.Fatalf("event type %T, want HWEvent", evs[0])
+	}
+	if e != hwSample() {
+		t.Fatalf("event = %+v", e)
+	}
+	// Nop must discard it without side effects.
+	Nop{}.HW(hwSample())
+}
+
+func TestHWEventChromeExport(t *testing.T) {
+	tr := NewTrace()
+	tr.HW(hwSample())
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("traceEvents = %d, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "hw ipstride" || ev.Cat != "memsim" || ev.Ph != "i" {
+		t.Fatalf("hw event malformed: %+v", ev)
+	}
+	if ev.Args["machine"] != "Pentium4" || ev.Args["issued"] != float64(600) {
+		t.Fatalf("hw event args malformed: %+v", ev.Args)
+	}
+}
+
+func TestHWEventCSVExport(t *testing.T) {
+	tr := NewTrace()
+	tr.HW(hwSample())
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("not valid CSV: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want header + 1", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	row := rows[1]
+	want := map[string]string{
+		"kind": "hw", "machine": "Pentium4", "model": "ipstride",
+		"trains": "1000", "allocs": "40", "hits": "700",
+		"issued": "600", "suppressed": "90",
+	}
+	for name, v := range want {
+		i, ok := col[name]
+		if !ok {
+			t.Fatalf("missing column %q", name)
+		}
+		if row[i] != v {
+			t.Errorf("column %q = %q, want %q", name, row[i], v)
+		}
+	}
+}

@@ -222,6 +222,26 @@ type CellEvent struct {
 	Err    string
 }
 
+// HWEvent is the end-of-run summary of the simulated hardware prefetcher:
+// which model ran and what it did with the reference stream it observed
+// (the memsim per-prefetcher statistics of the measured run).
+type HWEvent struct {
+	Machine string
+	Model   string
+	// Trains is the number of references the unit observed (demand L1
+	// misses plus software prefetches).
+	Trains uint64
+	// Allocs is the number of new table/tracker entries allocated.
+	Allocs uint64
+	// Hits is the number of trains whose delta matched the prediction.
+	Hits uint64
+	// Issued is the number of prefetch fills installed into the L2.
+	Issued uint64
+	// Suppressed is the number of predicted prefetches withheld at a page
+	// boundary or because the line was already cached.
+	Suppressed uint64
+}
+
 // Recorder receives telemetry events. Implementations must be safe for
 // concurrent use: the harness hammers one Recorder from every grid
 // worker. Emission sites guard with a nil check, so a nil Recorder is
@@ -232,6 +252,7 @@ type Recorder interface {
 	Decision(DecisionEvent)
 	Site(SiteEvent)
 	Cell(CellEvent)
+	HW(HWEvent)
 }
 
 // Nop is a Recorder that discards everything; embed it to implement only
@@ -252,3 +273,6 @@ func (Nop) Site(SiteEvent) {}
 
 // Cell implements Recorder.
 func (Nop) Cell(CellEvent) {}
+
+// HW implements Recorder.
+func (Nop) HW(HWEvent) {}

@@ -52,6 +52,9 @@ func (t *Trace) Site(e SiteEvent) { t.add(e) }
 // Cell implements Recorder.
 func (t *Trace) Cell(e CellEvent) { t.add(e) }
 
+// HW implements Recorder.
+func (t *Trace) HW(e HWEvent) { t.add(e) }
+
 // Len returns the number of collected events.
 func (t *Trace) Len() int {
 	t.mu.Lock()
@@ -138,6 +141,13 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 				"kind": e.Kind, "issued": e.Issued, "useless": e.Useless,
 				"dropped": e.Dropped, "count": e.Count, "stall_cycles": e.StallCycles,
 			}
+		case HWEvent:
+			ce.Name = "hw " + e.Model
+			ce.Cat = "memsim"
+			ce.Args = map[string]any{
+				"machine": e.Machine, "trains": e.Trains, "allocs": e.Allocs,
+				"hits": e.Hits, "issued": e.Issued, "suppressed": e.Suppressed,
+			}
 		case CellEvent:
 			ce.Name = e.Cell
 			ce.Cat = "grid"
@@ -168,6 +178,7 @@ var csvColumns = []string{
 	"reason", "clause", "stride", "ratio", "samples", "trips", "steps",
 	"nodes", "invocations", "loops", "base_units", "prefetch_units",
 	"prefetches", "issued", "useless", "dropped", "count", "stall_cycles",
+	"machine", "model", "trains", "allocs", "hits", "suppressed",
 	"cell", "wall_us", "shared", "error",
 }
 
@@ -229,6 +240,15 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			set("dropped", strconv.FormatUint(e.Dropped, 10))
 			set("count", strconv.FormatUint(e.Count, 10))
 			set("stall_cycles", strconv.FormatUint(e.StallCycles, 10))
+		case HWEvent:
+			set("kind", "hw")
+			set("machine", e.Machine)
+			set("model", e.Model)
+			set("trains", strconv.FormatUint(e.Trains, 10))
+			set("allocs", strconv.FormatUint(e.Allocs, 10))
+			set("hits", strconv.FormatUint(e.Hits, 10))
+			set("issued", strconv.FormatUint(e.Issued, 10))
+			set("suppressed", strconv.FormatUint(e.Suppressed, 10))
 		case CellEvent:
 			set("kind", "cell")
 			set("cell", e.Cell)

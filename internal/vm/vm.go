@@ -73,6 +73,12 @@ type RunStats struct {
 
 	Mem memsim.Counters
 
+	// HWModel names the hardware-prefetcher model the memory simulator ran
+	// ("stream" unless the machine selects otherwise); HW holds its
+	// per-prefetcher statistics.
+	HWModel string
+	HW      memsim.HWStats
+
 	// Cumulative JIT ledger for the VM (Figure 11).
 	JITUnits        uint64
 	PrefetchUnits   uint64
@@ -234,6 +240,8 @@ func (v *VM) Run(args []value.Value) (RunStats, error) {
 		GCs:                  s.GCs,
 		GCCycles:             s.GCCycles,
 		Mem:                  v.Mem.C,
+		HWModel:              v.Mem.HWModel(),
+		HW:                   v.Mem.HWStats(),
 		JITUnits:             v.jitUnits,
 		PrefetchUnits:        v.prefetchUnits,
 		CompiledMethods:      len(v.compiled),
@@ -245,10 +253,25 @@ func (v *VM) Run(args []value.Value) (RunStats, error) {
 
 // FlushTelemetry emits the engine's per-site memory attribution (prefetch
 // outcomes per emitting site, demand-load stalls per pc) to the
-// configured Recorder and clears it. Call it after the run of interest —
-// ResetRun clears the aggregation, so after Measure the flushed sites
-// cover exactly the measured run.
-func (v *VM) FlushTelemetry() { v.Engine.FlushSites() }
+// configured Recorder and clears it, followed by the hardware
+// prefetcher's run summary. Call it after the run of interest — ResetRun
+// clears the aggregation, so after Measure the flushed sites cover
+// exactly the measured run.
+func (v *VM) FlushTelemetry() {
+	v.Engine.FlushSites()
+	if r := v.Config.Recorder; r != nil {
+		hw := v.Mem.HWStats()
+		r.HW(telemetry.HWEvent{
+			Machine:    v.Config.Machine.Name,
+			Model:      v.Mem.HWModel(),
+			Trains:     hw.Trains,
+			Allocs:     hw.Allocs,
+			Hits:       hw.Hits,
+			Issued:     hw.Issued,
+			Suppressed: hw.Suppressed,
+		})
+	}
+}
 
 // Measure runs the program warmups+1 times, resetting between runs, and
 // returns the statistics of the final (steady-state) run.

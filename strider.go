@@ -23,6 +23,7 @@ import (
 	"strider/internal/harness"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/memsim"
 	"strider/internal/oracle"
 	"strider/internal/telemetry"
 	"strider/internal/vm"
@@ -65,6 +66,15 @@ func AthlonMP() *Machine { return arch.AthlonMP() }
 
 // Machines returns both evaluation machines.
 func Machines() []*Machine { return arch.Machines() }
+
+// HWModels returns the names of the simulated hardware-prefetcher models
+// (the Spec.HW and Machine.HWPrefetcher selectors): none, nextline,
+// stream, ipstride, tracker, multistride.
+func HWModels() []string { return memsim.HWModels() }
+
+// SetHWModel installs a process-wide default hardware-prefetcher model
+// for specs that leave HW empty ("" restores each machine's own model).
+func SetHWModel(name string) error { return harness.SetHWModel(name) }
 
 // Workload is one benchmark analog (see internal/workloads).
 type Workload = workloads.Workload
