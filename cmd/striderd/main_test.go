@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"strider/internal/server"
+)
+
+// TestDaemonServesAndDrains boots the daemon on an ephemeral port, drives
+// it with the load-generator engine, then delivers SIGTERM and expects a
+// clean drain with exit status 0.
+func TestDaemonServesAndDrains(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errOut bytes.Buffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2"}, &out, &errOut, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not come up: %s", errOut.String())
+	}
+
+	url := "http://" + addr
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	jobs := []server.Job{{Workload: "fuzz:0x3"}, {Workload: "jess"}}
+	want, err := server.SerialBaseline(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := server.RunLoad(server.LoadOptions{
+		URL: url, Jobs: jobs, Requests: 16, Concurrency: 4, Verify: want,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OK != 16 || st.Errors != 0 || st.Mismatches != 0 {
+		t.Fatalf("load against daemon: %+v", st)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0\nstderr: %s", c, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining") || !strings.Contains(out.String(), "drained") {
+		t.Errorf("drain not reported:\n%s", out.String())
+	}
+}
+
+// TestDaemonUsageErrors pins the exit-2 contract.
+func TestDaemonUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if c := run([]string{"-bogus"}, &out, &errOut, nil); c != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", c)
+	}
+	if c := run([]string{"positional"}, &out, &errOut, nil); c != 2 {
+		t.Errorf("positional arg: exit %d, want 2", c)
+	}
+	if c := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errOut, nil); c != 1 {
+		t.Errorf("unlistenable address: exit %d, want 1", c)
+	}
+}

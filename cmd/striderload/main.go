@@ -1,0 +1,145 @@
+// Command striderload load-tests a running striderd service.
+//
+// Usage:
+//
+//	striderload -addr http://127.0.0.1:8120 -n 20000 -c 16
+//	striderload -addr http://127.0.0.1:8120 -cells jess,db/baseline,fuzz:0x3 -verify
+//	striderload -addr http://127.0.0.1:8120 -duration 5s -nocache -min-rate 10000
+//
+// -cells is a comma-separated list of cells, each
+// workload[/mode[/machine]] (the separator is "/" because fuzz workloads
+// spell their seed as fuzz:<seed>). Requests cycle through the cells
+// round-robin. -verify first computes each cell's checksum serially
+// in-process and fails the run if any service response diverges.
+//
+// Exit status: 0 on success, 1 when the run saw transport errors,
+// undocumented statuses, checksum mismatches, or a rate below -min-rate,
+// 2 on a usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"strider/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("striderload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8120", "service base URL")
+	cells := fs.String("cells", "jess,db,search/baseline,fuzz:0x3", "comma-separated cells, each workload[/mode[/machine]]")
+	concurrency := fs.Int("c", 8, "concurrent client workers")
+	requests := fs.Int("n", 0, "total requests (0 = 256, unless -duration is set)")
+	duration := fs.Duration("duration", 0, "bound the run by wall clock instead of request count")
+	nocache := fs.Bool("nocache", false, "submit with ?nocache=1 (forces execution on pooled VMs)")
+	verify := fs.Bool("verify", false, "check every response checksum against a serial in-process run")
+	minRate := fs.Float64("min-rate", 0, "fail when sustained requests/sec falls below this")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "striderload: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	jobs, err := parseCells(*cells)
+	if err != nil {
+		fmt.Fprintf(stderr, "striderload: %v\n", err)
+		return 2
+	}
+	for _, jb := range jobs {
+		if verr := jb.Validate(); verr != nil {
+			fmt.Fprintf(stderr, "striderload: invalid cell: %v\n", verr)
+			return 2
+		}
+	}
+
+	opts := server.LoadOptions{
+		URL:         strings.TrimRight(*addr, "/"),
+		Jobs:        jobs,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		NoCache:     *nocache,
+	}
+	if *verify {
+		want, err := server.SerialBaseline(jobs)
+		if err != nil {
+			fmt.Fprintf(stderr, "striderload: %v\n", err)
+			return 1
+		}
+		opts.Verify = want
+	}
+
+	st, err := server.RunLoad(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "striderload: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "requests      %d\n", st.Requests)
+	fmt.Fprintf(stdout, "ok            %d\n", st.OK)
+	fmt.Fprintf(stdout, "traps         %d\n", st.Traps)
+	fmt.Fprintf(stdout, "backpressure  %d\n", st.Backpressure)
+	fmt.Fprintf(stdout, "errors        %d\n", st.Errors)
+	fmt.Fprintf(stdout, "mismatches    %d\n", st.Mismatches)
+	fmt.Fprintf(stdout, "checksum      %016x\n", st.Checksum)
+	fmt.Fprintf(stdout, "elapsed       %s\n", st.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "rate          %.0f req/s\n", st.Rate())
+	fmt.Fprintf(stdout, "latency p50   %s\n", st.Percentile(50))
+	fmt.Fprintf(stdout, "latency p99   %s\n", st.Percentile(99))
+
+	fail := false
+	if st.Errors > 0 {
+		fmt.Fprintf(stderr, "striderload: %d requests failed outside the documented status set\n", st.Errors)
+		fail = true
+	}
+	if st.Mismatches > 0 {
+		fmt.Fprintf(stderr, "striderload: %d responses diverged from the serial baseline\n", st.Mismatches)
+		fail = true
+	}
+	if *minRate > 0 && st.Rate() < *minRate {
+		fmt.Fprintf(stderr, "striderload: rate %.0f req/s below required %.0f\n", st.Rate(), *minRate)
+		fail = true
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// parseCells expands the -cells spelling into jobs.
+func parseCells(s string) ([]server.Job, error) {
+	var jobs []server.Job
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		parts := strings.Split(cell, "/")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("bad cell %q (want workload[/mode[/machine]])", cell)
+		}
+		jb := server.Job{Workload: parts[0]}
+		if len(parts) > 1 {
+			jb.Mode = parts[1]
+		}
+		if len(parts) > 2 {
+			jb.Machine = parts[2]
+		}
+		jobs = append(jobs, jb)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("no cells in %q", s)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"strider/internal/server"
+)
+
+func testService(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{Shards: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// TestLoadVerifiedRun drives a live service with -verify: every response
+// must match the serial in-process baseline, exit 0.
+func TestLoadVerifiedRun(t *testing.T) {
+	ts := testService(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-cells", "jess,db/baseline,fuzz:0x3",
+		"-n", "24", "-c", "4", "-verify", "-min-rate", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"mismatches    0", "errors        0", "ok            24"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in report:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadNocacheRun exercises the pooled-execution path end to end.
+func TestLoadNocacheRun(t *testing.T) {
+	ts := testService(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-cells", "search/inter", "-n", "6", "-nocache", "-verify"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "mismatches    0") {
+		t.Errorf("nocache run mismatched:\n%s", out.String())
+	}
+}
+
+// TestLoadUsageErrors pins the exit-2 contract, including cell validation
+// before any request is sent.
+func TestLoadUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if c := run([]string{"-bogus"}, &out, &errOut); c != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", c)
+	}
+	if c := run([]string{"positional"}, &out, &errOut); c != 2 {
+		t.Errorf("positional arg: exit %d, want 2", c)
+	}
+	if c := run([]string{"-cells", "no-such-workload"}, &out, &errOut); c != 2 {
+		t.Errorf("invalid cell: exit %d, want 2", c)
+	}
+	if c := run([]string{"-cells", "a/b/c/d"}, &out, &errOut); c != 2 {
+		t.Errorf("malformed cell: exit %d, want 2", c)
+	}
+	if c := run([]string{"-cells", " , "}, &out, &errOut); c != 2 {
+		t.Errorf("empty cells: exit %d, want 2", c)
+	}
+	if !strings.Contains(errOut.String(), "valid") {
+		t.Errorf("usage error does not list valid values:\n%s", errOut.String())
+	}
+}
+
+// TestLoadRateGate pins -min-rate: an impossible floor fails with exit 1.
+func TestLoadRateGate(t *testing.T) {
+	ts := testService(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-cells", "jess", "-n", "4", "-min-rate", "1e12"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "below required") {
+		t.Errorf("rate failure not reported:\n%s", errOut.String())
+	}
+}

@@ -163,6 +163,16 @@ func TestDiffAllocGrowthGatedAtZero(t *testing.T) {
 	if len(Regressions(noise)) != 0 {
 		t.Errorf("fractional alloc noise flagged: %v", Regressions(noise))
 	}
+	// On alloc-heavy entries the slack is relative (0.5%): runtime
+	// background allocations scale with op duration, so fractional drift
+	// grows with the baseline while a real leak still adds whole allocs.
+	heavy := report("vm/x", 1000, 1000)
+	if fs := Regressions(Diff(heavy, report("vm/x", 1000, 1004), DiffOptions{})); len(fs) != 0 {
+		t.Errorf("sub-percent alloc drift flagged on heavy entry: %v", fs)
+	}
+	if fs := Regressions(Diff(heavy, report("vm/x", 1000, 1006), DiffOptions{})); len(fs) != 1 {
+		t.Errorf("alloc growth beyond relative slack not gated: %v", fs)
+	}
 }
 
 func TestDiffMissingAndNewEntries(t *testing.T) {

@@ -2,12 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 
 	"strider/internal/arch"
 	"strider/internal/core/jit"
 	"strider/internal/harness"
 	"strider/internal/memsim"
 	"strider/internal/oracle"
+	"strider/internal/server"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -131,6 +134,41 @@ func Suite() []Entry {
 					w.Checksum ^= r.Stats.Checksum
 				}
 				return w, nil
+			}, nil
+		}},
+
+		// The execution service end to end: an in-process striderd (real TCP
+		// listener, real HTTP client) driven by the load-generator engine.
+		// A fixed request count over a fixed cell rotation makes the Work
+		// signature deterministic — the checksum is an order-independent
+		// sum-fold of every response's result checksum, so a single wrong
+		// byte anywhere on the serving path (cache, singleflight, VM pool)
+		// fails the run before the diff gate is reached.
+		{Name: "server/throughput", Make: func() (func() (Work, error), error) {
+			srv := server.New(server.Config{Shards: 4})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go http.Serve(ln, srv)
+			jobs := []server.Job{
+				{Workload: "jess"},
+				{Workload: "db", Mode: "baseline"},
+				{Workload: "search", Mode: "inter"},
+				{Workload: "fuzz:0x3"},
+			}
+			url := "http://" + ln.Addr().String()
+			return func() (Work, error) {
+				st, err := server.RunLoad(server.LoadOptions{
+					URL: url, Jobs: jobs, Concurrency: 8, Requests: 512,
+				})
+				if err != nil {
+					return Work{}, err
+				}
+				if st.Errors > 0 || st.Traps > 0 || st.Backpressure > 0 {
+					return Work{}, fmt.Errorf("bench: load run degraded: %+v", st)
+				}
+				return Work{Instructions: st.Requests, Checksum: st.Checksum}, nil
 			}, nil
 		}},
 

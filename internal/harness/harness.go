@@ -78,6 +78,16 @@ func (s Spec) String() string {
 	return fmt.Sprintf("%s/%s/%s/%s", s.Workload, s.Size, s.Machine, s.Mode)
 }
 
+// Canonical returns the spec with the engine defaults applied (machine,
+// warmup count, process-wide hardware-prefetcher model).
+func (s Spec) Canonical() Spec { return s.withDefaults() }
+
+// Key returns the engine's canonical cache key for the spec, defaults
+// applied. Two specs with the same key are the same cell: the result
+// cache, the singleflight layer, and the execution server's shard and
+// pool maps all hash this identity.
+func (s Spec) Key() string { return s.withDefaults().key() }
+
 // call is one in-flight execution other callers of the same key block on.
 type call struct {
 	done  chan struct{}
@@ -221,17 +231,37 @@ func run(s Spec) (vm.RunStats, bool, error) {
 // and (inside vm.New) a fresh memory simulation — cells share nothing, so
 // any number may run concurrently.
 func execute(s Spec) (vm.RunStats, error) {
-	w, err := workloads.ByName(s.Workload)
+	v, err := NewVM(s, Recorder())
 	if err != nil {
 		return vm.RunStats{}, err
+	}
+	stats, err := v.Measure(nil, s.Warmups)
+	if err != nil {
+		return vm.RunStats{}, fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
+	}
+	v.FlushTelemetry()
+	return stats, nil
+}
+
+// NewVM constructs the fresh VM one execution of the spec uses: the
+// workload's program built at the spec's size on the configured machine,
+// heap, and JIT options, with rec (which may be nil) threaded through as
+// the VM's telemetry recorder. Run, Explain, and the execution server's
+// pooled executor all build VMs here, so a cell means exactly the same
+// simulation everywhere. The spec should be Canonical; NewVM does not
+// apply defaults.
+func NewVM(s Spec, rec telemetry.Recorder) (*vm.VM, error) {
+	w, err := workloads.ByName(s.Workload)
+	if err != nil {
+		return nil, err
 	}
 	m := arch.ByName(s.Machine)
 	if m == nil {
-		return vm.RunStats{}, fmt.Errorf("harness: unknown machine %q", s.Machine)
+		return nil, fmt.Errorf("harness: unknown machine %q", s.Machine)
 	}
 	m, err = machineWithHW(m, s.HW)
 	if err != nil {
-		return vm.RunStats{}, err
+		return nil, err
 	}
 	heapBytes := s.HeapBytes
 	if heapBytes == 0 {
@@ -239,7 +269,7 @@ func execute(s Spec) (vm.RunStats, error) {
 	}
 	prog := w.Build(s.Size)
 	if err := prog.Validate(); err != nil {
-		return vm.RunStats{}, fmt.Errorf("harness: %s: %w", s.Workload, err)
+		return nil, fmt.Errorf("harness: %s: %w", s.Workload, err)
 	}
 	var jitOpts *jit.Options
 	if s.JIT != nil {
@@ -248,20 +278,14 @@ func execute(s Spec) (vm.RunStats, error) {
 		o.Machine = m
 		jitOpts = &o
 	}
-	v := vm.New(prog, vm.Config{
+	return vm.New(prog, vm.Config{
 		Machine:   m,
 		Mode:      s.Mode,
 		HeapBytes: heapBytes,
 		GC:        s.GC,
 		JIT:       jitOpts,
-		Recorder:  Recorder(),
-	})
-	stats, err := v.Measure(nil, s.Warmups)
-	if err != nil {
-		return vm.RunStats{}, fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
-	}
-	v.FlushTelemetry()
-	return stats, nil
+		Recorder:  rec,
+	}), nil
 }
 
 // Explain runs one spec on a fresh, uncached VM with a private trace
@@ -271,42 +295,11 @@ func execute(s Spec) (vm.RunStats, error) {
 // bypassed (and left untouched) so the log is always complete.
 func Explain(s Spec) (string, error) {
 	s = s.withDefaults()
-	w, err := workloads.ByName(s.Workload)
-	if err != nil {
-		return "", err
-	}
-	m := arch.ByName(s.Machine)
-	if m == nil {
-		return "", fmt.Errorf("harness: unknown machine %q", s.Machine)
-	}
-	m, err = machineWithHW(m, s.HW)
-	if err != nil {
-		return "", err
-	}
-	heapBytes := s.HeapBytes
-	if heapBytes == 0 {
-		heapBytes = w.HeapBytes
-	}
-	prog := w.Build(s.Size)
-	if err := prog.Validate(); err != nil {
-		return "", fmt.Errorf("harness: %s: %w", s.Workload, err)
-	}
-	var jitOpts *jit.Options
-	if s.JIT != nil {
-		o := *s.JIT
-		o.Mode = s.Mode
-		o.Machine = m
-		jitOpts = &o
-	}
 	tr := telemetry.NewTrace()
-	v := vm.New(prog, vm.Config{
-		Machine:   m,
-		Mode:      s.Mode,
-		HeapBytes: heapBytes,
-		GC:        s.GC,
-		JIT:       jitOpts,
-		Recorder:  tr,
-	})
+	v, err := NewVM(s, tr)
+	if err != nil {
+		return "", err
+	}
 	if _, err := v.Measure(nil, s.Warmups); err != nil {
 		return "", fmt.Errorf("harness: %s/%s/%s: %w", s.Workload, s.Machine, s.Mode, err)
 	}

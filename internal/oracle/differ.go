@@ -234,7 +234,7 @@ func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc hea
 		GraphDigest:   GraphDigest(v.Heap, prog.Universe, stats.Result),
 		StaticsDigest: StaticsDigest(prog.Universe),
 		GCs:           stats.GCs,
-		Trap:          trapClass(err),
+		Trap:          TrapClass(err),
 	}
 	return Cell{
 		Config:        c.Label(),
@@ -243,8 +243,9 @@ func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc hea
 	}
 }
 
-// trapClass maps an engine runtime error onto the oracle's trap classes.
-func trapClass(err error) string {
+// TrapClass maps an engine runtime error onto the oracle's trap
+// classes (TrapNone for nil); unrecognized errors map to their own text.
+func TrapClass(err error) string {
 	switch {
 	case err == nil:
 		return TrapNone

@@ -122,8 +122,8 @@ func TestTrapClassMapping(t *testing.T) {
 		{fmt.Errorf("something else"), "something else"},
 	}
 	for _, tc := range cases {
-		if got := trapClass(tc.err); got != tc.want {
-			t.Errorf("trapClass(%v) = %q, want %q", tc.err, got, tc.want)
+		if got := TrapClass(tc.err); got != tc.want {
+			t.Errorf("TrapClass(%v) = %q, want %q", tc.err, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"strider/internal/telemetry"
+)
+
+// gateRecorder blocks the worker at the end of each execution until the
+// gate opens — a deterministic way to hold a shard busy so its queue can
+// be saturated without racing the worker.
+type gateRecorder struct {
+	telemetry.Nop
+	gate chan struct{}
+}
+
+func (g *gateRecorder) Cell(telemetry.CellEvent) { <-g.gate }
+
+// TestBackpressure saturates a single shard with queue capacity 1 and pins
+// the overload contract: the overflowing submit gets 429 + Retry-After,
+// previously accepted jobs all complete, and a later submit succeeds.
+func TestBackpressure(t *testing.T) {
+	gate := &gateRecorder{gate: make(chan struct{})}
+	srv := New(Config{Shards: 1, QueueDepth: 1, RetryAfter: 2 * time.Second, Recorder: gate})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Job A executes; the worker then blocks in the recorder while A's
+	// response is already written.
+	codeA, _ := postJob(t, ts, "/run?nocache=1", Job{Workload: "fuzz:0x1"})
+	if codeA != http.StatusOK {
+		t.Fatalf("job A: status %d", codeA)
+	}
+
+	// Job B fills the only queue slot behind the blocked worker.
+	bDone := make(chan Response, 1)
+	go func() {
+		_, resp := postJob(t, ts, "/run?nocache=1", Job{Workload: "fuzz:0x2"})
+		bDone <- resp
+	}()
+	waitFor(t, func() bool { return srv.StatsSnapshot().Accepted == 2 })
+
+	// Job C overflows: 429 with a Retry-After hint, nothing enqueued.
+	resp, err := ts.Client().Post(ts.URL+"/run?nocache=1", "application/json",
+		strings.NewReader(`{"workload":"fuzz:0x3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After %q, want %q", ra, "2")
+	}
+
+	// The cacheable path propagates the same backpressure and cleans up its
+	// singleflight slot so the cell can be retried later.
+	codeD, _ := postJob(t, ts, "/run", Job{Workload: "fuzz:0x4"})
+	if codeD != http.StatusTooManyRequests {
+		t.Fatalf("cacheable overflow submit: status %d, want 429", codeD)
+	}
+
+	// Open the gate: job B completes successfully; nothing accepted was lost.
+	close(gate.gate)
+	respB := <-bDone
+	if respB.Stats == nil || respB.Err != "" {
+		t.Fatalf("job B after gate: %+v", respB)
+	}
+
+	// The previously rejected cell is accepted now.
+	codeD2, respD := postJob(t, ts, "/run", Job{Workload: "fuzz:0x4"})
+	if codeD2 != http.StatusOK || respD.Stats == nil {
+		t.Fatalf("retry after backpressure: status %d resp %+v", codeD2, respD)
+	}
+
+	srv.Close()
+	st := srv.StatsSnapshot()
+	if st.Accepted != st.Completed {
+		t.Errorf("accepted %d != completed %d", st.Accepted, st.Completed)
+	}
+	if st.Rejected.QueueFull < 2 {
+		t.Errorf("queue-full rejections %d, want >= 2", st.Rejected.QueueFull)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight %d after close", st.InFlight)
+	}
+}
+
+// waitFor polls cond for up to ~2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -1,0 +1,554 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strider/internal/harness"
+	"strider/internal/telemetry"
+)
+
+// Config sizes the service. The zero value is a sensible single-box
+// deployment: one worker shard per core, bounded queues, caching and VM
+// pooling on.
+type Config struct {
+	// Shards is the number of worker shards (default GOMAXPROCS). Each
+	// shard owns one worker goroutine and one bounded queue; cells hash
+	// onto shards by key, so one cell's executions never contend.
+	Shards int
+	// QueueDepth is the per-shard queue capacity (default 64). A full
+	// queue is explicit backpressure: 429 + Retry-After.
+	QueueDepth int
+	// CacheEntries caps the completed results cached per cache shard
+	// (default 1024; negative disables result caching).
+	CacheEntries int
+	// PoolKeys caps the number of distinct cells with a parked VM
+	// (default 256; negative disables VM pooling).
+	PoolKeys int
+	// MaxBodyBytes caps the request body (default 64 KiB) — jobs are a
+	// few hundred bytes; anything larger is rejected with 413.
+	MaxBodyBytes int64
+	// RetryAfter is the client backoff hint stamped on 429/503 responses
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// Recorder, when non-nil, receives one telemetry.CellEvent per
+	// executed job (cache hits and dedup joins are not re-recorded, like
+	// the grid engine's dedup behaviour). Must be concurrency-safe.
+	Recorder telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.PoolKeys == 0 {
+		c.PoolKeys = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 10
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// task is one accepted execution travelling through a shard queue.
+type task struct {
+	spec    harness.Spec
+	key     string
+	explain bool
+	// entry is the cache slot this execution publishes into (nil for
+	// nocache and explain runs).
+	entry *cacheEntry
+	// resp is set by the worker before done is closed.
+	resp *Response
+	done chan struct{}
+}
+
+// cacheEntry is one cell's slot in the sharded result cache. Until done
+// is closed it represents an execution in flight — concurrent submitters
+// of the same cell wait on it instead of queueing their own run
+// (singleflight). resp stays nil if the execution was never enqueued
+// (backpressure) so joiners can fail the same way the submitter did.
+type cacheEntry struct {
+	done chan struct{}
+	resp *Response
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// shard is one worker: a bounded queue and its utilization counters.
+type shard struct {
+	queue     chan *task
+	processed atomic.Uint64
+	busyNs    atomic.Int64
+	busy      atomic.Bool
+}
+
+// Server is the strider execution service. Create with New, mount via
+// Handler (or pass directly to http.Server), stop with Drain/Close.
+type Server struct {
+	cfg    Config
+	exec   *executor
+	shards []*shard
+	cache  []*cacheShard
+	mux    *http.ServeMux
+	start  time.Time
+
+	// drainMu orders request acceptance against Drain: acceptors hold the
+	// read side while checking the flag and registering with jobs.
+	drainMu  sync.RWMutex
+	draining bool
+	jobs     sync.WaitGroup
+	stopOnce sync.Once
+
+	inFlight   atomic.Int64
+	accepted   atomic.Uint64
+	completed  atomic.Uint64
+	traps      atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	dedupJoins atomic.Uint64
+	evictions  atomic.Uint64
+	rejectFull atomic.Uint64
+	rejectGone atomic.Uint64 // rejected because draining
+	rejectBad  atomic.Uint64 // validation / protocol rejections
+}
+
+// New creates a started server: worker shards are running and the handler
+// is ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		exec:   &executor{pool: newVMPool(poolCap(cfg.PoolKeys))},
+		shards: make([]*shard, cfg.Shards),
+		cache:  make([]*cacheShard, cfg.Shards),
+		start:  time.Now(),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{queue: make(chan *task, cfg.QueueDepth)}
+		s.cache[i] = &cacheShard{m: make(map[string]*cacheEntry)}
+		go s.worker(s.shards[i])
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+func poolCap(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the Server itself mountable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting new jobs (503 + Retry-After) and blocks until
+// every accepted job has completed — queued and executing work is never
+// abandoned. Safe to call more than once.
+func (s *Server) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.jobs.Wait()
+}
+
+// Draining reports whether the server has begun (or finished) draining.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Close drains the server and stops its workers.
+func (s *Server) Close() {
+	s.Drain()
+	s.stopOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	})
+}
+
+// shardFor hashes a cell key onto its shard index.
+func (s *Server) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// worker drains one shard's queue.
+func (s *Server) worker(sh *shard) {
+	for t := range sh.queue {
+		sh.busy.Store(true)
+		start := time.Now()
+		resp := s.exec.run(t.spec, t.explain)
+		wall := time.Since(start)
+		resp.WallNs = wall.Nanoseconds()
+		t.resp = resp
+		if t.entry != nil {
+			t.entry.resp = resp
+			s.publish(t.key, t.entry)
+		}
+		close(t.done)
+		if resp.Trap != "" || resp.Err != "" {
+			s.traps.Add(1)
+		}
+		s.completed.Add(1)
+		s.inFlight.Add(-1)
+		if rec := s.cfg.Recorder; rec != nil {
+			ev := telemetry.CellEvent{Cell: t.spec.String(), Wall: wall}
+			if resp.Err != "" {
+				ev.Err = resp.Err
+			}
+			rec.Cell(ev)
+		}
+		sh.busyNs.Add(wall.Nanoseconds())
+		sh.busy.Store(false)
+		sh.processed.Add(1)
+		s.jobs.Done()
+	}
+}
+
+// publish installs a completed entry in the cache, evicting an arbitrary
+// completed entry when the shard is over capacity. In-flight entries are
+// never evicted — waiters hold them.
+func (s *Server) publish(key string, e *cacheEntry) {
+	if s.cfg.CacheEntries < 0 {
+		return
+	}
+	cs := s.cache[s.shardFor(key)]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.m) < s.cfg.CacheEntries {
+		return // entry was installed at submit time; still within capacity
+	}
+	for k, old := range cs.m {
+		if k == key {
+			continue
+		}
+		select {
+		case <-old.done:
+			delete(cs.m, k)
+			s.evictions.Add(1)
+			return
+		default:
+		}
+	}
+}
+
+// errorResponse writes a machine-readable error body.
+func writeError(w http.ResponseWriter, status int, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) writeBackpressure(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	writeError(w, status, &Error{Err: msg})
+}
+
+// handleRun is POST /run: decode, validate, serve from cache, join an
+// in-flight execution, or schedule on the cell's shard — rejecting with
+// 429 + Retry-After when the shard's queue is full.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.rejectBad.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, &Error{Err: "method " + r.Method + " not allowed on /run (use POST)"})
+		return
+	}
+	var jb Job
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jb); err != nil {
+		s.rejectBad.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, &Error{
+				Err: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, &Error{Err: "invalid JSON: " + err.Error()})
+		return
+	}
+	if e := jb.Validate(); e != nil {
+		s.rejectBad.Add(1)
+		writeError(w, http.StatusBadRequest, e)
+		return
+	}
+	explain := r.URL.Query().Get("explain") == "1"
+	nocache := explain || r.URL.Query().Get("nocache") == "1"
+	spec := jb.Spec().Canonical()
+	key := spec.Key()
+
+	// Cache fast path (and singleflight join) — no queue slot consumed.
+	if !nocache && s.cfg.CacheEntries >= 0 {
+		cs := s.cache[s.shardFor(key)]
+		cs.mu.Lock()
+		e, ok := cs.m[key]
+		if !ok {
+			e = &cacheEntry{done: make(chan struct{})}
+			cs.m[key] = e
+		}
+		cs.mu.Unlock()
+		if ok {
+			select {
+			case <-e.done:
+				if e.resp == nil {
+					// The execution this request would have joined was never
+					// enqueued (backpressure); fail the same way.
+					s.rejectFull.Add(1)
+					s.writeBackpressure(w, http.StatusTooManyRequests, "shard queue full")
+					return
+				}
+				s.cacheHits.Add(1)
+				s.writeResponse(w, e.resp, true)
+			default:
+				s.dedupJoins.Add(1)
+				s.waitAndRespond(w, r, e.done, func() *Response { return e.resp })
+			}
+			return
+		}
+		s.cacheMiss.Add(1)
+		// The task shares the entry's done channel: the worker's close
+		// releases the submitter and every singleflight joiner at once.
+		t := &task{spec: spec, key: key, entry: e, done: e.done}
+		if !s.enqueue(w, t) {
+			// Unblock joiners with the backpressure outcome, then forget
+			// the cell so a later submit can try again.
+			cs.mu.Lock()
+			delete(cs.m, key)
+			cs.mu.Unlock()
+			close(e.done)
+			return
+		}
+		s.waitAndRespond(w, r, t.done, func() *Response { return t.resp })
+		return
+	}
+
+	t := &task{spec: spec, key: key, explain: explain, done: make(chan struct{})}
+	if !s.enqueue(w, t) {
+		return
+	}
+	s.waitAndRespond(w, r, t.done, func() *Response { return t.resp })
+}
+
+// enqueue accepts a task onto its shard's queue, writing the 503/429
+// rejection itself when the server is draining or the queue is full.
+func (s *Server) enqueue(w http.ResponseWriter, t *task) bool {
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		s.rejectGone.Add(1)
+		s.writeBackpressure(w, http.StatusServiceUnavailable, "server draining")
+		return false
+	}
+	s.jobs.Add(1)
+	s.drainMu.RUnlock()
+
+	sh := s.shards[s.shardFor(t.key)]
+	select {
+	case sh.queue <- t:
+		s.accepted.Add(1)
+		s.inFlight.Add(1)
+		return true
+	default:
+		s.jobs.Done()
+		s.rejectFull.Add(1)
+		s.writeBackpressure(w, http.StatusTooManyRequests, "shard queue full")
+		return false
+	}
+}
+
+// waitAndRespond blocks until the execution completes (or the client goes
+// away — the execution itself always finishes and publishes).
+func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, done <-chan struct{}, resp func() *Response) {
+	select {
+	case <-done:
+	case <-r.Context().Done():
+		// The client hung up; the job still completes and (if cacheable)
+		// publishes. Nothing useful can be written.
+		return
+	}
+	rp := resp()
+	if rp == nil {
+		s.rejectFull.Add(1)
+		s.writeBackpressure(w, http.StatusTooManyRequests, "shard queue full")
+		return
+	}
+	s.writeResponse(w, rp, false)
+}
+
+// writeResponse renders a response, stamping the per-request serving
+// metadata on a copy so the cached canonical value stays immutable.
+func (s *Server) writeResponse(w http.ResponseWriter, rp *Response, cached bool) {
+	out := *rp
+	out.Cached = cached
+	if cached {
+		out.Pooled = false
+		out.WallNs = 0
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(&out)
+}
+
+// ShardStats is one worker shard's /stats row.
+type ShardStats struct {
+	QueueLen    int     `json:"queue_len"`
+	QueueCap    int     `json:"queue_cap"`
+	Processed   uint64  `json:"processed"`
+	Busy        bool    `json:"busy"`
+	Utilization float64 `json:"utilization"`
+}
+
+// CacheStats is the sharded result cache's /stats section.
+type CacheStats struct {
+	Entries    int     `json:"entries"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	DedupJoins uint64  `json:"dedup_joins"`
+	Evictions  uint64  `json:"evictions"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// Stats is the GET /stats body.
+type Stats struct {
+	Draining  bool         `json:"draining"`
+	UptimeNs  int64        `json:"uptime_ns"`
+	InFlight  int64        `json:"in_flight"`
+	Accepted  uint64       `json:"accepted"`
+	Completed uint64       `json:"completed"`
+	Traps     uint64       `json:"traps"`
+	Rejected  RejectStats  `json:"rejected"`
+	Shards    []ShardStats `json:"shards"`
+	Cache     CacheStats   `json:"cache"`
+	Pool      PoolStats    `json:"pool"`
+}
+
+// RejectStats breaks down refused requests.
+type RejectStats struct {
+	QueueFull uint64 `json:"queue_full"`
+	Draining  uint64 `json:"draining"`
+	Invalid   uint64 `json:"invalid"`
+}
+
+// StatsSnapshot assembles the current Stats (also used by tests without
+// going through HTTP).
+func (s *Server) StatsSnapshot() Stats {
+	uptime := time.Since(s.start)
+	st := Stats{
+		Draining:  s.Draining(),
+		UptimeNs:  uptime.Nanoseconds(),
+		InFlight:  s.inFlight.Load(),
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Traps:     s.traps.Load(),
+		Rejected: RejectStats{
+			QueueFull: s.rejectFull.Load(),
+			Draining:  s.rejectGone.Load(),
+			Invalid:   s.rejectBad.Load(),
+		},
+		Pool: s.exec.pool.stats(),
+	}
+	for _, sh := range s.shards {
+		util := 0.0
+		if uptime > 0 {
+			util = float64(sh.busyNs.Load()) / float64(uptime.Nanoseconds())
+		}
+		st.Shards = append(st.Shards, ShardStats{
+			QueueLen:    len(sh.queue),
+			QueueCap:    cap(sh.queue),
+			Processed:   sh.processed.Load(),
+			Busy:        sh.busy.Load(),
+			Utilization: util,
+		})
+	}
+	entries := 0
+	for _, cs := range s.cache {
+		cs.mu.Lock()
+		entries += len(cs.m)
+		cs.mu.Unlock()
+	}
+	hits, misses, joins := s.cacheHits.Load(), s.cacheMiss.Load(), s.dedupJoins.Load()
+	rate := 0.0
+	if hits+misses+joins > 0 {
+		rate = float64(hits) / float64(hits+misses+joins)
+	}
+	st.Cache = CacheStats{
+		Entries:    entries,
+		Hits:       hits,
+		Misses:     misses,
+		DedupJoins: joins,
+		Evictions:  s.evictions.Load(),
+		HitRate:    rate,
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.rejectBad.Add(1)
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, &Error{Err: "method " + r.Method + " not allowed on /stats (use GET)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.StatsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.rejectBad.Add(1)
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, &Error{Err: "method " + r.Method + " not allowed on /healthz (use GET)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+}
