@@ -5,11 +5,15 @@
 //
 //	experiments [-size small|full] [-only table1,fig6,...] [-parallel N]
 //	            [-json] [-trace out.json] [-metrics out.csv] [-hw model]
+//	            [-predict source]
 //
 // Without -only it runs everything in paper order (the opt-in hwcross
-// artifact — the software×hardware prefetching cross-product — runs only
-// when selected explicitly). -hw replays every cell under one
-// hardware-prefetcher model instead of each machine's default. Results are printed as
+// and predict artifacts — the software×hardware prefetching cross-product
+// and the static-vs-dynamic prediction comparison — run only when
+// selected explicitly). -hw replays every cell under one
+// hardware-prefetcher model instead of each machine's default; -predict
+// replays every cell under one prediction source (dynamic inspection,
+// the offline static analyzer, or PGO profile replay). Results are printed as
 // text tables with the paper's reported numbers alongside for comparison;
 // -json emits one JSON object per row instead (machine-readable, for
 // tracking benchmark trajectories across commits). Experiment cells are
@@ -42,17 +46,18 @@ import (
 )
 
 // artifacts is the known -only selector set, in paper order. hwcross
-// (the software×hardware prefetching cross-product) is opt-in: it is not
-// part of the paper's evaluation, and the default run's stdout must stay
+// (the software×hardware prefetching cross-product) and predict (the
+// static-vs-dynamic prediction comparison) are opt-in: they are not part
+// of the paper's evaluation, and the default run's stdout must stay
 // byte-identical across revisions.
 var artifacts = []string{
 	"table1", "table2", "table3",
 	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-	"hwcross",
+	"hwcross", "predict",
 }
 
 // defaultSkip lists artifacts excluded from a run without -only.
-var defaultSkip = map[string]bool{"hwcross": true}
+var defaultSkip = map[string]bool{"hwcross": true, "predict": true}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -73,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write telemetry as Chrome trace_event JSON to this file")
 	metricsOut := fs.String("metrics", "", "write telemetry as CSV metric rows to this file")
 	hwFlag := fs.String("hw", "", "hardware-prefetcher model for every cell (default: each machine's model)")
+	predictFlag := fs.String("predict", "", "prediction source for every cell: dynamic, static, or pgo (default: dynamic)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,6 +99,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer harness.SetHWModel("")
+	if err := harness.SetPredict(*predictFlag); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer harness.SetPredict("")
 
 	known := map[string]bool{}
 	for _, a := range artifacts {
@@ -304,6 +315,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		} else {
 			fmt.Fprintln(stdout, harness.FormatHWCross(rows))
+		}
+	}
+
+	if sel("predict") && runErr == nil {
+		rows, err := harness.PredictCross(size)
+		if err != nil {
+			fail(err)
+		} else if *jsonOut {
+			for _, r := range rows {
+				emit(struct {
+					Artifact       string  `json:"artifact"`
+					Machine        string  `json:"machine"`
+					Workload       string  `json:"workload"`
+					BaselineCycles uint64  `json:"baseline_cycles"`
+					Dynamic        float64 `json:"dynamic_pct"`
+					Static         float64 `json:"static_pct"`
+					PGO            float64 `json:"pgo_pct"`
+					DynamicEmits   int     `json:"dynamic_emits"`
+					StaticEmits    int     `json:"static_emits"`
+					StaticMatch    bool    `json:"static_match"`
+					PGOMatch       bool    `json:"pgo_match"`
+				}{"predict", r.Machine, r.Workload, r.BaselineCycles,
+					r.DynamicPct, r.StaticPct, r.PGOPct,
+					r.DynamicEmits, r.StaticEmits, r.StaticMatch, r.PGOMatch})
+			}
+		} else {
+			fmt.Fprintln(stdout, harness.FormatPredictCross(rows))
 		}
 	}
 

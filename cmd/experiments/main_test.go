@@ -25,6 +25,7 @@ func TestFlagValidation(t *testing.T) {
 		{"bad size", []string{"-size", "tiny"}, "bad -size"},
 		{"unknown selector", []string{"-only", "fig99"}, "unknown -only selector"},
 		{"chart with json", []string{"-chart", "-json"}, "mutually exclusive"},
+		{"bad predict", []string{"-predict", "psychic"}, `unknown prediction source "psychic"`},
 		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"unopenable trace file", []string{"-trace", "/nonexistent-dir/t.json"}, "no such file"},
 		{"unopenable metrics file", []string{"-metrics", "/nonexistent-dir/m.csv"}, "no such file"},

@@ -23,9 +23,14 @@
 // stream, ipstride, tracker, multistride); the default is the machine's
 // own model, the per-page stream detector.
 //
+// -predict selects the prediction source feeding prefetch decisions:
+// dynamic (the paper's JIT-time object inspection, the default), static
+// (the offline analyzer, no execution), or pgo (replay a recorded
+// profile of a dynamic run of the same cell).
+//
 // Exit status: 0 on success, 1 on execution or verification failure,
-// 2 on a usage error (unknown workload, machine, mode, size, gc, or hw
-// model).
+// 2 on a usage error (unknown workload, machine, mode, size, gc, hw
+// model, or prediction source).
 package main
 
 import (
@@ -60,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sizeFlag := fs.String("size", "small", "small or full")
 	gcFlag := fs.String("gc", "compact", "compact (sliding compaction) or freelist")
 	hwFlag := fs.String("hw", "", "hardware-prefetcher model: "+strings.Join(memsim.HWModels(), ", ")+" (default: the machine's model)")
+	predictFlag := fs.String("predict", "", "prediction source: "+strings.Join(jit.PredictSources(), ", ")+" (default: dynamic)")
 	list := fs.Bool("list", false, "list workloads and exit")
 	dot := fs.String("dot", "", "print the annotated load dependence graphs of a compiled method (qualified name, e.g. ::findInMemory) in Graphviz dot format")
 	explain := fs.Bool("explain", false, "print the per-loop prefetch decision log instead of the metric summary")
@@ -122,6 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*hwFlag, strings.Join(memsim.HWModels(), ", "))
 		return 2
 	}
+	if _, err := jit.ParsePredict(*predictFlag); err != nil {
+		fmt.Fprintf(stderr, "striderun: unknown prediction source %q (valid: %s)\n",
+			*predictFlag, strings.Join(jit.PredictSources(), ", "))
+		return 2
+	}
 
 	if *verify {
 		rep, err := harness.Verify(*workload, size, gc)
@@ -147,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *explain {
 		log, err := harness.Explain(harness.Spec{
 			Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc, HW: *hwFlag,
+			Predict: *predictFlag,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "striderun: %v\n", err)
@@ -158,6 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s, err := harness.Run(harness.Spec{
 		Workload: *workload, Machine: *machine, Mode: mode, Size: size, GC: gc, HW: *hwFlag,
+		Predict: *predictFlag,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "striderun: %v\n", err)

@@ -31,6 +31,8 @@ func TestFlagValidation(t *testing.T) {
 			[]string{`"tiny"`, "small", "full"}},
 		{"unknown gc", []string{"-gc", "generational"},
 			[]string{`"generational"`, "compact", "freelist"}},
+		{"unknown predict", []string{"-predict", "psychic"},
+			[]string{`"psychic"`, "dynamic", "static", "pgo"}},
 		{"undefined flag", []string{"-bogus"},
 			[]string{"flag provided but not defined"}},
 	}
@@ -83,7 +85,7 @@ func TestVerifyFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, errw, out)
 	}
-	if !strings.Contains(out, "verified: 48 configurations reproduce the oracle fingerprint") {
+	if !strings.Contains(out, "verified: 60 configurations reproduce the oracle fingerprint") {
 		t.Errorf("verify output unexpected:\n%s", out)
 	}
 }

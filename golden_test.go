@@ -13,44 +13,58 @@ var update = flag.Bool("update", false, "rewrite the golden decision logs")
 
 // TestGoldenDecisionTraces locks down the full decision pipeline end to
 // end: the quickstart workload (jess at the small size) is explained on
-// both evaluation machines and the complete decision log — JIT compiles,
-// loop verdicts, Sec. 3.3 filter decisions, prefetch-site attribution —
-// is diffed against a checked-in golden. Any change to inspection,
-// stride detection, the profitability filter, code generation, or the
-// memory attribution shows up here as a readable diff.
+// both evaluation machines under every prediction source and the complete
+// decision log — JIT compiles, loop verdicts, Sec. 3.3 filter decisions,
+// prefetch-site attribution — is diffed against a checked-in golden. Any
+// change to inspection, stride detection, the profitability filter, code
+// generation, or the memory attribution shows up here as a readable diff.
+// The static and pgo traces additionally pin the "[via static]"/"[via
+// pgo]" reason-code markers that distinguish statically predicted and
+// profile-replayed emits from dynamically inspected ones.
 //
 // Regenerate after an intended change with:
 //
 //	go test -run TestGoldenDecisionTraces -update .
 func TestGoldenDecisionTraces(t *testing.T) {
+	predicts := []struct{ predict, suffix string }{
+		{"", ""}, {"static", "_static"}, {"pgo", "_pgo"},
+	}
 	for _, machine := range []string{"Pentium4", "AthlonMP"} {
-		t.Run(machine, func(t *testing.T) {
-			log, err := Explain(Spec{
-				Workload: "jess", Size: SizeSmall, Machine: machine, Mode: InterIntra,
+		for _, p := range predicts {
+			p := p
+			name := machine
+			if p.predict != "" {
+				name += "/" + p.predict
+			}
+			t.Run(name, func(t *testing.T) {
+				log, err := Explain(Spec{
+					Workload: "jess", Size: SizeSmall, Machine: machine, Mode: InterIntra,
+					Predict: p.predict,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden := filepath.Join("testdata", "golden",
+					fmt.Sprintf("jess_small_%s_interintra%s.log", strings.ToLower(machine), p.suffix))
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(golden, []byte(log), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create it)", err)
+				}
+				if log != string(want) {
+					t.Errorf("decision log diverged from %s (rerun with -update if intended):\n%s",
+						golden, diffLines(string(want), log))
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			golden := filepath.Join("testdata", "golden",
-				fmt.Sprintf("jess_small_%s_interintra.log", strings.ToLower(machine)))
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(golden, []byte(log), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(golden)
-			if err != nil {
-				t.Fatalf("%v (run with -update to create it)", err)
-			}
-			if log != string(want) {
-				t.Errorf("decision log diverged from %s (rerun with -update if intended):\n%s",
-					golden, diffLines(string(want), log))
-			}
-		})
+		}
 	}
 }
 

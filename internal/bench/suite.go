@@ -6,11 +6,15 @@ import (
 	"net/http"
 
 	"strider/internal/arch"
+	"strider/internal/cfg"
 	"strider/internal/core/jit"
+	"strider/internal/core/ldg"
+	"strider/internal/dataflow"
 	"strider/internal/harness"
 	"strider/internal/memsim"
 	"strider/internal/oracle"
 	"strider/internal/server"
+	"strider/internal/static"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -169,6 +173,50 @@ func Suite() []Entry {
 					return Work{}, fmt.Errorf("bench: load run degraded: %+v", st)
 				}
 				return Work{Instructions: st.Requests, Checksum: st.Checksum}, nil
+			}, nil
+		}},
+
+		// The offline analyzer alone: the CFG/dataflow/LDG pipeline plus
+		// static.Annotate over every loop of every jess method, no
+		// execution. This is the compile-time cost a static-prediction
+		// cell pays instead of inspection; the checksum folds every
+		// predicted stride and co-allocation offset, so a prediction
+		// change fails the diff gate even when the runtime is flat.
+		{Name: "jit/static-analyze", Make: func() (func() (Work, error), error) {
+			w, err := workloads.ByName("jess")
+			if err != nil {
+				return nil, err
+			}
+			prog := w.Build(workloads.SizeSmall)
+			return func() (Work, error) {
+				var work Work
+				for _, m := range prog.Methods() {
+					g := cfg.Build(m)
+					f := cfg.BuildLoops(g)
+					if len(f.Loops) == 0 {
+						continue
+					}
+					df := dataflow.Reach(g)
+					for _, loop := range f.Loops {
+						lg := ldg.Build(m, g, df, loop, nil)
+						if len(lg.Nodes) == 0 {
+							continue
+						}
+						work.Cycles += static.Annotate(g, df, lg, nil)
+						for _, n := range lg.Nodes {
+							work.Instructions++
+							if n.HasInter {
+								work.Checksum = work.Checksum*1099511628211 + uint64(n.Inter)
+							}
+							for _, e := range n.Succs {
+								if e.HasIntra {
+									work.Checksum = work.Checksum*1099511628211 + uint64(e.Intra)
+								}
+							}
+						}
+					}
+				}
+				return work, nil
 			}, nil
 		}},
 

@@ -26,6 +26,7 @@ import (
 	"strider/internal/dataflow"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/static"
 	"strider/internal/telemetry"
 	"strider/internal/value"
 )
@@ -84,6 +85,17 @@ type Options struct {
 	AdaptiveC bool
 	// Inspect configures object inspection.
 	Inspect inspect.Config
+	// Predict selects where stride predictions come from: dynamic object
+	// inspection (the paper's algorithm and the default), the offline
+	// static analyzer, or a recorded PGO profile.
+	Predict PredictSource
+	// Profile is the recorded profile PredictPGO replays; loops without a
+	// matching entry fall back to dynamic inspection. Ignored by the
+	// other sources.
+	Profile *static.Profile
+	// RecordProfile, when non-nil, captures every dynamically inspected
+	// loop's outcome into the given profile (the PGO profiling run).
+	RecordProfile *static.Profile
 	// Rec, when non-nil, receives the compile-time telemetry: per-loop
 	// inspection verdicts and per-candidate filter decisions. A nil
 	// recorder is free.
@@ -162,7 +174,6 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		}
 		opts.Rec.Loop(e)
 	}
-
 	for _, loop := range f.Postorder() {
 		promoted := collectSmall(loop.Children, small)
 
@@ -172,6 +183,39 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 			loopEvent(loop, telemetry.LoopNoLoads, nil, 0)
 			continue
 		}
+
+		if opts.Predict == PredictStatic {
+			// Offline prediction: annotate from structure alone. No
+			// execution means no trip observation either, so nested loops
+			// are never recognized as small and promoted — every loop
+			// keeps (and possibly over-prefetches) its own graph, one of
+			// the failure modes the dynamic algorithm avoids.
+			out.PrefetchUnits += static.Annotate(g, df, lg, opts.Rec)
+			lg.Src = static.Source
+			if opts.AdaptiveC {
+				lg.SchedC = adaptiveC(g, loop, opts.Machine)
+			}
+			srcEvent(opts.Rec, qname, loop, telemetry.LoopStaticPredicted, len(lg.Nodes), static.Source, 0, false)
+			graphs = append(graphs, lg)
+			continue
+		}
+
+		if opts.Predict == PredictPGO {
+			if applied, promotedSmall := applyProfile(lg, g, loop, opts, qname); applied {
+				if promotedSmall {
+					small[loop] = true
+					continue
+				}
+				if lg.Src == static.PGOSource {
+					graphs = append(graphs, lg)
+				}
+				continue
+			}
+			srcEvent(opts.Rec, qname, loop, telemetry.LoopPGOMiss, len(lg.Nodes), static.PGOSource, 0, false)
+			// Fall through: the profile has nothing usable for this loop,
+			// so it pays for dynamic inspection like a first run would.
+		}
+
 		record := make([]int, len(lg.Nodes))
 		for i, n := range lg.Nodes {
 			record[i] = n.Instr
@@ -189,10 +233,20 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		// after zero or one iterations has the smallest trip count of all.
 		if res.NaturalExit && res.TargetTrips <= opts.SmallTrip {
 			small[loop] = true
+			if opts.RecordProfile != nil {
+				recordLoop(opts, qname, loop, &static.LoopProfile{
+					Verdict: telemetry.LoopSmallTrip, Trips: res.TargetTrips, NaturalExit: true,
+				})
+			}
 			loopEvent(loop, telemetry.LoopSmallTrip, res, len(lg.Nodes))
 			continue
 		}
 		if !res.Completed {
+			if opts.RecordProfile != nil {
+				recordLoop(opts, qname, loop, &static.LoopProfile{
+					Verdict: telemetry.LoopIncomplete, Trips: res.TargetTrips, NaturalExit: res.NaturalExit,
+				})
+			}
 			loopEvent(loop, telemetry.LoopIncomplete, res, len(lg.Nodes))
 			continue
 		}
@@ -200,6 +254,12 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		annotate(lg, res, opts.Threshold, opts.Rec)
 		if opts.AdaptiveC {
 			lg.SchedC = adaptiveC(g, loop, opts.Machine)
+		}
+		if opts.RecordProfile != nil {
+			// Guarded here, not just inside recordLoop: RecordLoop snapshots
+			// the whole graph (node and edge slices), an allocation the
+			// non-profiling hot path must not pay.
+			recordLoop(opts, qname, loop, static.RecordLoop(lg, telemetry.LoopAccepted, res.TargetTrips, res.NaturalExit))
 		}
 		loopEvent(loop, telemetry.LoopAccepted, res, len(lg.Nodes))
 		graphs = append(graphs, lg)
@@ -228,6 +288,62 @@ func Compile(prog *ir.Program, h *heap.Heap, m *ir.Method, args []value.Value, o
 		out.NumRegs = regs
 	}
 	return out
+}
+
+// recordLoop captures one dynamically inspected loop's outcome into the
+// profiling run's profile (a nil RecordProfile is free).
+func recordLoop(opts Options, qname string, loop *cfg.Loop, lp *static.LoopProfile) {
+	if opts.RecordProfile == nil {
+		return
+	}
+	opts.RecordProfile.Record(qname, loop.Header, lp)
+}
+
+// srcEvent records a loop verdict carrying a non-dynamic prediction
+// source. A plain function (not a closure over the compile state) so the
+// dynamic hot path, which never reaches it, pays no allocation for it.
+func srcEvent(rec telemetry.Recorder, qname string, loop *cfg.Loop,
+	verdict telemetry.Reason, nodes int, src string, trips int, natural bool) {
+	if rec == nil {
+		return
+	}
+	rec.Loop(telemetry.LoopEvent{
+		Method: qname, Loop: loop.Header, Verdict: verdict, Nodes: nodes,
+		Trips: trips, NaturalExit: natural, Src: src,
+	})
+}
+
+// applyProfile replays one loop's recorded outcome under PredictPGO.
+// applied=false means the profile has no usable entry (a miss: the caller
+// falls back to dynamic inspection); promotedSmall replays a small-trip
+// promotion into the parent graph.
+func applyProfile(lg *ldg.Graph, g *cfg.Graph, loop *cfg.Loop, opts Options,
+	qname string) (applied, promotedSmall bool) {
+	lp := opts.Profile.Loop(lg.Method.QName(), loop.Header)
+	if lp == nil {
+		return false, false
+	}
+	switch lp.Verdict {
+	case telemetry.LoopSmallTrip:
+		srcEvent(opts.Rec, qname, loop, telemetry.LoopSmallTrip, len(lg.Nodes), static.PGOSource, lp.Trips, lp.NaturalExit)
+		return true, true
+	case telemetry.LoopIncomplete:
+		srcEvent(opts.Rec, qname, loop, telemetry.LoopIncomplete, len(lg.Nodes), static.PGOSource, lp.Trips, lp.NaturalExit)
+		return true, false
+	case telemetry.LoopAccepted:
+		if !static.Apply(lg, lp, opts.Rec) {
+			// The recorded graph no longer matches the code (a stale or
+			// foreign profile): treat it as a miss, not a wrong replay.
+			return false, false
+		}
+		lg.Src = static.PGOSource
+		if opts.AdaptiveC {
+			lg.SchedC = adaptiveC(g, loop, opts.Machine)
+		}
+		srcEvent(opts.Rec, qname, loop, telemetry.LoopAccepted, len(lg.Nodes), static.PGOSource, lp.Trips, lp.NaturalExit)
+		return true, false
+	}
+	return false, false
 }
 
 // adaptiveC estimates the scheduling distance needed to cover the memory
@@ -277,7 +393,7 @@ func annotate(lg *ldg.Graph, res *inspect.Result, threshold float64, rec telemet
 	for _, n := range lg.Nodes {
 		st := stride.InterStat(res.Traces[n.Instr], threshold)
 		n.HasInter, n.InterRatio, n.InterSamples = st.OK, st.Ratio, st.Samples
-		n.Inter = 0
+		n.Inter, n.RawInter = 0, st.Stride
 		if st.OK {
 			n.Inter = st.Stride
 		} else if rec != nil {
@@ -294,7 +410,7 @@ func annotate(lg *ldg.Graph, res *inspect.Result, threshold float64, rec telemet
 			to := res.Traces[e.To.Instr]
 			st := stride.IntraStat(from, to, threshold)
 			e.HasIntra, e.IntraRatio, e.IntraSamples = st.OK, st.Ratio, st.Samples
-			e.Intra = 0
+			e.Intra, e.RawIntra = 0, st.Stride
 			if st.OK {
 				e.Intra = st.Stride
 			} else if rec != nil {

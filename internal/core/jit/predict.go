@@ -1,0 +1,57 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PredictSource selects where a compilation's stride predictions come
+// from — the axis behind the paper's core claim that dynamic object
+// inspection beats static prediction.
+type PredictSource uint8
+
+// The prediction sources.
+const (
+	// PredictDynamic is the paper's algorithm: object inspection at JIT
+	// time with the actual argument values.
+	PredictDynamic PredictSource = iota
+	// PredictStatic predicts strides and co-allocation offline from
+	// IR/CFG/dataflow structure alone — no execution (the OOPredictor-
+	// style state of the art the paper argues against).
+	PredictStatic
+	// PredictPGO replays a recorded profile of a previous dynamic run,
+	// skipping re-inspection (the Liu et al. profile-reuse model); loops
+	// absent from the profile fall back to dynamic inspection.
+	PredictPGO
+)
+
+// String returns the flag spelling of the source.
+func (p PredictSource) String() string {
+	switch p {
+	case PredictDynamic:
+		return "dynamic"
+	case PredictStatic:
+		return "static"
+	case PredictPGO:
+		return "pgo"
+	}
+	return fmt.Sprintf("predict(%d)", uint8(p))
+}
+
+// PredictSources returns the valid flag spellings in declaration order.
+func PredictSources() []string { return []string{"dynamic", "static", "pgo"} }
+
+// ParsePredict maps a flag spelling to its PredictSource; empty means
+// dynamic. Unknown spellings return an error naming the valid set.
+func ParsePredict(s string) (PredictSource, error) {
+	switch s {
+	case "", "dynamic":
+		return PredictDynamic, nil
+	case "static":
+		return PredictStatic, nil
+	case "pgo":
+		return PredictPGO, nil
+	}
+	return 0, fmt.Errorf("jit: unknown prediction source %q (valid: %s)",
+		s, strings.Join(PredictSources(), ", "))
+}

@@ -40,9 +40,13 @@ type Node struct {
 
 	// Stride annotations, filled by the stride analysis after object
 	// inspection. InterRatio/InterSamples keep the dominance statistics
-	// behind the verdict for the telemetry layer.
+	// behind the verdict for the telemetry layer. RawInter is the
+	// dominant (or predicted) stride whether or not it qualified —
+	// HasInter carries the verdict, Inter is zero when rejected — so the
+	// PGO profile can replay rejected candidates' diagnostics.
 	HasInter     bool
 	Inter        int64
+	RawInter     int64
 	InterRatio   float64
 	InterSamples int
 
@@ -58,6 +62,7 @@ type Edge struct {
 
 	HasIntra     bool
 	Intra        int64
+	RawIntra     int64
 	IntraRatio   float64
 	IntraSamples int
 }
@@ -73,6 +78,11 @@ type Graph struct {
 	// "depends on the processor's cache parameters and the amount of
 	// computation ... in the loop body").
 	SchedC int
+
+	// Src marks how the annotations were produced when not by dynamic
+	// object inspection ("static" or "pgo", empty for dynamic); the code
+	// generator stamps it onto its decision telemetry.
+	Src string
 
 	byInstr map[int]*Node
 }

@@ -141,14 +141,14 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 	}
 
 	qname := m.QName()
-	decide := func(loop, instr, pair int, op ir.Op, strideV int64, ratio float64, samples int, reason telemetry.Reason) {
+	decideSrc := func(src string, loop, instr, pair int, op ir.Op, strideV int64, ratio float64, samples int, reason telemetry.Reason) {
 		if opts.Rec == nil {
 			return
 		}
 		opts.Rec.Decision(telemetry.DecisionEvent{
 			Method: qname, Loop: loop, Instr: instr, Pair: pair,
 			Op: op.String(), Stride: strideV, Ratio: ratio, Samples: samples,
-			Reason: reason,
+			Reason: reason, Src: src,
 		})
 	}
 
@@ -158,6 +158,12 @@ func Generate(m *ir.Method, graphs []*ldg.Graph, opts Options) ([]ir.Instr, int,
 			c = g.SchedC
 		}
 		loopID := g.Loop.Header
+		// Decisions carry the graph's prediction source: a method compiled
+		// under PGO can mix replayed and dynamically re-inspected loops.
+		src := g.Src
+		decide := func(loop, instr, pair int, op ir.Op, strideV int64, ratio float64, samples int, reason telemetry.Reason) {
+			decideSrc(src, loop, instr, pair, op, strideV, ratio, samples, reason)
+		}
 		for _, lx := range g.Nodes {
 			stats.WorkUnits += uint64(1 + len(lx.Succs))
 			if !lx.HasInter {

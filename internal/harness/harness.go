@@ -20,6 +20,7 @@ import (
 	"strider/internal/core/jit"
 	"strider/internal/heap"
 	"strider/internal/memsim"
+	"strider/internal/static"
 	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
@@ -44,6 +45,12 @@ type Spec struct {
 	// means the process default (SetHWModel), which itself defaults to the
 	// machine's model (the stream detector).
 	HW string
+	// Predict selects the prediction source feeding prefetch decisions:
+	// "dynamic" (the paper's object inspection), "static" (the offline
+	// analyzer), or "pgo" (replay a recorded profile; the harness builds
+	// and caches the profile from a dynamic run of the same cell). Empty
+	// means the process default (SetPredict), which defaults to dynamic.
+	Predict string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -55,6 +62,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.HW == "" {
 		s.HW = HWModel()
+	}
+	if s.Predict == "" {
+		s.Predict = PredictSource()
+	}
+	if s.Predict == "" {
+		s.Predict = "dynamic"
 	}
 	return s
 }
@@ -68,6 +81,11 @@ func (s Spec) key() string {
 	}
 	if s.HW != "" {
 		j += "|hw:" + s.HW
+	}
+	// Dynamic prediction is the identity every pre-existing key encoded;
+	// only the new sources extend the key.
+	if s.Predict != "" && s.Predict != "dynamic" {
+		j += "|pr:" + s.Predict
 	}
 	return fmt.Sprintf("%s|%s|%s|%s|gc%d|w%d|h%d%s",
 		s.Workload, s.Size, s.Machine, s.Mode, s.GC, s.Warmups, s.HeapBytes, j)
@@ -105,6 +123,9 @@ var (
 
 	hwMu      sync.Mutex
 	hwDefault string
+
+	predictMu      sync.Mutex
+	predictDefault string
 )
 
 // SetHWModel installs the process-wide default hardware-prefetcher model
@@ -130,6 +151,28 @@ func HWModel() string {
 	return hwDefault
 }
 
+// SetPredict installs the process-wide default prediction source applied
+// to specs that leave Predict empty (the experiments CLI's -predict
+// flag). Empty restores the built-in default (dynamic inspection).
+// Returns an error for a source jit does not know.
+func SetPredict(name string) error {
+	if _, err := jit.ParsePredict(name); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	predictMu.Lock()
+	defer predictMu.Unlock()
+	predictDefault = name
+	return nil
+}
+
+// PredictSource returns the process-wide default prediction source
+// ("" when unset).
+func PredictSource() string {
+	predictMu.Lock()
+	defer predictMu.Unlock()
+	return predictDefault
+}
+
 // SetRecorder installs a process-wide telemetry Recorder: every fresh VM
 // execution threads it through the VM (compile/loop/decision/site events)
 // and every grid cell reports a CellEvent. nil disables telemetry. The
@@ -151,39 +194,52 @@ func Recorder() telemetry.Recorder {
 }
 
 // Counters reports how the engine satisfied Run requests since the last
-// ClearCache: fresh VM executions, completed-result cache hits, and
-// requests that joined an execution already in flight (singleflight).
+// ClearCache: fresh VM executions, completed-result cache hits, requests
+// that joined an execution already in flight (singleflight), and PGO
+// profile-cache hits and misses (a miss is one profiling run).
 type Counters struct {
-	Executions uint64
-	CacheHits  uint64
-	DedupHits  uint64
+	Executions    uint64
+	CacheHits     uint64
+	DedupHits     uint64
+	ProfileHits   uint64
+	ProfileMisses uint64
 }
 
 var counters struct {
-	executions atomic.Uint64
-	cacheHits  atomic.Uint64
-	dedupHits  atomic.Uint64
+	executions    atomic.Uint64
+	cacheHits     atomic.Uint64
+	dedupHits     atomic.Uint64
+	profileHits   atomic.Uint64
+	profileMisses atomic.Uint64
 }
 
 // EngineCounters returns a snapshot of the engine's request counters.
 func EngineCounters() Counters {
 	return Counters{
-		Executions: counters.executions.Load(),
-		CacheHits:  counters.cacheHits.Load(),
-		DedupHits:  counters.dedupHits.Load(),
+		Executions:    counters.executions.Load(),
+		CacheHits:     counters.cacheHits.Load(),
+		DedupHits:     counters.dedupHits.Load(),
+		ProfileHits:   counters.profileHits.Load(),
+		ProfileMisses: counters.profileMisses.Load(),
 	}
 }
 
-// ClearCache drops all cached results and resets the engine counters
-// (tests use it for isolation). In-flight executions are unaffected: they
-// publish into the new cache when they complete.
+// ClearCache drops all cached results (including cached PGO profiles) and
+// resets the engine counters (tests use it for isolation). In-flight
+// executions are unaffected: they publish into the new cache when they
+// complete.
 func ClearCache() {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
 	cache = map[string]vm.RunStats{}
 	counters.executions.Store(0)
 	counters.cacheHits.Store(0)
 	counters.dedupHits.Store(0)
+	counters.profileHits.Store(0)
+	counters.profileMisses.Store(0)
+	cacheMu.Unlock()
+	profMu.Lock()
+	profiles = map[string]*static.Profile{}
+	profMu.Unlock()
 }
 
 // Run executes a spec (or returns the process-cached result). Concurrent
@@ -277,6 +333,24 @@ func NewVM(s Spec, rec telemetry.Recorder) (*vm.VM, error) {
 		o.Mode = s.Mode
 		o.Machine = m
 		jitOpts = &o
+	}
+	ps, err := jit.ParsePredict(s.Predict)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if ps != jit.PredictDynamic {
+		if jitOpts == nil {
+			o := jit.DefaultOptions(m, s.Mode)
+			jitOpts = &o
+		}
+		jitOpts.Predict = ps
+		if ps == jit.PredictPGO {
+			prof, err := ProfileFor(s)
+			if err != nil {
+				return nil, err
+			}
+			jitOpts.Profile = prof
+		}
 	}
 	return vm.New(prog, vm.Config{
 		Machine:   m,

@@ -16,6 +16,7 @@ import (
 	"strider/internal/interp"
 	"strider/internal/ir"
 	"strider/internal/memsim"
+	"strider/internal/static"
 	"strider/internal/telemetry"
 	"strider/internal/value"
 	"strider/internal/vm"
@@ -37,6 +38,11 @@ type Configuration struct {
 	// fingerprint — the axis is prefetch-blind by construction and this
 	// matrix proves it stays that way.
 	HW string
+	// Predict selects the prediction source feeding the prefetch decisions
+	// (dynamic inspection, the static analyzer, or a PGO replay). A
+	// mispredicted static prefetch touches the wrong line early — it must
+	// never change what the program computes, and this axis proves it.
+	Predict jit.PredictSource
 }
 
 // Label renders the configuration compactly, e.g. "Pentium4/inter+intra+ip"
@@ -49,6 +55,9 @@ func (c Configuration) Label() string {
 	}
 	if c.HW != "" && c.HW != memsim.DefaultHWModel {
 		l += "+hw:" + c.HW
+	}
+	if c.Predict != jit.PredictDynamic {
+		l += "+p:" + c.Predict.String()
 	}
 	return l
 }
@@ -73,6 +82,24 @@ func ConfigurationsHW(machines []*arch.Machine, hwModels []string) []Configurati
 				Configuration{Machine: m, Mode: jit.Inter, HW: hw},
 				Configuration{Machine: m, Mode: jit.InterIntra, HW: hw},
 				Configuration{Machine: m, Mode: jit.InterIntra, Interprocedural: true, HW: hw},
+			)
+		}
+	}
+	return cs
+}
+
+// PredictConfigurations returns the prediction-source verification matrix:
+// every prefetch-emitting software configuration under the static analyzer
+// and under a PGO replay, per machine, on the default hardware model.
+// (Baseline emits no prefetches, so the axis has nothing to move there.)
+func PredictConfigurations(machines []*arch.Machine) []Configuration {
+	var cs []Configuration
+	for _, m := range machines {
+		for _, p := range []jit.PredictSource{jit.PredictStatic, jit.PredictPGO} {
+			cs = append(cs,
+				Configuration{Machine: m, Mode: jit.Inter, Predict: p},
+				Configuration{Machine: m, Mode: jit.InterIntra, Predict: p},
+				Configuration{Machine: m, Mode: jit.InterIntra, Interprocedural: true, Predict: p},
 			)
 		}
 	}
@@ -158,7 +185,9 @@ func Verify(build func() *ir.Program, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("oracle reference run: %w", err)
 	}
 	r := &Report{Reference: ref}
-	for _, c := range ConfigurationsHW(opts.Machines, opts.HWModels) {
+	configs := ConfigurationsHW(opts.Machines, opts.HWModels)
+	configs = append(configs, PredictConfigurations(opts.Machines)...)
+	for _, c := range configs {
 		cell := runCell(build, c, opts.HeapBytes, opts.GC)
 		r.Cells = append(r.Cells, cell)
 		for _, d := range ref.Diff(cell.Fingerprint) {
@@ -211,6 +240,13 @@ func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc hea
 	m.HWPrefetcher = c.HW
 	jo := jit.DefaultOptions(&m, c.Mode)
 	jo.Inspect.Interprocedural = c.Interprocedural
+	jo.Predict = c.Predict
+	if c.Predict == jit.PredictPGO {
+		// A PGO cell replays a profile recorded by a dynamic run of the
+		// same configuration — on its own private program and heap, like
+		// every other cell.
+		jo.Profile = recordProfile(build, c, heapBytes, gc)
+	}
 	v := vm.New(prog, vm.Config{
 		Machine: &m, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, JIT: &jo,
 	})
@@ -241,6 +277,26 @@ func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc hea
 		Fingerprint:   fp,
 		MemViolations: append(v.Mem.Violations(), v.Mem.CheckInvariants()...),
 	}
+}
+
+// recordProfile runs one dynamic warmup+measure pair of the configuration
+// with profile recording on, producing the profile its PGO cell replays.
+// A trapping program still records whatever compiled before the trap.
+func recordProfile(build func() *ir.Program, c Configuration, heapBytes uint32, gc heap.GCMode) *static.Profile {
+	prog := build()
+	m := *c.Machine
+	m.HWPrefetcher = c.HW
+	jo := jit.DefaultOptions(&m, c.Mode)
+	jo.Inspect.Interprocedural = c.Interprocedural
+	jo.RecordProfile = static.NewProfile(c.Label())
+	v := vm.New(prog, vm.Config{
+		Machine: &m, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, JIT: &jo,
+	})
+	if _, err := v.Run(nil); err == nil {
+		v.ResetRun()
+		_, _ = v.Run(nil)
+	}
+	return jo.RecordProfile
 }
 
 // TrapClass maps an engine runtime error onto the oracle's trap

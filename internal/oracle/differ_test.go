@@ -17,11 +17,13 @@ import (
 
 // TestVerifyAllWorkloads is the headline differential suite: every
 // registered workload, four software-prefetching configurations, every
-// hardware-prefetcher model, both machines, leak checks and memory-model
-// invariants included. Any semantic effect of prefetching — software or
-// hardware — anywhere in the stack fails here.
+// hardware-prefetcher model, plus the prediction-source matrix (three
+// prefetch-emitting configurations under static and PGO prediction), both
+// machines, leak checks and memory-model invariants included. Any semantic
+// effect of prefetching — software or hardware, dynamically inspected or
+// statically mispredicted — anywhere in the stack fails here.
 func TestVerifyAllWorkloads(t *testing.T) {
-	wantCells := 4 * len(memsim.HWModels()) * 2
+	wantCells := 4*len(memsim.HWModels())*2 + 3*2*2 // hw matrix + predict matrix
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -34,7 +36,7 @@ func TestVerifyAllWorkloads(t *testing.T) {
 				t.Fatalf("%s", rep.Summary())
 			}
 			if len(rep.Cells) != wantCells {
-				t.Fatalf("got %d cells, want %d (4 sw configs x %d hw models x 2 machines)",
+				t.Fatalf("got %d cells, want %d (4 sw configs x %d hw models x 2 machines + 12 predict cells)",
 					len(rep.Cells), wantCells, len(memsim.HWModels()))
 			}
 			if rep.Reference.Loads == 0 {

@@ -11,7 +11,9 @@ import (
 // expands to a deterministic program, which must produce identical
 // architectural fingerprints through the reference oracle and through the
 // full JIT+memsim stack under every prefetching configuration on both
-// machines, with inspection-leak and memory-model invariants asserted.
+// machines — including the prediction-source cells, where statically
+// mispredicted or profile-replayed prefetches must be architecturally
+// invisible — with inspection-leak and memory-model invariants asserted.
 //
 // The committed corpus (testdata/fuzz/FuzzDifferential) pins one seed per
 // scenario plus composed shapes, so plain `go test` already runs the
@@ -86,6 +88,7 @@ func TestScenarioCoverage(t *testing.T) {
 	want := map[uint64]string{
 		1: "list-short-chain", 2: "list-early-exit", 3: "list-alloc-in-loop",
 		5: "array-stride-0", 7: "array-line-alias", 8: "nested-small-trip",
+		12: "array-phased-stride",
 	}
 	for seed, name := range want {
 		if d := Describe(seed); !contains(d, name) {

@@ -13,7 +13,9 @@
 //   - linked-list chases, including null-terminated chains shorter than
 //     the prefetch distance and loops that exit early mid-chain;
 //   - array walks with stride zero (the same address every iteration),
-//     unit and large strides, and cache-line-aliasing offset pairs;
+//     unit and large strides, cache-line-aliasing offset pairs, and
+//     phased strides that flip per iteration on a data test (the shape
+//     that divides dynamic inspection from static prediction);
 //   - loop nests whose inner loops have tiny trip counts;
 //   - multi-level object-graph dereferences (o.a.b.v);
 //   - allocation inside the measured loop (moving the frontier under the
@@ -72,7 +74,7 @@ func Describe(seed uint64) string {
 		"list-chase", "list-short-chain", "list-early-exit", "list-alloc-in-loop",
 		"array-stride-1", "array-stride-0", "array-stride-large", "array-line-alias",
 		"nested-small-trip", "deref-chain", "mixed-kinds", "virtual-dispatch",
-		"combo-2", "combo-3", "combo-2", "combo-3",
+		"array-phased-stride", "combo-3", "combo-2", "combo-3",
 	}
 	return fmt.Sprintf("seed=%#x scenario=%s", seed, names[seed&0xF])
 }
@@ -127,6 +129,7 @@ func Program(seed uint64) *ir.Program {
 		func() { g.derefChain(g.r.intn(24, 96)) },
 		func() { g.mixedKinds(g.r.intn(48, 128)) },
 		func() { g.virtualDispatch(g.r.intn(32, 96)) },
+		func() { g.arrayPhased(g.r.intn(96, 224), g.r.intn(1, 3), g.r.intn(5, 11)) },
 	}
 	switch sc := int(seed & 0xF); {
 	case sc < len(shapes):
@@ -243,6 +246,37 @@ func (g *gen) arrayWalk(n, stride, offset int32) {
 	v := b.ArrayLoad(value.KindInt, arr, j)
 	g.addTo(v)
 	b.ArithTo(j, ir.OpAdd, value.KindInt, j, b.ConstInt(stride))
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, j, lim, top)
+}
+
+// arrayPhased: a walk whose stride flips between two values depending on
+// a per-iteration data test (index parity) — a phased stride. Dynamic
+// inspection sees the blend and judges it against the dominance threshold;
+// a static induction analysis sees two disagreeing steps and must predict
+// nothing. Either way the prefetches it does or does not get must leave
+// the checksum untouched — the static-vs-dynamic divergence adversary.
+func (g *gen) arrayPhased(n, strideA, strideB int32) {
+	b := g.b
+	arr := b.NewArray(value.KindInt, b.ConstInt(n))
+	g.forLoop(n, func(i ir.Reg) {
+		v := b.Arith(ir.OpXor, value.KindInt, i, b.ConstInt(0x5D))
+		b.ArrayStore(value.KindInt, arr, i, v)
+	})
+	j := b.ConstInt(0)
+	lim := b.ConstInt(n)
+	cond, top, odd, step := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(top)
+	v := b.ArrayLoad(value.KindInt, arr, j)
+	g.addTo(v)
+	par := b.Arith(ir.OpAnd, value.KindInt, v, b.ConstInt(1))
+	b.BrIntZero(ir.CondNE, par, odd)
+	b.ArithTo(j, ir.OpAdd, value.KindInt, j, b.ConstInt(strideA))
+	b.Goto(step)
+	b.Bind(odd)
+	b.ArithTo(j, ir.OpAdd, value.KindInt, j, b.ConstInt(strideB))
+	b.Bind(step)
 	b.Bind(cond)
 	b.Br(value.KindInt, ir.CondLT, j, lim, top)
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"strider/internal/arch"
+	"strider/internal/core/jit"
 	"strider/internal/harness"
 	"strider/internal/heap"
 	"strider/internal/memsim"
 	"strider/internal/oracle"
 	"strider/internal/progfuzz"
+	"strider/internal/static"
 	"strider/internal/telemetry"
 	"strider/internal/vm"
 )
@@ -29,6 +31,11 @@ type Response struct {
 	// HW is the hardware-prefetcher model actually simulated (the
 	// machine's own model when the job left hw empty).
 	HW string `json:"hw"`
+	// Predict is the prediction source the cell ran under. Omitted for the
+	// dynamic default so responses on the classic serving path stay
+	// byte-for-byte (and allocation-for-allocation) what they always were;
+	// present as "static" or "pgo" when the job opted in.
+	Predict string `json:"predict,omitempty"`
 	// Key is the engine's canonical cell key (cache/pool/shard identity).
 	Key string `json:"key"`
 
@@ -81,6 +88,16 @@ func gcSpelling(s harness.Spec) string {
 	return "compact"
 }
 
+// predictSpelling resolves the prediction source stamped on a response:
+// empty for the dynamic default (the field is omitted entirely), the
+// job's own spelling otherwise.
+func predictSpelling(s harness.Spec) string {
+	if s.Predict == "dynamic" {
+		return ""
+	}
+	return s.Predict
+}
+
 // hwSpelling resolves the model a cell simulates: the spec's explicit
 // selection, else the machine's own default.
 func hwSpelling(s harness.Spec) string {
@@ -109,13 +126,47 @@ func newVM(spec harness.Spec, rec telemetry.Recorder) (*vm.VM, error) {
 		mc.HWPrefetcher = spec.HW
 		m = &mc
 	}
+	jo, err := fuzzJITOpts(seed, m, spec)
+	if err != nil {
+		return nil, err
+	}
 	return vm.New(progfuzz.Program(seed), vm.Config{
 		Machine:   m,
 		Mode:      spec.Mode,
 		HeapBytes: spec.HeapBytes,
 		GC:        spec.GC,
+		JIT:       jo,
 		Recorder:  rec,
 	}), nil
+}
+
+// fuzzJITOpts threads the prediction source through to fuzz-seed cells,
+// which bypass harness.NewVM. Dynamic prediction keeps the VM defaults
+// (nil options). PGO jobs get their profile from one inline dynamic
+// profiling run of the same program — fuzz programs are not registered
+// workloads, so they sit outside the harness profile cache.
+func fuzzJITOpts(seed uint64, m *arch.Machine, spec harness.Spec) (*jit.Options, error) {
+	ps, err := jit.ParsePredict(spec.Predict)
+	if err != nil || ps == jit.PredictDynamic {
+		return nil, err
+	}
+	o := jit.DefaultOptions(m, spec.Mode)
+	o.Predict = ps
+	if ps == jit.PredictPGO {
+		prof := static.NewProfile(spec.Key())
+		pv := vm.New(progfuzz.Program(seed), vm.Config{
+			Machine:   m,
+			Mode:      spec.Mode,
+			HeapBytes: spec.HeapBytes,
+			GC:        spec.GC,
+		})
+		pv.JITOpts.RecordProfile = prof
+		if _, err := pv.Measure(nil, spec.Warmups); err != nil {
+			return nil, fmt.Errorf("server: pgo profiling %s: %w", spec.Workload, err)
+		}
+		o.Profile = prof
+	}
+	return &o, nil
 }
 
 // run executes one cell and renders its deterministic response. The
@@ -129,6 +180,7 @@ func (e *executor) run(spec harness.Spec, explain bool) *Response {
 		Mode:     modeSpelling(spec),
 		GC:       gcSpelling(spec),
 		HW:       hwSpelling(spec),
+		Predict:  predictSpelling(spec),
 		Key:      spec.Key(),
 	}
 

@@ -50,6 +50,11 @@ type Job struct {
 	// HW selects the simulated hardware-prefetcher model; empty uses the
 	// machine's own model (the stream detector).
 	HW string `json:"hw,omitempty"`
+	// Predict selects the prediction source feeding prefetch decisions:
+	// "dynamic" (default — run-time object inspection), "static" (the
+	// offline analyzer), or "pgo" (replay of a recorded profile; the
+	// service builds and caches one profiling run per cell).
+	Predict string `json:"predict,omitempty"`
 	// Warmups is the number of discarded runs before the measured run
 	// (default 1, the harness default).
 	Warmups int `json:"warmups,omitempty"`
@@ -152,6 +157,9 @@ func (j Job) Validate() *Error {
 	if !memsim.ValidHWModel(j.HW) {
 		return fieldError("hw", j.HW, memsim.HWModels())
 	}
+	if _, err := jit.ParsePredict(j.Predict); err != nil {
+		return fieldError("predict", j.Predict, jit.PredictSources())
+	}
 	if j.Warmups < 0 {
 		return &Error{
 			Err:   fmt.Sprintf("negative warmups %d", j.Warmups),
@@ -171,6 +179,7 @@ func (j Job) Spec() harness.Spec {
 		Workload:  j.Workload,
 		Machine:   j.Machine,
 		HW:        j.HW,
+		Predict:   j.Predict,
 		Warmups:   j.Warmups,
 		HeapBytes: j.HeapBytes,
 	}

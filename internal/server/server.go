@@ -451,6 +451,15 @@ type CacheStats struct {
 	HitRate    float64 `json:"hit_rate"`
 }
 
+// ProfileStats is the PGO profile cache's /stats section. The counters
+// come from the harness engine (the cache is engine-wide, shared with
+// in-process harness callers): a hit is a PGO job served from a cached or
+// in-flight profile, a miss is one that paid a dynamic profiling run.
+type ProfileStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
 // Stats is the GET /stats body.
 type Stats struct {
 	Draining  bool         `json:"draining"`
@@ -463,6 +472,7 @@ type Stats struct {
 	Shards    []ShardStats `json:"shards"`
 	Cache     CacheStats   `json:"cache"`
 	Pool      PoolStats    `json:"pool"`
+	Profiles  ProfileStats `json:"profiles"`
 }
 
 // RejectStats breaks down refused requests.
@@ -490,6 +500,8 @@ func (s *Server) StatsSnapshot() Stats {
 		},
 		Pool: s.exec.pool.stats(),
 	}
+	ec := harness.EngineCounters()
+	st.Profiles = ProfileStats{Hits: ec.ProfileHits, Misses: ec.ProfileMisses}
 	for _, sh := range s.shards {
 		util := 0.0
 		if uptime > 0 {

@@ -1,0 +1,580 @@
+package static_test
+
+import (
+	"testing"
+
+	"strider/internal/cfg"
+	"strider/internal/classfile"
+	"strider/internal/core/ldg"
+	"strider/internal/dataflow"
+	"strider/internal/ir"
+	"strider/internal/static"
+	"strider/internal/telemetry"
+	"strider/internal/value"
+)
+
+// decisionLog captures per-candidate decisions for assertion.
+type decisionLog struct {
+	telemetry.Nop
+	decisions []telemetry.DecisionEvent
+}
+
+func (l *decisionLog) Decision(e telemetry.DecisionEvent) { l.decisions = append(l.decisions, e) }
+
+// annotateOuter builds the CFG/dataflow/LDG pipeline for the method's
+// outermost loop and runs the static analyzer over it.
+func annotateOuter(t *testing.T, m *ir.Method, rec telemetry.Recorder) (*ldg.Graph, uint64) {
+	t.Helper()
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	if len(f.Loops) == 0 {
+		t.Fatal("fixture method has no loops")
+	}
+	loop := f.Loops[0]
+	for _, l := range f.Loops {
+		if len(l.Blocks) > len(loop.Blocks) {
+			loop = l
+		}
+	}
+	df := dataflow.Reach(g)
+	lg := ldg.Build(m, g, df, loop, nil)
+	units := static.Annotate(g, df, lg, rec)
+	return lg, units
+}
+
+// chain defines the test universe's list-node class: an int payload, a ref
+// to a co-allocated child, and a next pointer.
+func chain(t *testing.T) (*ir.Program, *classfile.Class) {
+	t.Helper()
+	u := classfile.NewUniverse()
+	c := u.MustDefineClass("Node", nil,
+		classfile.FieldSpec{Name: "val", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "child", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "next", Kind: value.KindRef},
+	)
+	return ir.NewProgram(u), c
+}
+
+func nodeAt(t *testing.T, lg *ldg.Graph, op ir.Op) *ldg.Node {
+	t.Helper()
+	for _, n := range lg.Nodes {
+		if n.Op == op {
+			return n
+		}
+	}
+	t.Fatalf("no %s node in graph:\n%s", op, lg)
+	return nil
+}
+
+// TestArrayWalkStride: an array load whose index advances by a constant
+// step each iteration is predicted to stride by step * element size.
+func TestArrayWalkStride(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind value.Kind
+		step int32
+		want int64
+	}{
+		{"int-step1", value.KindInt, 1, 4},
+		{"int-step3", value.KindInt, 3, 12},
+		{"long-step1", value.KindLong, 1, 8},
+		{"backward", value.KindInt, -1, -4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, _ := chain(t)
+			b := ir.NewBuilder(p, nil, "walk", value.KindInt, value.KindRef, value.KindInt)
+			arr, n := b.Param(0), b.Param(1)
+			i := b.ConstInt(0)
+			cond, body := b.NewLabel(), b.NewLabel()
+			b.Goto(cond)
+			b.Bind(body)
+			v := b.ArrayLoad(tc.kind, arr, i)
+			b.Sink(v)
+			b.IncInt(i, tc.step)
+			b.Bind(cond)
+			b.Br(value.KindInt, ir.CondLT, i, n, body)
+			b.Return(i)
+			lg, units := annotateOuter(t, b.Finish(), nil)
+
+			al := nodeAt(t, lg, ir.OpArrayLoad)
+			if !al.HasInter || al.Inter != tc.want {
+				t.Errorf("arrayload inter = (%d,%v), want %d", al.Inter, al.HasInter, tc.want)
+			}
+			if al.InterRatio != 0 || al.InterSamples != 0 {
+				t.Error("static predictions carry no dominance statistics")
+			}
+			if units == 0 {
+				t.Error("the analysis must charge the compile-time ledger")
+			}
+		})
+	}
+}
+
+// TestPhasedStrideDefeatsAnalysis: an index advanced by different steps on
+// different paths has no single compile-time stride — the analyzer must
+// refuse to predict (the failure dynamic inspection does not share).
+func TestPhasedStrideDefeatsAnalysis(t *testing.T) {
+	p, _ := chain(t)
+	b := ir.NewBuilder(p, nil, "phased", value.KindInt, value.KindRef, value.KindInt, value.KindInt)
+	arr, n, flag := b.Param(0), b.Param(1), b.Param(2)
+	i := b.ConstInt(0)
+	cond, body, odd, step := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	v := b.ArrayLoad(value.KindInt, arr, i)
+	b.Sink(v)
+	b.BrIntZero(ir.CondNE, flag, odd)
+	b.IncInt(i, 1)
+	b.Goto(step)
+	b.Bind(odd)
+	b.IncInt(i, 3)
+	b.Bind(step)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+
+	rec := &decisionLog{}
+	lg, _ := annotateOuter(t, b.Finish(), rec)
+	al := nodeAt(t, lg, ir.OpArrayLoad)
+	if al.HasInter {
+		t.Errorf("phased stride must not be predicted, got inter=%d", al.Inter)
+	}
+	found := false
+	for _, d := range rec.decisions {
+		if d.Instr == al.Instr && d.Pair == -1 {
+			found = true
+			if d.Reason != telemetry.FilterNoPattern || d.Src != static.Source {
+				t.Errorf("decision = %s src=%q, want FILTER_NO_PATTERN src=static", d.Reason, d.Src)
+			}
+		}
+	}
+	if !found {
+		t.Error("rejected candidate must be reported to the recorder")
+	}
+}
+
+// TestInvariantIndexNoPrediction: a loop-invariant index gives the array
+// load no inter-iteration stride.
+func TestInvariantIndexNoPrediction(t *testing.T) {
+	p, _ := chain(t)
+	b := ir.NewBuilder(p, nil, "inv", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	j := b.ConstInt(7)
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	v := b.ArrayLoad(value.KindInt, arr, j)
+	b.Sink(v)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	lg, _ := annotateOuter(t, b.Finish(), nil)
+	if al := nodeAt(t, lg, ir.OpArrayLoad); al.HasInter {
+		t.Errorf("invariant index predicted inter=%d", al.Inter)
+	}
+}
+
+// TestRefChasePredictsAllocationOrder: a getfield whose base is reloaded
+// each iteration (cur = cur.next) is predicted to advance by the class's
+// instance size — the allocation-order assumption. The recurrent
+// next -> val edge is the field-offset difference; the zero-stride
+// self-edge next -> next is rejected.
+func TestRefChasePredictsAllocationOrder(t *testing.T) {
+	p, cls := chain(t)
+	fVal, fNext := cls.FieldByName("val"), cls.FieldByName("next")
+	b := ir.NewBuilder(p, nil, "chase", value.KindInt, value.KindRef, value.KindInt)
+	n := b.Param(1)
+	cur := b.NewReg()
+	b.MoveTo(cur, b.Param(0))
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	v := b.GetField(cur, fVal)
+	b.Sink(v)
+	nxt := b.GetField(cur, fNext)
+	b.MoveTo(cur, nxt)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	lg, _ := annotateOuter(t, b.Finish(), nil)
+
+	size := int64(cls.InstanceSize)
+	for _, n := range lg.Nodes {
+		if !n.HasInter || n.Inter != size {
+			t.Errorf("@%d %s inter = (%d,%v), want instance size %d",
+				n.Instr, n.Op, n.Inter, n.HasInter, size)
+		}
+	}
+	wantIntra := int64(fVal.Offset) - int64(fNext.Offset)
+	for _, n := range lg.Nodes {
+		for _, e := range n.Succs {
+			if e.To.Instr == e.From.Instr {
+				if e.HasIntra {
+					t.Errorf("zero-stride self edge must be rejected, got %d", e.Intra)
+				}
+				continue
+			}
+			if !e.HasIntra || e.Intra != wantIntra {
+				t.Errorf("recurrent edge intra = (%d,%v), want %d", e.Intra, e.HasIntra, wantIntra)
+			}
+		}
+	}
+}
+
+// TestDirectDerefPredictsCoAllocation: a dependent load consuming the
+// parent getfield's value in the same iteration is predicted co-allocated:
+// parent size minus parent offset plus child displacement.
+func TestDirectDerefPredictsCoAllocation(t *testing.T) {
+	p, cls := chain(t)
+	fVal, fChild, fNext := cls.FieldByName("val"), cls.FieldByName("child"), cls.FieldByName("next")
+	b := ir.NewBuilder(p, nil, "deref", value.KindInt, value.KindRef, value.KindInt)
+	n := b.Param(1)
+	cur := b.NewReg()
+	b.MoveTo(cur, b.Param(0))
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	child := b.GetField(cur, fChild)
+	v := b.GetField(child, fVal)
+	b.Sink(v)
+	nxt := b.GetField(cur, fNext)
+	b.MoveTo(cur, nxt)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	lg, _ := annotateOuter(t, b.Finish(), nil)
+
+	want := int64(cls.InstanceSize) - int64(fChild.Offset) + int64(fVal.Offset)
+	found := false
+	for _, n := range lg.Nodes {
+		for _, e := range n.Succs {
+			if e.From.Op == ir.OpGetField && e.To.Op == ir.OpGetField &&
+				lg.Method.Code[e.From.Instr].Field == fChild && lg.Method.Code[e.To.Instr].Field == fVal {
+				found = true
+				if !e.HasIntra || e.Intra != want {
+					t.Errorf("deref edge intra = (%d,%v), want %d", e.Intra, e.HasIntra, want)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("child -> val edge missing:\n%s", lg)
+	}
+}
+
+// TestIndexProvenance walks the induction-step resolver's recognizers: a
+// copied index still resolves; an index stepped by a subtract or by a
+// constant in the left operand resolves; an index stepped by a register
+// amount, produced by a load, or copied through too many registers does
+// not.
+func TestIndexProvenance(t *testing.T) {
+	build := func(f func(b *ir.Builder, arr, i ir.Reg)) *ir.Method {
+		p, _ := chain(t)
+		b := ir.NewBuilder(p, nil, "prov", value.KindInt, value.KindRef, value.KindInt, value.KindInt)
+		arr, n := b.Param(0), b.Param(1)
+		i := b.ConstInt(0)
+		cond, body := b.NewLabel(), b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		f(b, arr, i)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, n, body)
+		b.Return(i)
+		return b.Finish()
+	}
+	for _, tc := range []struct {
+		name string
+		body func(b *ir.Builder, arr, i ir.Reg)
+		want int64 // 0 = no prediction
+	}{
+		{"copied-index", func(b *ir.Builder, arr, i ir.Reg) {
+			j := b.NewReg()
+			b.MoveTo(j, i)
+			b.Sink(b.ArrayLoad(value.KindInt, arr, j))
+			b.IncInt(i, 2)
+		}, 8},
+		{"sub-step", func(b *ir.Builder, arr, i ir.Reg) {
+			b.Sink(b.ArrayLoad(value.KindInt, arr, i))
+			two := b.ConstInt(2)
+			b.ArithTo(i, ir.OpSub, value.KindInt, i, two)
+		}, -8},
+		{"const-on-left", func(b *ir.Builder, arr, i ir.Reg) {
+			b.Sink(b.ArrayLoad(value.KindInt, arr, i))
+			five := b.ConstInt(5)
+			b.ArithTo(i, ir.OpAdd, value.KindInt, five, i)
+		}, 20}, // i = 5 + i still steps by 5
+		{"register-step", func(b *ir.Builder, arr, i ir.Reg) {
+			b.Sink(b.ArrayLoad(value.KindInt, arr, i))
+			b.ArithTo(i, ir.OpAdd, value.KindInt, i, b.Param(2))
+		}, 0},
+		{"loaded-index", func(b *ir.Builder, arr, i ir.Reg) {
+			j := b.ArrayLoad(value.KindInt, arr, i)
+			b.Sink(b.ArrayLoad(value.KindInt, arr, j))
+			b.IncInt(i, 1)
+		}, 0}, // only asserts on the load consuming j below
+		{"deep-copy-chain", func(b *ir.Builder, arr, i ir.Reg) {
+			j := i
+			for k := 0; k < 6; k++ {
+				nj := b.NewReg()
+				b.MoveTo(nj, j)
+				j = nj
+			}
+			b.Sink(b.ArrayLoad(value.KindInt, arr, j))
+			b.IncInt(i, 1)
+		}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := build(tc.body)
+			lg, _ := annotateOuter(t, m, nil)
+			// Assert on the last arrayload in the body (the consumer).
+			var al *ldg.Node
+			for _, n := range lg.Nodes {
+				if n.Op == ir.OpArrayLoad {
+					al = n
+				}
+			}
+			if al == nil {
+				t.Fatal("no arrayload node")
+			}
+			if tc.want == 0 {
+				if al.HasInter {
+					t.Errorf("predicted inter=%d, want none", al.Inter)
+				}
+			} else if !al.HasInter || al.Inter != tc.want {
+				t.Errorf("inter = (%d,%v), want %d", al.Inter, al.HasInter, tc.want)
+			}
+		})
+	}
+}
+
+// TestArrayOfRefsChase: a getfield whose base is loaded from a ref array
+// each iteration is an object-per-iteration walk — predicted to advance by
+// the instance size; the arrayload -> getfield edge is not a getfield root
+// and gets no intra prediction.
+func TestArrayOfRefsChase(t *testing.T) {
+	p, cls := chain(t)
+	fVal := cls.FieldByName("val")
+	b := ir.NewBuilder(p, nil, "refs", value.KindInt, value.KindRef, value.KindInt)
+	arr, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	o := b.ArrayLoad(value.KindRef, arr, i)
+	b.Sink(b.GetField(o, fVal))
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	lg, _ := annotateOuter(t, b.Finish(), nil)
+
+	if gf := nodeAt(t, lg, ir.OpGetField); !gf.HasInter || gf.Inter != int64(cls.InstanceSize) {
+		t.Errorf("getfield inter = (%d,%v), want %d", gf.Inter, gf.HasInter, cls.InstanceSize)
+	}
+	for _, n := range lg.Nodes {
+		for _, e := range n.Succs {
+			if e.From.Op == ir.OpArrayLoad && e.HasIntra {
+				t.Errorf("arrayload-rooted edge predicted intra=%d", e.Intra)
+			}
+		}
+	}
+}
+
+// TestUnresolvedClassMetadata: a getfield against a field with no class
+// layout (metadata the analyzer cannot size) gets no prediction, on nodes
+// and on direct-deref edges alike.
+func TestUnresolvedClassMetadata(t *testing.T) {
+	p, cls := chain(t)
+	fChild, fNext := cls.FieldByName("child"), cls.FieldByName("next")
+	b := ir.NewBuilder(p, nil, "ghost", value.KindInt, value.KindRef, value.KindInt)
+	n := b.Param(1)
+	cur := b.NewReg()
+	b.MoveTo(cur, b.Param(0))
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	child := b.GetField(cur, fChild)
+	v := b.GetField(child, fChild)
+	b.Sink(v)
+	nxt := b.GetField(cur, fNext)
+	b.MoveTo(cur, nxt)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	m := b.Finish()
+
+	// Sever the class layout on every getfield: the shape of a field whose
+	// declaring class was never resolved.
+	ghost := &classfile.Field{Name: "ghost", Kind: value.KindRef}
+	for i := range m.Code {
+		if m.Code[i].Op == ir.OpGetField {
+			m.Code[i].Field = ghost
+		}
+	}
+	lg, _ := annotateOuter(t, m, nil)
+	for _, n := range lg.Nodes {
+		if n.HasInter {
+			t.Errorf("@%d predicted inter=%d without class layout", n.Instr, n.Inter)
+		}
+		// All offsets collapse to zero without a layout, so recurrent edges
+		// reject as zero-stride and direct derefs reject for want of a size.
+		for _, e := range n.Succs {
+			if e.HasIntra {
+				t.Errorf("@%d->@%d predicted intra=%d without class layout",
+					e.From.Instr, e.To.Instr, e.Intra)
+			}
+		}
+	}
+}
+
+// TestForeignEdgeShapeRejected: an edge pointing at a load kind outside
+// the intra vocabulary (a getstatic spliced in as a dependent) gets no
+// prediction — the analyzer's default arm, unreachable through ldg.Build.
+func TestForeignEdgeShapeRejected(t *testing.T) {
+	u := classfile.NewUniverse()
+	cls := u.MustDefineClass("H", nil,
+		classfile.FieldSpec{Name: "p", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "root", Kind: value.KindRef, Static: true},
+	)
+	fP, fRoot := cls.FieldByName("p"), cls.FieldByName("root")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "foreign", value.KindInt, value.KindRef, value.KindInt)
+	h, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	q := b.GetField(h, fP)
+	b.Sink(q)
+	b.Sink(b.GetStatic(fRoot))
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+	m := b.Finish()
+
+	g := cfg.Build(m)
+	f := cfg.BuildLoops(g)
+	df := dataflow.Reach(g)
+	lg := ldg.Build(m, g, df, f.Loops[0], nil)
+	var gf, gs *ldg.Node
+	for _, n := range lg.Nodes {
+		switch n.Op {
+		case ir.OpGetField:
+			gf = n
+		case ir.OpGetStatic:
+			gs = n
+		}
+	}
+	if gf == nil || gs == nil {
+		t.Fatalf("fixture nodes missing:\n%s", lg)
+	}
+	e := &ldg.Edge{From: gf, To: gs}
+	gf.Succs = append(gf.Succs, e)
+	gs.Preds = append(gs.Preds, e)
+	static.Annotate(g, df, lg, nil)
+	if e.HasIntra {
+		t.Errorf("getfield -> getstatic edge predicted intra=%d", e.Intra)
+	}
+}
+
+// TestNoPredictionShapes: candidates with no structural prediction — an
+// invariant-base getfield, a getstatic, an arraylen, and edges rooted at a
+// non-getfield — are all reported as FILTER_NO_PATTERN with the static
+// source marker.
+func TestNoPredictionShapes(t *testing.T) {
+	u := classfile.NewUniverse()
+	cls := u.MustDefineClass("Holder", nil,
+		classfile.FieldSpec{Name: "arr", Kind: value.KindRef},
+		classfile.FieldSpec{Name: "root", Kind: value.KindRef, Static: true},
+	)
+	fArr, fRoot := cls.FieldByName("arr"), cls.FieldByName("root")
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "shapes", value.KindInt, value.KindRef, value.KindInt)
+	h, n := b.Param(0), b.Param(1)
+	i := b.ConstInt(0)
+	cond, body := b.NewLabel(), b.NewLabel()
+	b.Goto(cond)
+	b.Bind(body)
+	root := b.GetStatic(fRoot)
+	b.Sink(root)
+	arr := b.GetField(h, fArr) // invariant base: same holder every iteration
+	length := b.ArrayLen(arr)
+	v := b.ArrayLoad(value.KindInt, arr, i) // index variant, base a predicted-less getfield
+	b.Sink(length)
+	b.Sink(v)
+	b.IncInt(i, 1)
+	b.Bind(cond)
+	b.Br(value.KindInt, ir.CondLT, i, n, body)
+	b.Return(i)
+
+	rec := &decisionLog{}
+	lg, units := annotateOuter(t, b.Finish(), rec)
+
+	if gf := nodeAt(t, lg, ir.OpGetField); gf.HasInter {
+		t.Errorf("invariant-base getfield predicted inter=%d", gf.Inter)
+	}
+	if gs := nodeAt(t, lg, ir.OpGetStatic); gs.HasInter {
+		t.Errorf("getstatic predicted inter=%d", gs.Inter)
+	}
+	if al := nodeAt(t, lg, ir.OpArrayLen); al.HasInter {
+		t.Errorf("arraylen predicted inter=%d", al.Inter)
+	}
+	// The induction analysis still sees through to the i++ step for the
+	// array element load itself.
+	if el := nodeAt(t, lg, ir.OpArrayLoad); !el.HasInter || el.Inter != 4 {
+		t.Errorf("arrayload inter = (%d,%v), want 4", el.Inter, el.HasInter)
+	}
+
+	// getfield -> arraylen and getfield -> arrayload edges are direct
+	// derefs: co-allocation places the array right after the holder, with
+	// the aux and header displacements on top.
+	edges := 0
+	for _, nd := range lg.Nodes {
+		for _, e := range nd.Succs {
+			edges++
+			if e.From.Op != ir.OpGetField {
+				if e.HasIntra {
+					t.Errorf("edge from %s must have no intra prediction", e.From.Op)
+				}
+				continue
+			}
+			base := int64(cls.InstanceSize) - int64(fArr.Offset)
+			var want int64
+			switch e.To.Op {
+			case ir.OpArrayLen:
+				want = base + int64(classfile.AuxOffset)
+			case ir.OpArrayLoad:
+				want = base + int64(classfile.HeaderBytes)
+			default:
+				continue
+			}
+			if want == 0 {
+				continue
+			}
+			if !e.HasIntra || e.Intra != want {
+				t.Errorf("getfield -> %s intra = (%d,%v), want %d", e.To.Op, e.Intra, e.HasIntra, want)
+			}
+		}
+	}
+	if want := uint64(3*len(lg.Nodes) + 2*edges); units != want {
+		t.Errorf("units = %d, want 3/node + 2/edge = %d", units, want)
+	}
+
+	for _, d := range rec.decisions {
+		if d.Src != static.Source || d.Reason != telemetry.FilterNoPattern {
+			t.Errorf("decision %+v: want FILTER_NO_PATTERN with src=static", d)
+		}
+	}
+	if len(rec.decisions) == 0 {
+		t.Error("unpredicted candidates must be reported")
+	}
+}

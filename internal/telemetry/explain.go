@@ -104,10 +104,35 @@ func (t *Trace) DecisionLog() string {
 		}
 		for _, l := range m.loops {
 			e := l.ev
-			if e.Verdict == LoopNoLoads {
+			verdict := e.Verdict.String()
+			if e.Src != "" {
+				verdict += " [via " + e.Src + "]"
+			}
+			switch e.Verdict {
+			case LoopNoLoads:
 				// No LDG nodes means the loop was never inspected; trip
 				// counts would be fabricated.
-				fmt.Fprintf(&b, "  loop @B%d: %s", e.Loop, e.Verdict)
+				fmt.Fprintf(&b, "  loop @B%d: %s", e.Loop, verdict)
+				if cl := e.Verdict.Clause(); cl != "" {
+					fmt.Fprintf(&b, "  [%s]", cl)
+				}
+				b.WriteByte('\n')
+				continue
+			case LoopStaticPredicted:
+				// No execution happened, so there is no trip observation to
+				// report — only the graph the analyzer annotated.
+				fmt.Fprintf(&b, "  loop @B%d: %s — %d LDG nodes, no inspection",
+					e.Loop, verdict, e.Nodes)
+				if cl := e.Verdict.Clause(); cl != "" {
+					fmt.Fprintf(&b, "  [%s]", cl)
+				}
+				b.WriteByte('\n')
+				writeDecisions(&b, l.decisions)
+				continue
+			case LoopPGOMiss:
+				// The dynamic-fallback verdict for the same loop follows
+				// as its own event; this line only flags the miss.
+				fmt.Fprintf(&b, "  loop @B%d: %s", e.Loop, verdict)
 				if cl := e.Verdict.Clause(); cl != "" {
 					fmt.Fprintf(&b, "  [%s]", cl)
 				}
@@ -118,8 +143,12 @@ func (t *Trace) DecisionLog() string {
 			if e.NaturalExit {
 				exit = "natural exit"
 			}
-			fmt.Fprintf(&b, "  loop @B%d: %s — %d trips (%s), %d LDG nodes, %d steps",
-				e.Loop, e.Verdict, e.Trips, exit, e.Nodes, e.Steps)
+			steps := fmt.Sprintf("%d steps", e.Steps)
+			if e.Src == "pgo" {
+				steps = "replayed from profile"
+			}
+			fmt.Fprintf(&b, "  loop @B%d: %s — %d trips (%s), %d LDG nodes, %s",
+				e.Loop, verdict, e.Trips, exit, e.Nodes, steps)
 			if cl := e.Verdict.Clause(); cl != "" {
 				fmt.Fprintf(&b, "  [%s]", cl)
 			}
@@ -197,6 +226,9 @@ func writeDecisions(b *strings.Builder, ds []DecisionEvent) {
 			stat = fmt.Sprintf(" (ratio %.2f over %d samples)", d.Ratio, d.Samples)
 		}
 		fmt.Fprintf(b, "    %-28s %s%s -> %s", subject, pattern, stat, d.Reason)
+		if d.Src != "" {
+			fmt.Fprintf(b, " [via %s]", d.Src)
+		}
 		if cl := d.Reason.Clause(); cl != "" {
 			fmt.Fprintf(b, "  [%s]", cl)
 		}

@@ -67,24 +67,34 @@ const (
 	LoopIncomplete
 	// LoopNoLoads: the loop body contains no loads to consider.
 	LoopNoLoads
+
+	// LoopStaticPredicted: the loop's graph was annotated by the offline
+	// static analyzer — no object inspection ran (the PredictStatic
+	// prediction source).
+	LoopStaticPredicted
+	// LoopPGOMiss: the PGO profile had no (matching) entry for the loop;
+	// the compiler fell back to dynamic inspection.
+	LoopPGOMiss
 )
 
 var reasonNames = [...]string{
-	ReasonNone:        "NONE",
-	EmitInter:         "EMIT_INTER",
-	EmitSpecLoad:      "EMIT_SPECLOAD",
-	EmitDeref:         "EMIT_DEREF",
-	EmitIntra:         "EMIT_INTRA",
-	FilterNoUse:       "FILTER_NO_USE",
-	FilterDupLine:     "FILTER_DUP_LINE",
-	FilterSmallStride: "FILTER_SMALL_STRIDE",
-	FilterNoPattern:   "FILTER_NO_PATTERN",
-	FilterHugeStride:  "FILTER_HUGE_STRIDE",
-	FilterNoAddr:      "FILTER_NO_ADDR",
-	LoopAccepted:      "LOOP_ACCEPTED",
-	LoopSmallTrip:     "LOOP_SMALL_TRIP",
-	LoopIncomplete:    "LOOP_INCOMPLETE",
-	LoopNoLoads:       "LOOP_NO_LOADS",
+	ReasonNone:          "NONE",
+	EmitInter:           "EMIT_INTER",
+	EmitSpecLoad:        "EMIT_SPECLOAD",
+	EmitDeref:           "EMIT_DEREF",
+	EmitIntra:           "EMIT_INTRA",
+	FilterNoUse:         "FILTER_NO_USE",
+	FilterDupLine:       "FILTER_DUP_LINE",
+	FilterSmallStride:   "FILTER_SMALL_STRIDE",
+	FilterNoPattern:     "FILTER_NO_PATTERN",
+	FilterHugeStride:    "FILTER_HUGE_STRIDE",
+	FilterNoAddr:        "FILTER_NO_ADDR",
+	LoopAccepted:        "LOOP_ACCEPTED",
+	LoopSmallTrip:       "LOOP_SMALL_TRIP",
+	LoopIncomplete:      "LOOP_INCOMPLETE",
+	LoopNoLoads:         "LOOP_NO_LOADS",
+	LoopStaticPredicted: "LOOP_STATIC_PREDICTED",
+	LoopPGOMiss:         "LOOP_PGO_MISS",
 }
 
 // String returns the stable reason mnemonic used in logs and exports.
@@ -109,6 +119,10 @@ func (r Reason) Clause() string {
 		return "Sec. 3.2: no qualifying dominant stride"
 	case LoopSmallTrip:
 		return "Sec. 3: small trip count, loads promoted to parent"
+	case LoopStaticPredicted:
+		return "static analysis: strides predicted without execution"
+	case LoopPGOMiss:
+		return "PGO: no profile entry, dynamic inspection fallback"
 	case EmitInter, EmitSpecLoad, EmitDeref, EmitIntra:
 		return "Sec. 3.3 code generation"
 	}
@@ -180,6 +194,9 @@ type LoopEvent struct {
 	NaturalExit bool
 	Steps       int // inspection steps spent on this loop
 	Nodes       int // load dependence graph nodes
+	// Src marks verdicts not produced by dynamic object inspection
+	// ("static" or "pgo"; empty for the dynamic path).
+	Src string
 }
 
 // DecisionEvent is one stride/filter decision for a load (Pair < 0) or a
@@ -195,6 +212,9 @@ type DecisionEvent struct {
 	Ratio   float64 // dominance ratio of the winning stride
 	Samples int     // samples behind the ratio
 	Reason  Reason
+	// Src marks decisions over statically predicted or profile-replayed
+	// annotations ("static" or "pgo"; empty for dynamic inspection).
+	Src string
 }
 
 // SiteEvent is end-of-run memory attribution for one code site: either a

@@ -76,6 +76,16 @@ func HWModels() []string { return memsim.HWModels() }
 // for specs that leave HW empty ("" restores each machine's own model).
 func SetHWModel(name string) error { return harness.SetHWModel(name) }
 
+// PredictSources returns the names of the prediction sources feeding
+// prefetch decisions (the Spec.Predict selectors): dynamic (the paper's
+// object inspection), static (offline IR analysis, no inspection), pgo
+// (replay a recorded inspection profile).
+func PredictSources() []string { return jit.PredictSources() }
+
+// SetPredict installs a process-wide default prediction source for specs
+// that leave Predict empty ("" restores the dynamic default).
+func SetPredict(name string) error { return harness.SetPredict(name) }
+
 // Workload is one benchmark analog (see internal/workloads).
 type Workload = workloads.Workload
 
