@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -95,11 +96,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	entries := bench.Suite()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
 	if *list {
-		for _, e := range entries {
-			fmt.Fprintln(stdout, e.Name)
+		// Sorted, not suite order: the list is a lookup table for -run,
+		// and suite order shuffles as entries are added between releases.
+		for _, n := range names {
+			fmt.Fprintln(stdout, n)
 		}
 		return 0
+	}
+
+	// Validate the selector before measuring anything, like the other
+	// CLIs validate their enum flags: a typo costs an exit 2 and the
+	// valid set, not a silent empty report.
+	if *runFilter != "" {
+		matched := false
+		for _, n := range names {
+			if strings.Contains(n, *runFilter) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			fmt.Fprintf(stderr, "bench: -run %q matches no suite entries; valid entries:\n  %s\n",
+				*runFilter, strings.Join(names, "\n  "))
+			return 2
+		}
 	}
 
 	opts := bench.Options{
@@ -116,10 +142,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "bench: %v\n", err)
 		return 1
-	}
-	if len(report.Entries) == 0 {
-		fmt.Fprintf(stderr, "bench: -run %q matches no suite entries\n", *runFilter)
-		return 2
 	}
 	for _, m := range report.Entries {
 		fmt.Fprintf(stderr, "%-34s %5d iters  %14.0f ns/op  %10.1f allocs/op  %14.0f B/op\n",

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -97,9 +98,28 @@ func TestListMode(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d\nstderr:\n%s", code, &stderr)
 	}
-	for _, want := range []string{"vm/jess-small", "memsim/stride-sweep", "grid/compress-small-3modes"} {
+	for _, want := range []string{"vm/jess-small", "memsim/stride-sweep", "grid/compress-small-3modes",
+		"exec/jess-small-interp", "exec/jess-small-compiled"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("-list output missing %s:\n%s", want, &stdout)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("-list output is not sorted:\n%s", &stdout)
+	}
+}
+
+// TestRunSelectorValidation pins the typo behavior: exit 2 with the valid
+// entry set on stderr, before any measurement runs.
+func TestRunSelectorValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "exec/jess-small-compield"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, want := range []string{"matches no suite entries", "exec/jess-small-compiled", "vm/jess-small"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, &stderr)
 		}
 	}
 }

@@ -85,7 +85,7 @@ func TestVerifyFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, errw, out)
 	}
-	if !strings.Contains(out, "verified: 60 configurations reproduce the oracle fingerprint") {
+	if !strings.Contains(out, "verified: 68 configurations reproduce the oracle fingerprint") {
 		t.Errorf("verify output unexpected:\n%s", out)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"strider/internal/oracle"
 	"strider/internal/server"
 	"strider/internal/static"
+	"strider/internal/telemetry"
 	"strider/internal/vm"
 	"strider/internal/workloads"
 )
@@ -80,6 +81,18 @@ func Suite() []Entry {
 				return Work{Cycles: s.Cycles, Instructions: s.Instructions, Checksum: s.Checksum}, nil
 			}, nil
 		}},
+
+		// The execution tier isolated: the same steady-state jess run on
+		// the interpreter's step loop and on the threaded-code compiled
+		// tier (internal/compile), with the memory hierarchy replaced by a
+		// zero-latency model so host time measures instruction execution
+		// rather than cache simulation (which both backends share
+		// unchanged). The pair's Work signatures must be identical — the
+		// backends simulate the same machine-level work — and the compiled
+		// entry's ns/op is the tentpole's headline: the threaded tier must
+		// hold a >=2x step over the interpreted twin.
+		execEntry("exec/jess-small-interp", vm.ExecInterp),
+		execEntry("exec/jess-small-compiled", vm.ExecCompiled),
 
 		// The cache/TLB model alone: a strided load/store sweep with a
 		// pointer-chase-like reuse pattern, no interpreter in the loop.
@@ -254,6 +267,46 @@ func hwEntry(name, model string) Entry {
 			}
 			hw := mem.HWStats()
 			return Work{Cycles: now, Instructions: mem.C.Loads, Checksum: hw.Issued ^ hw.Trains<<32}, nil
+		}, nil
+	}}
+}
+
+// flatMem is the zero-latency memory model the exec/* pair runs over:
+// loads and stores complete instantly and prefetches report a fill. It
+// keeps the architectural semantics (same values, same control flow,
+// same retirement counts) while taking the — backend-independent —
+// cache simulation out of the timed loop.
+type flatMem struct{}
+
+func (flatMem) LoadAt(addr, size uint32, now uint64, pc uint64) uint64 { return 0 }
+func (flatMem) Store(addr, size uint32, now uint64) uint64             { return 0 }
+func (flatMem) Prefetch(addr uint32, guarded bool, now uint64) telemetry.PrefetchOutcome {
+	return telemetry.PrefetchFetched
+}
+
+// execEntry builds one side of the execution-tier pair: a steady-state
+// jess run (one VM, JIT warmed, ResetRun between iterations) on the
+// given backend over the zero-latency memory model.
+func execEntry(name string, exec vm.Exec) Entry {
+	return Entry{Name: name, Make: func() (func() (Work, error), error) {
+		w, err := workloads.ByName("jess")
+		if err != nil {
+			return nil, err
+		}
+		prog := w.Build(workloads.SizeSmall)
+		v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra, HeapBytes: w.HeapBytes, Exec: exec})
+		v.Engine.Mem = flatMem{}
+		// One untimed run so the JIT reaches steady state.
+		if _, err := v.Run(nil); err != nil {
+			return nil, err
+		}
+		return func() (Work, error) {
+			v.ResetRun()
+			s, err := v.Run(nil)
+			if err != nil {
+				return Work{}, err
+			}
+			return Work{Cycles: s.Cycles, Instructions: s.Instructions, Checksum: s.Checksum}, nil
 		}, nil
 	}}
 }

@@ -1,0 +1,502 @@
+// Differential tests for the compiled execution tier: every program runs
+// twice on otherwise identical engines — once through the interpreter loop
+// (Compiled code without a threaded artifact) and once through the
+// pre-decoded micro-op stream — and the results, traps, and the full
+// cycle/instruction accounting must agree bit for bit. This is the
+// package-local form of the oracle differ's exec axis, small enough to
+// pin each micro-kind and trap path individually.
+package compile_test
+
+import (
+	"errors"
+	"testing"
+
+	"strider/internal/arch"
+	"strider/internal/classfile"
+	"strider/internal/compile"
+	"strider/internal/heap"
+	"strider/internal/interp"
+	"strider/internal/ir"
+	"strider/internal/memsim"
+	"strider/internal/telemetry"
+	"strider/internal/value"
+)
+
+// interpDisp marks every method compiled but supplies no threaded
+// artifact, so Run uses the interpreter loop with compiled-tier
+// accounting — the exact baseline the threaded tier must reproduce.
+type interpDisp struct{}
+
+func (interpDisp) Invoke(m *ir.Method, args []value.Value) *interp.Code {
+	return &interp.Code{Instrs: m.Code, NumRegs: m.NumRegs, Compiled: true}
+}
+
+// threadedDisp builds (and caches) a compile.Func for methods selected by
+// want; a nil want threads everything. Unselected methods interpret.
+type threadedDisp struct {
+	u     *classfile.Universe
+	want  func(*ir.Method) bool
+	codes map[*ir.Method]*interp.Code
+}
+
+func newThreadedDisp(u *classfile.Universe, want func(*ir.Method) bool) *threadedDisp {
+	return &threadedDisp{u: u, want: want, codes: make(map[*ir.Method]*interp.Code)}
+}
+
+func (d *threadedDisp) Invoke(m *ir.Method, args []value.Value) *interp.Code {
+	if c, ok := d.codes[m]; ok {
+		return c
+	}
+	c := &interp.Code{Instrs: m.Code, NumRegs: m.NumRegs, Compiled: true}
+	if d.want == nil || d.want(m) {
+		c.Threaded = compile.Build(m, m.Code, d.u)
+	}
+	d.codes[m] = c
+	return c
+}
+
+func newEngine(p *ir.Program, disp interp.Dispatcher) *interp.Engine {
+	machine := arch.Pentium4()
+	return interp.New(p, heap.New(1<<20, p.Universe), memsim.New(machine), disp, machine)
+}
+
+// runBoth executes a freshly built program under both execution tiers and
+// fails the test on any divergence in result, trap, or accounting. It
+// returns the (identical) stats and error for extra assertions.
+func runBoth(t *testing.T, build func() *ir.Program, args []value.Value) (interp.Stats, error) {
+	t.Helper()
+	pi := build()
+	ei := newEngine(pi, interpDisp{})
+	ri, erri := ei.Run(pi.Entry, args)
+
+	pc := build()
+	ec := newEngine(pc, newThreadedDisp(pc.Universe, nil))
+	rc, errc := ec.Run(pc.Entry, args)
+
+	if ri != rc {
+		t.Errorf("result diverged: interp %v, compiled %v", ri, rc)
+	}
+	diffErr(t, erri, errc)
+	diffStats(t, ei.S, ec.S)
+	return ec.S, errc
+}
+
+func diffErr(t *testing.T, erri, errc error) {
+	t.Helper()
+	if (erri == nil) != (errc == nil) {
+		t.Fatalf("trap diverged: interp %v, compiled %v", erri, errc)
+	}
+	if erri == nil {
+		return
+	}
+	var ri, rc *interp.RuntimeError
+	if !errors.As(erri, &ri) || !errors.As(errc, &rc) {
+		t.Fatalf("non-runtime error: interp %v, compiled %v", erri, errc)
+	}
+	if ri.Method.QName() != rc.Method.QName() || ri.PC != rc.PC || ri.Err.Error() != rc.Err.Error() {
+		t.Errorf("trap attribution diverged:\n interp  %s@%d: %v\n compiled %s@%d: %v",
+			ri.Method.QName(), ri.PC, ri.Err, rc.Method.QName(), rc.PC, rc.Err)
+	}
+}
+
+func diffStats(t *testing.T, a, b interp.Stats) {
+	t.Helper()
+	if a != b {
+		t.Errorf("stats diverged:\n interp   %+v\n compiled %+v", a, b)
+	}
+}
+
+// --- straight-line arithmetic, fusion, and the generic fallbacks ---
+
+func TestFusedArithmetic(t *testing.T) {
+	s, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		// A maximal fusible run: consts, int arith, a move, a sink.
+		x := b.ConstInt(6)
+		y := b.ConstInt(7)
+		z := b.Arith(ir.OpMul, value.KindInt, x, y)
+		w := b.Arith(ir.OpSub, value.KindInt, z, x)
+		v := b.AddInt(w, y)
+		b.MoveTo(x, v)
+		b.Sink(x)
+		b.Return(x)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions != 8 {
+		t.Errorf("retired %d instructions, want 8", s.Instructions)
+	}
+	if s.CompiledInstructions != s.Instructions {
+		t.Errorf("compiled tier retired %d of %d instructions", s.CompiledInstructions, s.Instructions)
+	}
+}
+
+func TestBranchIntoFusedRun(t *testing.T) {
+	// The loop header lands in the middle of what fuse() packs into a
+	// single dispatch; sub-ops keep their own micro-kinds, so re-entering
+	// the run mid-way must execute exactly the tail.
+	_, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(5)
+		i := b.ConstInt(0)
+		acc := b.ConstInt(0)
+		mid := b.NewLabel()
+		b.Bind(mid) // branch target inside the const/add run
+		b.ArithTo(acc, ir.OpAdd, value.KindInt, acc, i)
+		b.IncInt(i, 1)
+		b.Br(value.KindInt, ir.CondLT, i, n, mid)
+		b.Return(acc)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericArithmetic(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		// Non-int kinds and the non-fused int ops all take the cold
+		// opBinGeneric/opNeg/opConv chain.
+		l := b.ConstLong(1 << 40)
+		l2 := b.Arith(ir.OpAdd, value.KindLong, l, l)
+		f := b.ConstFloat(1.5)
+		f2 := b.Arith(ir.OpMul, value.KindFloat, f, f)
+		d := b.ConstDouble(2.25)
+		d2 := b.Arith(ir.OpDiv, value.KindDouble, d, d)
+		x := b.ConstInt(1000)
+		y := b.ConstInt(7)
+		q := b.Arith(ir.OpDiv, value.KindInt, x, y)
+		r := b.Arith(ir.OpRem, value.KindInt, x, y)
+		a := b.Arith(ir.OpAnd, value.KindInt, x, y)
+		o := b.Arith(ir.OpOr, value.KindInt, x, y)
+		xo := b.Arith(ir.OpXor, value.KindInt, x, y)
+		sl := b.Arith(ir.OpShl, value.KindInt, x, y)
+		sr := b.Arith(ir.OpShr, value.KindInt, x, y)
+		us := b.Arith(ir.OpUshr, value.KindInt, x, y)
+		ng := b.Neg(value.KindInt, x)
+		cv := b.Conv(value.KindInt, d2)
+		li := b.Conv(value.KindInt, l2)
+		fi := b.Conv(value.KindInt, f2)
+		for _, reg := range []ir.Reg{q, r, a, o, xo, sl, sr, us, ng, cv, li, fi} {
+			b.Sink(reg)
+		}
+		sum := b.AddInt(q, r)
+		b.Return(sum)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericBranches(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		// Long and double comparisons dispatch through opBrGeneric.
+		x := b.ConstLong(9)
+		y := b.ConstLong(10)
+		d := b.ConstDouble(1.5)
+		e := b.ConstDouble(2.5)
+		la := b.NewLabel()
+		lb := b.NewLabel()
+		miss := b.NewLabel()
+		b.Br(value.KindLong, ir.CondLT, x, y, la)
+		b.Goto(miss)
+		b.Bind(la)
+		b.Br(value.KindDouble, ir.CondGT, d, e, miss)
+		b.Goto(lb)
+		b.Bind(lb)
+		one := b.ConstInt(1)
+		b.Return(one)
+		b.Bind(miss)
+		zero := b.ConstInt(0)
+		b.Return(zero)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroTrap(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		x := b.ConstInt(1)
+		z := b.ConstInt(0)
+		q := b.Arith(ir.OpDiv, value.KindInt, x, z)
+		b.Return(q)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err == nil {
+		t.Fatal("division by zero did not trap")
+	}
+}
+
+// --- objects, arrays, and statics ---
+
+// fieldProg defines a class with a narrow and a wide field plus a static,
+// and exercises every heap-addressed micro-kind on it.
+func fieldProg() *ir.Program {
+	u := classfile.NewUniverse()
+	cls := u.MustDefineClass("Box", nil,
+		classfile.FieldSpec{Name: "i", Kind: value.KindInt},
+		classfile.FieldSpec{Name: "l", Kind: value.KindLong},
+		classfile.FieldSpec{Name: "g", Kind: value.KindInt, Static: true},
+	)
+	stat := cls.FieldByName("g")
+	fI := cls.FieldByName("i")
+	fL := cls.FieldByName("l")
+
+	p := ir.NewProgram(u)
+	b := ir.NewBuilder(p, nil, "main", value.KindInt)
+	box := b.New(cls)
+	seven := b.ConstInt(7)
+	big := b.ConstLong(1 << 33)
+	b.PutField(box, fI, seven)
+	b.PutField(box, fL, big)
+	gi := b.GetField(box, fI)
+	gl := b.GetField(box, fL)
+	b.Sink(gl)
+	b.PutStatic(stat, gi)
+	gs := b.GetStatic(stat)
+
+	n := b.ConstInt(4)
+	arr := b.NewArray(value.KindInt, n)
+	larr := b.NewArray(value.KindLong, n)
+	idx := b.ConstInt(2)
+	b.ArrayStore(value.KindInt, arr, idx, gs)
+	b.ArrayStore(value.KindLong, larr, idx, gl)
+	ai := b.ArrayLoad(value.KindInt, arr, idx)
+	al := b.ArrayLoad(value.KindLong, larr, idx)
+	b.Sink(al)
+	ln := b.ArrayLen(arr)
+	sum := b.AddInt(ai, ln)
+	b.Return(sum)
+	p.Entry = b.Finish()
+	return p
+}
+
+func TestFieldsArraysStatics(t *testing.T) {
+	s, err := runBoth(t, fieldProg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles == 0 || s.Checksum == 0 {
+		t.Errorf("degenerate run: %+v", s)
+	}
+}
+
+// --- calls: compiled-to-compiled, mixed tiers, virtual dispatch ---
+
+func callProg() *ir.Program {
+	u := classfile.NewUniverse()
+	cls := u.MustDefineClass("C", nil,
+		classfile.FieldSpec{Name: "x", Kind: value.KindInt},
+	)
+	fX := cls.FieldByName("x")
+	p := ir.NewProgram(u)
+
+	// C::get(this) -> int
+	{
+		b := ir.NewBuilder(p, cls, "get", value.KindInt, value.KindRef)
+		this := b.Param(0)
+		v := b.GetField(this, fX)
+		b.Return(v)
+		b.Finish()
+	}
+	// C::bump(this) — void return through the nested path.
+	{
+		b := ir.NewBuilder(p, cls, "bump", value.KindInvalid, value.KindRef)
+		this := b.Param(0)
+		v := b.GetField(this, fX)
+		one := b.ConstInt(1)
+		nv := b.AddInt(v, one)
+		b.PutField(this, fX, nv)
+		b.ReturnVoid()
+		b.Finish()
+	}
+	// ::fact(n) -> int — direct recursion.
+	var fact *ir.Method
+	{
+		b := ir.NewBuilder(p, nil, "fact", value.KindInt, value.KindInt)
+		n := b.Param(0)
+		one := b.ConstInt(1)
+		base := b.NewLabel()
+		b.Br(value.KindInt, ir.CondLE, n, one, base)
+		nm1 := b.Arith(ir.OpSub, value.KindInt, n, one)
+		sub := b.Call(b.Self(), nm1)
+		r := b.Arith(ir.OpMul, value.KindInt, n, sub)
+		b.Return(r)
+		b.Bind(base)
+		b.Return(one)
+		fact = b.Finish()
+	}
+	// ::main
+	{
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		obj := b.New(cls)
+		five := b.ConstInt(5)
+		b.PutField(obj, fX, five)
+		b.CallVirt("bump", false, obj)
+		got := b.CallVirt("get", true, obj)
+		f := b.Call(fact, five)
+		sum := b.AddInt(got, f)
+		b.Return(sum)
+		p.Entry = b.Finish()
+	}
+	return p
+}
+
+func TestCallsNestedCompiled(t *testing.T) {
+	s, err := runBoth(t, callProg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Instructions == 0 {
+		t.Error("no instructions retired")
+	}
+}
+
+// TestMixedTiers threads only a subset of methods, so compiled frames call
+// into interpreted callees (the ctrlCall yield to Run) and interpreted
+// frames call into compiled ones.
+func TestMixedTiers(t *testing.T) {
+	for name, want := range map[string]func(*ir.Method) bool{
+		"threaded-caller": func(m *ir.Method) bool { return m.Name == "main" },
+		"threaded-callee": func(m *ir.Method) bool { return m.Name != "main" },
+	} {
+		t.Run(name, func(t *testing.T) {
+			pi := callProg()
+			ei := newEngine(pi, interpDisp{})
+			ri, erri := ei.Run(pi.Entry, nil)
+
+			pm := callProg()
+			em := newEngine(pm, newThreadedDisp(pm.Universe, want))
+			rm, errm := em.Run(pm.Entry, nil)
+
+			if ri != rm {
+				t.Errorf("result diverged: interp %v, mixed %v", ri, rm)
+			}
+			diffErr(t, erri, errm)
+			diffStats(t, ei.S, em.S)
+		})
+	}
+}
+
+func TestVirtualDispatchFailure(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		u := classfile.NewUniverse()
+		cls := u.MustDefineClass("D", nil,
+			classfile.FieldSpec{Name: "x", Kind: value.KindInt},
+		)
+		p := ir.NewProgram(u)
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		obj := b.New(cls)
+		r := b.CallVirt("noSuchMethod", true, obj)
+		b.Return(r)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if !errors.Is(err, interp.ErrNoMethod) {
+		t.Fatalf("err = %v, want ErrNoMethod", err)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "loop", value.KindInt)
+		r := b.Call(b.Self())
+		b.Return(r)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if !errors.Is(err, interp.ErrStackOverflow) {
+		t.Fatalf("err = %v, want ErrStackOverflow", err)
+	}
+}
+
+// --- allocation pressure: GC interleaving and heap exhaustion ---
+
+func TestAllocationChurn(t *testing.T) {
+	s, err := runBoth(t, func() *ir.Program {
+		p := ir.NewProgram(classfile.NewUniverse())
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		// Allocate far more than the 1 MiB heap holds, keeping nothing
+		// live: the compiled tier's flush/reload around AllocArray (and
+		// any GC it triggers) must keep accounting identical.
+		n := b.ConstInt(4000)
+		sz := b.ConstInt(256)
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		arr := b.NewArray(value.KindInt, sz)
+		zero := b.ConstInt(0)
+		b.ArrayStore(value.KindInt, arr, zero, i)
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, n, body)
+		b.Return(i)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GCs == 0 {
+		t.Skip("heap never filled; GC path not exercised at this size")
+	}
+}
+
+// --- recorder attribution: NoteLoad / NotePrefetch paths ---
+
+// siteCounter counts Site events flushed by the engine.
+type siteCounter struct {
+	telemetry.Nop
+	sites int
+}
+
+func (s *siteCounter) Site(telemetry.SiteEvent) { s.sites++ }
+
+func TestRecorderAttribution(t *testing.T) {
+	run := func(threaded bool) (value.Value, interp.Stats, int, error) {
+		p := fieldProg()
+		var disp interp.Dispatcher = interpDisp{}
+		if threaded {
+			disp = newThreadedDisp(p.Universe, nil)
+		}
+		e := newEngine(p, disp)
+		rec := &siteCounter{}
+		e.Rec = rec
+		r, err := e.Run(p.Entry, nil)
+		e.FlushSites()
+		return r, e.S, rec.sites, err
+	}
+	ri, si, ni, erri := run(false)
+	rc, sc, nc, errc := run(true)
+	if erri != nil || errc != nil {
+		t.Fatal(erri, errc)
+	}
+	if ri != rc {
+		t.Errorf("result diverged: %v vs %v", ri, rc)
+	}
+	diffStats(t, si, sc)
+	if ni != nc {
+		t.Errorf("flushed %d site events interpreted, %d compiled", ni, nc)
+	}
+}

@@ -1,0 +1,147 @@
+// Coverage completions: micro-kinds and error paths the broader
+// differential programs do not reach naturally.
+package compile_test
+
+import (
+	"testing"
+
+	"strider/internal/classfile"
+	"strider/internal/interp"
+	"strider/internal/ir"
+	"strider/internal/value"
+)
+
+// TestIntBranchKinds drives every specialized int-branch micro-kind down
+// both its taken and fall-through edges.
+func TestIntBranchKinds(t *testing.T) {
+	for _, cond := range []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondLE, ir.CondGT, ir.CondGE} {
+		cond := cond
+		t.Run(cond.String(), func(t *testing.T) {
+			_, err := runBoth(t, func() *ir.Program {
+				p := ir.NewProgram(classfile.NewUniverse())
+				b := ir.NewBuilder(p, nil, "main", value.KindInt)
+				x := b.ConstInt(3)
+				y := b.ConstInt(5)
+				acc := b.ConstInt(0)
+				taken := b.NewLabel()
+				after := b.NewLabel()
+				b.Br(value.KindInt, cond, x, y, taken)
+				b.IncInt(acc, 1)
+				b.Goto(after)
+				b.Bind(taken)
+				b.IncInt(acc, 2)
+				b.Bind(after)
+				// Same comparison with equal operands flips EQ/NE/LE/GE.
+				end := b.NewLabel()
+				b.Br(value.KindInt, cond, x, x, end)
+				b.IncInt(acc, 4)
+				b.Bind(end)
+				b.Return(acc)
+				p.Entry = b.Finish()
+				return p
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnaryErrorPaths(t *testing.T) {
+	for name, emit := range map[string]func(b *ir.Builder, null ir.Reg){
+		"neg-of-ref-kind": func(b *ir.Builder, null ir.Reg) { b.Neg(value.KindRef, null) },
+		"conv-of-ref":     func(b *ir.Builder, null ir.Reg) { b.Conv(value.KindLong, null) },
+	} {
+		emit := emit
+		t.Run(name, func(t *testing.T) {
+			_, err := runBoth(t, func() *ir.Program {
+				p := ir.NewProgram(classfile.NewUniverse())
+				b := ir.NewBuilder(p, nil, "main", value.KindInt)
+				null := b.ConstNull()
+				emit(b, null)
+				zero := b.ConstInt(0)
+				b.Return(zero)
+				p.Entry = b.Finish()
+				return p
+			}, nil)
+			if err == nil {
+				t.Fatal("kind-mismatched unary op did not trap")
+			}
+		})
+	}
+}
+
+func TestNopDispatch(t *testing.T) {
+	_, err := runBoth(t, patchedProg(func(m *ir.Method, at int, s []ir.Reg) {
+		m.Code[at] = ir.Instr{Op: ir.OpNop}
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutOfMemory exhausts the heap with live objects so AllocObject
+// itself fails (GC finds everything reachable), covering the allocation
+// trap path with the accumulator flush/reload around it.
+func TestOutOfMemory(t *testing.T) {
+	_, err := runBoth(t, func() *ir.Program {
+		u := classfile.NewUniverse()
+		cls := u.MustDefineClass("Fat", nil,
+			classfile.FieldSpec{Name: "a", Kind: value.KindLong},
+			classfile.FieldSpec{Name: "b", Kind: value.KindLong},
+			classfile.FieldSpec{Name: "c", Kind: value.KindLong},
+			classfile.FieldSpec{Name: "d", Kind: value.KindLong},
+		)
+		p := ir.NewProgram(u)
+		b := ir.NewBuilder(p, nil, "main", value.KindInt)
+		n := b.ConstInt(1 << 16)
+		arr := b.NewArray(value.KindRef, n) // keeps every object live
+		i := b.ConstInt(0)
+		cond := b.NewLabel()
+		body := b.NewLabel()
+		b.Goto(cond)
+		b.Bind(body)
+		obj := b.New(cls)
+		b.ArrayStore(value.KindRef, arr, i, obj)
+		b.IncInt(i, 1)
+		b.Bind(cond)
+		b.Br(value.KindInt, ir.CondLT, i, n, body)
+		b.Return(i)
+		p.Entry = b.Finish()
+		return p
+	}, nil)
+	if err == nil {
+		t.Fatal("live-heap churn did not exhaust the 1 MiB heap")
+	}
+}
+
+// TestRecordedPrefetches runs JIT-shaped prefetch and speculative-load
+// instructions with a Recorder installed, so the NotePrefetch attribution
+// paths execute in both tiers.
+func TestRecordedPrefetches(t *testing.T) {
+	build := patchedProg(func(m *ir.Method, at int, s []ir.Reg) {
+		m.Code[at] = ir.Instr{Op: ir.OpSpecLoad, Dst: s[3],
+			Addr: ir.AddrExpr{Base: s[0], Index: ir.NoReg}, Site: 1}
+	})
+	run := func(threaded bool) (value.Value, interp.Stats, error) {
+		p := build()
+		var disp interp.Dispatcher = interpDisp{}
+		if threaded {
+			disp = newThreadedDisp(p.Universe, nil)
+		}
+		e := newEngine(p, disp)
+		e.Rec = &siteCounter{}
+		r, err := e.Run(p.Entry, nil)
+		e.FlushSites()
+		return r, e.S, err
+	}
+	ri, si, erri := run(false)
+	rc, sc, errc := run(true)
+	if erri != nil || errc != nil {
+		t.Fatal(erri, errc)
+	}
+	if ri != rc {
+		t.Errorf("result diverged: %v vs %v", ri, rc)
+	}
+	diffStats(t, si, sc)
+}

@@ -41,6 +41,22 @@ type Code struct {
 	Instrs   []ir.Instr
 	NumRegs  int
 	Compiled bool
+
+	// Threaded, when non-nil, is the method's pre-decoded micro-op stream
+	// (built by internal/compile at JIT compile time). Run steps it in
+	// place of the interpreter loop; Instrs stays authoritative for trap
+	// attribution and for frames that predate the artifact.
+	Threaded ThreadedCode
+}
+
+// ThreadedCode executes activations of one method from a pre-decoded
+// representation. Step has the exact contract of the interpreter's step:
+// execute the top frame f until it returns (done=true with the return
+// value), calls (a new frame pushed, done=false), or traps (err non-nil
+// with f.PC at the faulting instruction, so Run's RuntimeError wrapping
+// attributes it identically).
+type ThreadedCode interface {
+	Step(e *Engine, f *Frame) (value.Value, bool, error)
 }
 
 // Dispatcher resolves each invocation to executable code, JIT-compiling as
@@ -81,13 +97,22 @@ const MaxFrames = 1024
 // DefaultMaxInstructions bounds runaway programs.
 const DefaultMaxInstructions = 4_000_000_000
 
-type frame struct {
-	m        *ir.Method
-	code     []ir.Instr
-	compiled bool
-	pc       int
-	regs     []value.Value
-	retReg   ir.Reg // caller register receiving the return value
+// Frame is one activation record. Its fields are exported so the compiled
+// execution tier (internal/compile) can run activations of the same stack;
+// VM-internal invariants (fixed backing array, register reuse) are owned by
+// push and Run.
+type Frame struct {
+	M        *ir.Method
+	Code     []ir.Instr
+	Compiled bool
+	PC       int
+	Regs     []value.Value
+	RetReg   ir.Reg // caller register receiving the return value
+
+	// threaded is the frame's pre-decoded micro-op executor, set at push
+	// time when the dispatched Code carries one; Run steps it instead of
+	// the interpreter loop.
+	threaded ThreadedCode
 }
 
 // Stats is the engine's cycle and event accounting for one run.
@@ -125,11 +150,17 @@ type Engine struct {
 
 	S Stats
 
+	// ExecScratch is opaque per-engine scratch storage for a ThreadedCode
+	// implementation. The compiled tier parks its reusable thread state
+	// here so steady-state Step calls allocate nothing; the engine never
+	// reads it.
+	ExecScratch any
+
 	// frames is the activation stack. It is a value slice with capacity
 	// MaxFrames fixed at creation, so frame pointers handed to step stay
 	// valid across pushes and popped frames keep their register slices for
 	// reuse — the steady-state call path allocates nothing.
-	frames []frame
+	frames []Frame
 	// argbuf is the scratch buffer call argument values are staged in
 	// before they are copied into the callee frame.
 	argbuf []value.Value
@@ -154,7 +185,7 @@ func New(prog *ir.Program, h *heap.Heap, mem MemModel, disp Dispatcher, m *arch.
 		Prog: prog, Heap: h, Mem: mem, Disp: disp, Machine: m,
 		MaxInstructions: DefaultMaxInstructions,
 		ChargeGC:        true,
-		frames:          make([]frame, 0, MaxFrames),
+		frames:          make([]Frame, 0, MaxFrames),
 	}
 }
 
@@ -243,21 +274,22 @@ func (e *Engine) push(m *ir.Method, args []value.Value, retReg ir.Reg) error {
 	code := e.Disp.Invoke(m, args)
 	e.frames = e.frames[:n+1]
 	f := &e.frames[n]
-	f.m = m
-	f.code = code.Instrs
-	f.compiled = code.Compiled
-	f.pc = 0
-	f.retReg = retReg
-	if cap(f.regs) >= code.NumRegs {
-		f.regs = f.regs[:code.NumRegs]
+	f.M = m
+	f.Code = code.Instrs
+	f.Compiled = code.Compiled
+	f.threaded = code.Threaded
+	f.PC = 0
+	f.RetReg = retReg
+	if cap(f.Regs) >= code.NumRegs {
+		f.Regs = f.Regs[:code.NumRegs]
 	} else {
-		f.regs = make([]value.Value, code.NumRegs)
+		f.Regs = make([]value.Value, code.NumRegs)
 	}
-	na := copy(f.regs, args)
+	na := copy(f.Regs, args)
 	// A reused register slice carries the previous activation's values;
 	// clear the non-argument registers so GC roots and def-before-use
 	// behaviour match a freshly zeroed frame.
-	tail := f.regs[na:]
+	tail := f.Regs[na:]
 	for i := range tail {
 		tail[i] = value.Value{}
 	}
@@ -267,7 +299,7 @@ func (e *Engine) push(m *ir.Method, args []value.Value, retReg ir.Reg) error {
 // roots enumerates all reference slots in live frames for the collector.
 func (e *Engine) roots(visit func(*value.Value)) {
 	for fi := range e.frames {
-		regs := e.frames[fi].regs
+		regs := e.frames[fi].Regs
 		for i := range regs {
 			if regs[i].K == value.KindRef {
 				visit(&regs[i])
@@ -350,16 +382,29 @@ func (e *Engine) Run(entry *ir.Method, args []value.Value) (value.Value, error) 
 	var result value.Value
 	for len(e.frames) > 0 {
 		f := &e.frames[len(e.frames)-1]
-		v, done, err := e.step(f)
+		var (
+			v    value.Value
+			done bool
+			err  error
+		)
+		if f.threaded != nil {
+			v, done, err = f.threaded.Step(e, f)
+		} else {
+			v, done, err = e.step(f)
+		}
 		if err != nil {
-			return value.Value{}, &RuntimeError{Method: f.m, PC: f.pc, Err: err}
+			// A threaded Step may have pushed into deeper compiled frames
+			// without returning here; the faulting frame is whatever is on
+			// top now (for the interpreter loop that is always f itself).
+			ft := &e.frames[len(e.frames)-1]
+			return value.Value{}, &RuntimeError{Method: ft.M, PC: ft.PC, Err: err}
 		}
 		if done {
 			e.frames = e.frames[:len(e.frames)-1]
 			if len(e.frames) == 0 {
 				result = v
-			} else if f.retReg != ir.NoReg {
-				e.frames[len(e.frames)-1].regs[f.retReg] = v
+			} else if f.RetReg != ir.NoReg {
+				e.frames[len(e.frames)-1].Regs[f.RetReg] = v
 			}
 		}
 	}
@@ -388,17 +433,17 @@ func (e *Engine) charge(compiled bool, extra uint64) {
 // locals hoisted out of the loop, the dense Op switch compiles to a jump
 // table, and the common int arithmetic/branch ops are evaluated inline
 // instead of going through the ir.EvalBinary/EvalCond kind-dispatch
-// chains. f.pc is synchronized on every exit so trap attribution
+// chains. f.PC is synchronized on every exit so trap attribution
 // (RuntimeError.PC) is identical to the straightforward implementation.
-func (e *Engine) step(f *frame) (value.Value, bool, error) {
-	code := f.code
-	regs := f.regs
-	pc := f.pc
-	compiled := f.compiled
+func (e *Engine) step(f *Frame) (value.Value, bool, error) {
+	code := f.Code
+	regs := f.Regs
+	pc := f.PC
+	compiled := f.Compiled
 	// siteBase makes load-site pcs globally unique and deterministic:
 	// (method index + 1) << 16 keeps pc 0 reserved for "no stable site"
 	// and gives each method a private 64K instruction-index window.
-	siteBase := uint64(f.m.Index()+1) << 16
+	siteBase := uint64(f.M.Index()+1) << 16
 	maxInstr := e.MaxInstructions
 	perInstr := e.Machine.IssueCycles
 	if !compiled {
@@ -408,7 +453,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 
 	// fail synchronizes the faulting pc and returns the trap.
 	fail := func(err error) (value.Value, bool, error) {
-		f.pc = pc
+		f.PC = pc
 		return value.Value{}, false, err
 	}
 	// charge accounts one retired instruction at cost perInstr+extra.
@@ -520,7 +565,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			}
 		case ir.OpReturn:
 			charge(0)
-			f.pc = pc
+			f.PC = pc
 			if in.A == ir.NoReg {
 				return value.Value{}, true, nil
 			}
@@ -623,7 +668,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			for i, r := range in.Args {
 				args[i] = regs[r]
 			}
-			f.pc = next
+			f.PC = next
 			if err := e.push(callee, args, in.Dst); err != nil {
 				return value.Value{}, false, err
 			}
@@ -636,7 +681,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
 				out := e.Mem.Prefetch(addr, in.Guarded, e.S.Cycles)
 				if rec {
-					e.notePrefetch(f.m, int(in.Site), out)
+					e.notePrefetch(f.M, int(in.Site), out)
 				}
 			}
 		case ir.OpSpecLoad:
@@ -649,7 +694,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 			if addr, ok := e.prefetchAddr(regs, in.Addr); ok {
 				out := e.Mem.Prefetch(addr, true, e.S.Cycles)
 				if rec {
-					e.notePrefetch(f.m, int(in.Site), out)
+					e.notePrefetch(f.M, int(in.Site), out)
 				}
 				regs[in.Dst] = value.SpecRef(e.Heap.Load4(addr))
 			} else {
@@ -662,7 +707,7 @@ func (e *Engine) step(f *frame) (value.Value, bool, error) {
 		if rec && memStall != 0 {
 			switch in.Op {
 			case ir.OpGetField, ir.OpArrayLoad, ir.OpArrayLen:
-				e.noteLoad(f.m, pc, memStall)
+				e.noteLoad(f.M, pc, memStall)
 			}
 		}
 		charge(memStall)
@@ -746,3 +791,79 @@ func constValue(in *ir.Instr) value.Value {
 	}
 	return value.Value{}
 }
+
+// ---------------------------------------------------------------------------
+// Exported execution primitives for the compiled tier.
+//
+// The compiled tier (internal/compile) executes the same semantics from a
+// pre-decoded representation. Everything with subtle invariants — frame
+// management, allocation + GC interplay, the prefetch address guard, site
+// attribution — stays defined here, single-sourced, and is reached through
+// these thin exports.
+
+// PushCall dispatches and pushes an activation of m, counting the
+// invocation through the Dispatcher exactly like an interpreted call.
+func (e *Engine) PushCall(m *ir.Method, args []value.Value, retReg ir.Reg) error {
+	return e.push(m, args, retReg)
+}
+
+// TopFrame returns the current top activation. The pointer is only valid
+// until the next PushCall (the frame stack may grow and move).
+func (e *Engine) TopFrame() *Frame { return &e.frames[len(e.frames)-1] }
+
+// PopFrame pops the top activation and delivers its return value to the
+// caller's return register — exactly the Run loop's frame retirement.
+// The caller must ensure at least one frame remains below.
+func (e *Engine) PopFrame(v value.Value) {
+	f := &e.frames[len(e.frames)-1]
+	retReg := f.RetReg
+	e.frames = e.frames[:len(e.frames)-1]
+	if retReg != ir.NoReg {
+		e.frames[len(e.frames)-1].Regs[retReg] = v
+	}
+}
+
+// Threaded exposes the frame's pre-decoded executor so the compiled tier
+// can decide whether a callee can be run without yielding to Run.
+func (f *Frame) Threaded() ThreadedCode { return f.threaded }
+
+// ArgBuf returns the shared call-argument staging buffer, sized to n.
+func (e *Engine) ArgBuf(n int) []value.Value {
+	if cap(e.argbuf) < n {
+		e.argbuf = make([]value.Value, n)
+	}
+	return e.argbuf[:n]
+}
+
+// AllocObject allocates an instance of c with GC-on-demand, charging
+// allocation traffic (and GC cost, when one runs) to e.S.Cycles directly.
+func (e *Engine) AllocObject(c *classfile.Class) (uint32, error) { return e.allocObject(c) }
+
+// AllocArray allocates a k[n] array with GC-on-demand; see AllocObject.
+func (e *Engine) AllocArray(k value.Kind, n uint32) (uint32, error) { return e.allocArray(k, n) }
+
+// Sink folds v into the run checksum.
+func (e *Engine) Sink(v value.Value) { e.sink(v) }
+
+// PrefetchAddr evaluates a prefetch address expression under the software
+// guard of Sec. 3.3.
+func (e *Engine) PrefetchAddr(regs []value.Value, a ir.AddrExpr) (uint32, bool) {
+	return e.prefetchAddr(regs, a)
+}
+
+// ElemAddr resolves an array element address with full null/kind/bounds
+// checking.
+func (e *Engine) ElemAddr(arr, idx value.Value) (uint32, error) { return e.elemAddr(arr, idx) }
+
+// NotePrefetch attributes one prefetch outcome to its emitting site.
+// Callers guard on e.Rec != nil.
+func (e *Engine) NotePrefetch(m *ir.Method, site int, out telemetry.PrefetchOutcome) {
+	e.notePrefetch(m, site, out)
+}
+
+// NoteLoad attributes one demand load's stall cycles to its pc. Callers
+// guard on e.Rec != nil.
+func (e *Engine) NoteLoad(m *ir.Method, pc int, stall uint64) { e.noteLoad(m, pc, stall) }
+
+// ConstValue materializes an OpConst instruction's value.
+func ConstValue(in *ir.Instr) value.Value { return constValue(in) }

@@ -71,7 +71,121 @@ type cache struct {
 	// pay a 64-way scan on every access. The hint never changes which line
 	// is returned, filled, or evicted.
 	mru []uint32
+	// memoTag/memoLine short-circuit a lookup of the same line as the most
+	// recent lookup hit or fill, skipping set indexing, the tick increment,
+	// and the lastUse write. Eliding those updates is unobservable: while
+	// the memo is live no other line's lastUse changes (any other hit or
+	// fill replaces the memo), and the memo line already holds the maximal
+	// lastUse in its set, so every future eviction decision (min lastUse)
+	// orders the set identically with or without the elided updates.
+	// useTick values are never compared across resets, only relatively, so
+	// the slower tick advance is equally unobservable. probe neither sets
+	// nor consults the memo — it never updates LRU state, so a memo set by
+	// it would wrongly stand in for a lookup's lastUse update.
+	memoTag  uint64
+	memoLine *line
+	// idx maps tag → flat line index for high-associativity geometries
+	// (the fully associative 64-entry Pentium 4 DTLB, the 16-way Athlon MP
+	// L2), where the associative scan dominates lookup cost. It mirrors the
+	// (valid, tag) pairs exactly — lines change only in fill and flush, and
+	// both maintain it — so presence, LRU updates, and victim choice are
+	// bit-identical to the scan; only the search is O(1). nil for low
+	// associativity, where the adjacent-memory scan is already cheaper than
+	// hashing.
+	idx *tagMap
 }
+
+// tagMap is a fixed-capacity open-addressing hash table (linear probing,
+// backward-shift deletion) from line tag to flat line index. A built-in map
+// is not used because delete/insert churn makes it rehash — an allocation
+// on the simulation hot path, which the bench suite gates at zero.
+type tagMap struct {
+	entries []tagEntry
+	mask    uint64
+}
+
+type tagEntry struct {
+	tag uint64
+	val uint32
+}
+
+// tagEmpty marks a vacant slot; line indices never reach it (caches are
+// far smaller than 4G lines).
+const tagEmpty = ^uint32(0)
+
+func newTagMap(lines int) *tagMap {
+	cap := uint64(4)
+	for cap < 2*uint64(lines) { // ≤50% load keeps probe chains short
+		cap <<= 1
+	}
+	m := &tagMap{entries: make([]tagEntry, cap), mask: cap - 1}
+	m.clear()
+	return m
+}
+
+func (m *tagMap) clear() {
+	for i := range m.entries {
+		m.entries[i] = tagEntry{val: tagEmpty}
+	}
+}
+
+func (m *tagMap) slot(tag uint64) uint64 {
+	// Fibonacci hashing; line tags are dense low-entropy integers.
+	return (tag * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+func (m *tagMap) get(tag uint64) (uint32, bool) {
+	for i := m.slot(tag); ; i = (i + 1) & m.mask {
+		e := m.entries[i]
+		if e.val == tagEmpty {
+			return 0, false
+		}
+		if e.tag == tag {
+			return e.val, true
+		}
+	}
+}
+
+// put inserts a tag not currently present (every fill is preceded by a
+// miss, so duplicates cannot occur).
+func (m *tagMap) put(tag uint64, val uint32) {
+	i := m.slot(tag)
+	for m.entries[i].val != tagEmpty {
+		i = (i + 1) & m.mask
+	}
+	m.entries[i] = tagEntry{tag: tag, val: val}
+}
+
+// del removes a present tag, backward-shifting the probe chain so lookups
+// never cross a stale vacancy.
+func (m *tagMap) del(tag uint64) {
+	i := m.slot(tag)
+	for m.entries[i].tag != tag || m.entries[i].val == tagEmpty {
+		i = (i + 1) & m.mask
+	}
+	for {
+		m.entries[i].val = tagEmpty
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			e := m.entries[j]
+			if e.val == tagEmpty {
+				return
+			}
+			// e may move into the vacancy only if its home slot lies
+			// cyclically at or before the vacancy.
+			if (j-m.slot(e.tag))&m.mask >= (j-i)&m.mask {
+				m.entries[i] = e
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// idxMinAssoc is the associativity at which lookup switches from the
+// linear way scan to the tag index map.
+const idxMinAssoc = 16
 
 func newCache(p arch.CacheParams) *cache {
 	c := &cache{
@@ -83,6 +197,9 @@ func newCache(p arch.CacheParams) *cache {
 	for s := uint32(1); s < p.LineBytes; s <<= 1 {
 		c.lineShift++
 	}
+	if p.Assoc >= idxMinAssoc {
+		c.idx = newTagMap(len(c.lines))
+	}
 	return c
 }
 
@@ -93,11 +210,26 @@ func (c *cache) index(addr uint64) (set uint64, tag uint64) {
 
 // lookup returns the line if present (updating LRU), else nil.
 func (c *cache) lookup(addr uint64) *line {
-	set, tag := c.index(addr)
+	tag := addr >> c.lineShift
+	if h := c.memoLine; h != nil && c.memoTag == tag {
+		return h
+	}
 	c.useTick++
+	if c.idx != nil {
+		gi, ok := c.idx.get(tag)
+		if !ok {
+			return nil
+		}
+		h := &c.lines[gi]
+		h.lastUse = c.useTick
+		c.memoTag, c.memoLine = tag, h
+		return h
+	}
+	set := tag & c.setMask
 	base := set * c.assoc
 	if h := &c.lines[base+uint64(c.mru[set])]; h.valid && h.tag == tag {
 		h.lastUse = c.useTick
+		c.memoTag, c.memoLine = tag, h
 		return h
 	}
 	ways := c.lines[base : base+c.assoc]
@@ -105,6 +237,7 @@ func (c *cache) lookup(addr uint64) *line {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lastUse = c.useTick
 			c.mru[set] = uint32(i)
+			c.memoTag, c.memoLine = tag, &ways[i]
 			return &ways[i]
 		}
 	}
@@ -114,6 +247,12 @@ func (c *cache) lookup(addr uint64) *line {
 // probe is lookup without LRU update (used by prefetch presence checks).
 func (c *cache) probe(addr uint64) *line {
 	set, tag := c.index(addr)
+	if c.idx != nil {
+		if gi, ok := c.idx.get(tag); ok {
+			return &c.lines[gi]
+		}
+		return nil
+	}
 	base := set * c.assoc
 	if h := &c.lines[base+uint64(c.mru[set])]; h.valid && h.tag == tag {
 		return h
@@ -143,8 +282,17 @@ func (c *cache) fill(addr uint64, readyAt uint64) *line {
 			victim = i
 		}
 	}
+	if c.idx != nil {
+		if ways[victim].valid {
+			c.idx.del(ways[victim].tag)
+		}
+		c.idx.put(tag, uint32(set*c.assoc)+uint32(victim))
+	}
 	ways[victim] = line{tag: tag, valid: true, readyAt: readyAt, lastUse: c.useTick}
 	c.mru[set] = uint32(victim)
+	// The fill may have evicted the memo line's tag; repointing the memo at
+	// the freshly filled line keeps it truthful without a separate check.
+	c.memoTag, c.memoLine = tag, &ways[victim]
 	return &ways[victim]
 }
 
@@ -152,6 +300,10 @@ func (c *cache) flush() {
 	clear(c.lines)
 	clear(c.mru)
 	c.useTick = 0
+	c.memoTag, c.memoLine = 0, nil
+	if c.idx != nil {
+		c.idx.clear()
+	}
 }
 
 // Memory is the simulated memory hierarchy of one machine.

@@ -23,7 +23,7 @@ import (
 // effect of prefetching — software or hardware, dynamically inspected or
 // statically mispredicted — anywhere in the stack fails here.
 func TestVerifyAllWorkloads(t *testing.T) {
-	wantCells := 4*len(memsim.HWModels())*2 + 3*2*2 // hw matrix + predict matrix
+	wantCells := 4*len(memsim.HWModels())*2 + 3*2*2 + 4*2 // hw matrix + predict matrix + exec matrix
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -36,7 +36,7 @@ func TestVerifyAllWorkloads(t *testing.T) {
 				t.Fatalf("%s", rep.Summary())
 			}
 			if len(rep.Cells) != wantCells {
-				t.Fatalf("got %d cells, want %d (4 sw configs x %d hw models x 2 machines + 12 predict cells)",
+				t.Fatalf("got %d cells, want %d (4 sw configs x %d hw models x 2 machines + 12 predict + 8 exec cells)",
 					len(rep.Cells), wantCells, len(memsim.HWModels()))
 			}
 			if rep.Reference.Loads == 0 {

@@ -1,0 +1,40 @@
+package vm
+
+import "fmt"
+
+// Exec selects the execution backend for JIT-compiled code: the
+// interpreter's step loop (the default), or the threaded-code tier
+// (internal/compile), which pre-decodes each compiled method into a
+// micro-op stream at the same compile-at-invocation point. The two are
+// semantically identical — same traps, same cycle accounting, same
+// memory-system traffic — and differ only in host-side speed.
+type Exec int
+
+// The execution backends.
+const (
+	ExecInterp Exec = iota
+	ExecCompiled
+)
+
+// String returns the backend's canonical spelling.
+func (x Exec) String() string {
+	if x == ExecCompiled {
+		return "compiled"
+	}
+	return "interp"
+}
+
+// ParseExec parses an -exec flag value. The empty string means the
+// default (interpreted) backend.
+func ParseExec(s string) (Exec, error) {
+	switch s {
+	case "", "interp":
+		return ExecInterp, nil
+	case "compiled":
+		return ExecCompiled, nil
+	}
+	return ExecInterp, fmt.Errorf("unknown exec backend %q (valid: %v)", s, ExecNames())
+}
+
+// ExecNames lists the valid -exec spellings.
+func ExecNames() []string { return []string{"interp", "compiled"} }

@@ -10,6 +10,7 @@ package vm
 
 import (
 	"strider/internal/arch"
+	"strider/internal/compile"
 	"strider/internal/core/jit"
 	"strider/internal/core/prefetch"
 	"strider/internal/heap"
@@ -34,6 +35,10 @@ type Config struct {
 	// GC selects the collector (default: sliding compaction, as in the
 	// paper's JVM).
 	GC heap.GCMode
+	// Exec selects the execution backend for JIT-compiled methods
+	// (default: the interpreter's step loop; ExecCompiled runs them as
+	// threaded code).
+	Exec Exec
 
 	// JIT optionally overrides the paper-default jit.Options; leave the
 	// zero value to use jit.DefaultOptions(Machine, Mode).
@@ -195,6 +200,9 @@ func (v *VM) Invoke(m *ir.Method, args []value.Value) *interp.Code {
 		})
 	}
 	code := &interp.Code{Instrs: c.Code, NumRegs: c.NumRegs, Compiled: true}
+	if v.Config.Exec == ExecCompiled {
+		code.Threaded = compile.Build(m, c.Code, v.Prog.Universe)
+	}
 	v.codes[m] = code
 	return code
 }
