@@ -6,6 +6,7 @@
 //
 //	bench [-run substr] [-iters n] [-time dur] [-parallel n]
 //	      [-out file] [-sha sha] [-timestamp ts] [-list]
+//	      [-cpuprofile file] [-memprofile file]
 //	bench -diff base.json new.json [-threshold pct] [-allow-alloc-growth]
 //
 // Run mode measures every suite entry (serial by default — reports meant
@@ -25,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -50,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sha := fs.String("sha", "", "git SHA to stamp into the report")
 	timestamp := fs.String("timestamp", "", "timestamp string to stamp into the report")
 	list := fs.Bool("list", false, "list pinned suite entries and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the measured run to this file")
 	diff := fs.Bool("diff", false, "diff mode: compare two report files")
 	threshold := fs.Float64("threshold", 10, "diff: ns/op regression threshold in percent")
 	allowAllocs := fs.Bool("allow-alloc-growth", false, "diff: tolerate allocs/op increases")
@@ -58,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *diff {
+		if *cpuProfile != "" || *memProfile != "" {
+			fmt.Fprintln(stderr, "bench: -cpuprofile/-memprofile apply to run mode, not -diff")
+			return 2
+		}
 		if fs.NArg() != 2 {
 			fmt.Fprintf(stderr, "bench: -diff wants exactly two report files, got %d args\n", fs.NArg())
 			return 2
@@ -128,6 +137,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Profile files are opened before any measurement so a bad path is a
+	// cheap exit 2, not a wasted suite run. The CPU profile covers exactly
+	// the measured entries (setup included — setup cost is part of what a
+	// hot-path investigation wants to see); the heap profile is taken after
+	// the run, when steady-state retention is what remains.
+	var cpuOut, memOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		cpuOut = f
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: -memprofile: %v\n", err)
+			return 2
+		}
+		memOut = f
+	}
+	if cpuOut != nil {
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			fmt.Fprintf(stderr, "bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+	}
+
 	opts := bench.Options{
 		MinIters:  *iters,
 		MinTime:   *minTime,
@@ -139,6 +177,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Filter = func(name string) bool { return strings.Contains(name, *runFilter) }
 	}
 	report, err := bench.RunSuite(entries, opts)
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if memOut != nil {
+		runtime.GC() // flush unreachable setup garbage so the profile shows live state
+		if perr := pprof.WriteHeapProfile(memOut); perr != nil && err == nil {
+			err = perr
+		}
+		if cerr := memOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "bench: %v\n", err)
 		return 1

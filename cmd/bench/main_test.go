@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -83,6 +84,10 @@ func TestUsageErrors(t *testing.T) {
 		{"unexpected-positional-arg"},
 		{"-no-such-flag"},
 		{"-run", "matches-no-entry-at-all", "-iters", "1", "-time", "1ns"},
+		{"-diff", "-cpuprofile", "x.pprof", "a.json", "b.json"},
+		{"-diff", "-memprofile", "x.pprof", "a.json", "b.json"},
+		{"-cpuprofile", "/no/such/dir/cpu.pprof", "-run", "memsim/stride-sweep", "-iters", "1", "-time", "1ns"},
+		{"-memprofile", "/no/such/dir/mem.pprof", "-run", "memsim/stride-sweep", "-iters", "1", "-time", "1ns"},
 	}
 	for _, args := range cases {
 		stdout.Reset()
@@ -107,6 +112,31 @@ func TestListMode(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
 	if !sort.StringsAreSorted(lines) {
 		t.Errorf("-list output is not sorted:\n%s", &stdout)
+	}
+}
+
+// TestProfileFlags runs one real (tiny) measurement with both profile
+// flags and asserts the files come out non-empty. Profile content is
+// pprof's business; existence and non-emptiness are ours.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-run", "memsim/stride-sweep", "-iters", "1", "-time", "1ns",
+		"-cpuprofile", cpu, "-memprofile", mem, "-out", out}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile file: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }
 

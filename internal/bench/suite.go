@@ -96,6 +96,11 @@ func Suite() []Entry {
 
 		// The cache/TLB model alone: a strided load/store sweep with a
 		// pointer-chase-like reuse pattern, no interpreter in the loop.
+		// Deliberately pc-less (mem.Load): the default machine's hw model
+		// is the pc-blind stream detector, which this entry is pinning;
+		// the pc-indexed trainers get their own sites in hwEntry below.
+		// Threading a site pc here would change the committed Work
+		// signature for no extra coverage.
 		{Name: "memsim/stride-sweep", Make: func() (func() (Work, error), error) {
 			machine := arch.Pentium4()
 			return func() (Work, error) {
@@ -118,6 +123,53 @@ func Suite() []Entry {
 				}
 				sum = mem.C.LoadStallCycles + mem.C.StoreStallCycles
 				return Work{Cycles: now, Instructions: mem.C.Loads + mem.C.Stores, Checksum: sum}, nil
+			}, nil
+		}},
+
+		// The tentpole's inline hit lane in isolation: the same hierarchy
+		// as stride-sweep, driven the way a specialized engine drives it —
+		// LoadHit/StoreHit probe first, full LoadAt/Store only on a bail —
+		// over a dense walk (sixteen 4-byte touches per 64-byte line) so
+		// the probes' completed path dominates. One Memory is reused across
+		// iterations (Reset, like an engine between runs), so after warmup
+		// the loop allocates nothing — the alloc gate pins the lane itself
+		// at zero. The checksum folds probe hits ^ probe bails ^ prefetch
+		// arrivals, so the lane/fallback split and the prefetch machinery's
+		// visibility are pinned by the diff gate, not just the speed.
+		{Name: "memsim/hitlane", Make: func() (func() (Work, error), error) {
+			mem := memsim.New(arch.Pentium4())
+			return func() (Work, error) {
+				mem.Reset()
+				var now, hits, bails, arrivals uint64
+				const n = 200_000
+				addr := uint32(64)
+				for i := 0; i < n; i++ {
+					if stall, ok := mem.LoadHit(addr, now); ok {
+						now, hits = now+stall, hits+1
+					} else {
+						now += mem.LoadAt(addr, 4, now, 7)
+						bails++
+					}
+					if i%2 == 0 {
+						if stall, ok := mem.StoreHit(addr+8, now); ok {
+							now, hits = now+stall, hits+1
+						} else {
+							now += mem.Store(addr+8, 4, now)
+							bails++
+						}
+					}
+					if i%64 == 0 {
+						if mem.Prefetch(addr+1024, false, now) == telemetry.PrefetchFetched {
+							arrivals++
+						}
+					}
+					addr += 4
+					if addr >= 1<<22 {
+						addr = 64
+					}
+				}
+				return Work{Cycles: now, Instructions: mem.C.Loads + mem.C.Stores,
+					Checksum: hits ^ bails ^ arrivals}, nil
 			}, nil
 		}},
 
@@ -295,7 +347,10 @@ func execEntry(name string, exec vm.Exec) Entry {
 		}
 		prog := w.Build(workloads.SizeSmall)
 		v := vm.New(prog, vm.Config{Machine: arch.Pentium4(), Mode: jit.InterIntra, HeapBytes: w.HeapBytes, Exec: exec})
-		v.Engine.Mem = flatMem{}
+		// SetMem, not a field write: it unpins the engine's devirtualized
+		// fast lane along with the model, so every access really dispatches
+		// through flatMem.
+		v.Engine.SetMem(flatMem{})
 		// One untimed run so the JIT reaches steady state.
 		if _, err := v.Run(nil); err != nil {
 			return nil, err

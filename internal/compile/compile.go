@@ -297,6 +297,10 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 		instrs = t.instrs
 		max    = t.max
 		per    = t.perInstr
+		// fm != nil routes the memory micro-ops through the inline-probe
+		// hit lane with a devirtualized fallback, exactly like the
+		// interpreter's step; nil is the fully general interface path.
+		fm = e.FastMem()
 	)
 	for pc >= 0 {
 		u := &ops[pc]
@@ -470,7 +474,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				break
 			}
 			addr := obj.Ref() + u.off
-			stall := e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.LoadHit(addr, cycles); !hit {
+					stall = fm.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+				}
+			} else {
+				stall = e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			}
 			regs[u.dst] = value.Value{K: u.kind, B: uint64(e.Heap.Load4(addr))}
 			if t.rec && stall != 0 {
 				e.NoteLoad(t.m, int(u.pc), stall)
@@ -491,7 +503,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				break
 			}
 			addr := obj.Ref() + u.off
-			stall := e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.LoadHit(addr, cycles); !hit {
+					stall = fm.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+				}
+			} else {
+				stall = e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			}
 			regs[u.dst] = value.Value{K: u.kind, B: e.Heap.Load8(addr)}
 			if t.rec && stall != 0 {
 				e.NoteLoad(t.m, int(u.pc), stall)
@@ -512,7 +532,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				break
 			}
 			addr := obj.Ref() + u.off
-			stall := e.Mem.Store(addr, u.size, cycles)
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.StoreHit(addr, cycles); !hit {
+					stall = fm.Store(addr, u.size, cycles)
+				}
+			} else {
+				stall = e.Mem.Store(addr, u.size, cycles)
+			}
 			storeHeap(t, addr, regs[u.b])
 			cycles += per + stall
 			instrs++
@@ -536,7 +564,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				pc = t.trap(u, err)
 				break
 			}
-			stall := e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.LoadHit(addr, cycles); !hit {
+					stall = fm.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+				}
+			} else {
+				stall = e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			}
 			regs[u.dst] = value.Value{K: u.kind, B: uint64(e.Heap.Load4(addr))}
 			if t.rec && stall != 0 {
 				e.NoteLoad(t.m, int(u.pc), stall)
@@ -551,7 +587,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				pc = t.trap(u, err)
 				break
 			}
-			stall := e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.LoadHit(addr, cycles); !hit {
+					stall = fm.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+				}
+			} else {
+				stall = e.Mem.LoadAt(addr, u.size, cycles, t.siteBase|uint64(u.pc))
+			}
 			regs[u.dst] = value.Value{K: u.kind, B: e.Heap.Load8(addr)}
 			if t.rec && stall != 0 {
 				e.NoteLoad(t.m, int(u.pc), stall)
@@ -566,7 +610,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				pc = t.trap(u, err)
 				break
 			}
-			stall := e.Mem.Store(addr, u.size, cycles)
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.StoreHit(addr, cycles); !hit {
+					stall = fm.Store(addr, u.size, cycles)
+				}
+			} else {
+				stall = e.Mem.Store(addr, u.size, cycles)
+			}
 			storeHeap(t, addr, regs[u.c])
 			cycles += per + stall
 			instrs++
@@ -584,7 +636,15 @@ func (c *Func) Step(e *interp.Engine, f *interp.Frame) (value.Value, bool, error
 				break
 			}
 			addr := arr.Ref() + classfile.AuxOffset
-			stall := e.Mem.LoadAt(addr, 4, cycles, t.siteBase|uint64(u.pc))
+			var stall uint64
+			if fm != nil {
+				var hit bool
+				if stall, hit = fm.LoadHit(addr, cycles); !hit {
+					stall = fm.LoadAt(addr, 4, cycles, t.siteBase|uint64(u.pc))
+				}
+			} else {
+				stall = e.Mem.LoadAt(addr, 4, cycles, t.siteBase|uint64(u.pc))
+			}
 			regs[u.dst] = value.Int(int32(e.Heap.Load4(addr)))
 			if t.rec && stall != 0 {
 				e.NoteLoad(t.m, int(u.pc), stall)

@@ -84,7 +84,7 @@ func trapProg(fault string) func() *ir.Program {
 }
 
 func TestHeapTrapParity(t *testing.T) {
-	for _, fault := range []string{
+	faults := []string{
 		"getfield-null", "getfield8-null", "getfield-nonref", "getfield8-nonref",
 		"putfield-null", "putfield-nonref",
 		"arraylen-null", "arraylen-nonref",
@@ -93,14 +93,25 @@ func TestHeapTrapParity(t *testing.T) {
 		"arraystore-null", "arraystore-oob",
 		"newarray-negative", "newarray-badsize",
 		"callvirt-null", "callvirt-nonref",
-	} {
-		t.Run(fault, func(t *testing.T) {
-			_, err := runBoth(t, trapProg(fault), nil)
-			if err == nil {
-				t.Fatalf("%s did not trap", fault)
-			}
-		})
 	}
+	// Every fault shape runs under both memory lanes: traps interleave
+	// with memory accesses (a putfield trap follows the object's header
+	// loads), so attribution must not depend on which lane served them.
+	run := func(t *testing.T) {
+		for _, fault := range faults {
+			t.Run(fault, func(t *testing.T) {
+				_, err := runBoth(t, trapProg(fault), nil)
+				if err == nil {
+					t.Fatalf("%s did not trap", fault)
+				}
+			})
+		}
+	}
+	t.Run("fastlane", run)
+	t.Run("slowlane", func(t *testing.T) {
+		t.Setenv("STRIDER_NO_FASTLANE", "1")
+		run(t)
+	})
 }
 
 func TestBoundsMessageCarriesIndexAndLength(t *testing.T) {
@@ -175,27 +186,57 @@ func TestBudgetTrapSweep(t *testing.T) {
 	}
 	full := eFull.S.Instructions
 
-	for budget := uint64(1); budget <= full+1; budget++ {
-		pi := build()
-		ei := newEngine(pi, interpDisp{})
-		ei.MaxInstructions = budget
-		ri, erri := ei.Run(pi.Entry, nil)
+	// The sweep runs once per memory lane: the default fast lane (the
+	// engines pin *memsim.Memory and take the inline L1 hit probes) and,
+	// with STRIDER_NO_FASTLANE set, the pure MemModel interface path.
+	// Interp and compiled must agree at every budget within each lane,
+	// and the per-budget stats recorded by the two sweeps must match
+	// across lanes — lane choice is a wiring-time optimisation and must
+	// never be observable, least of all mid-trap.
+	sweep := func(t *testing.T, wantFast bool) []interp.Stats {
+		stats := make([]interp.Stats, 0, full+1)
+		for budget := uint64(1); budget <= full+1; budget++ {
+			pi := build()
+			ei := newEngine(pi, interpDisp{})
+			ei.MaxInstructions = budget
+			ri, erri := ei.Run(pi.Entry, nil)
 
-		pc := build()
-		ec := newEngine(pc, newThreadedDisp(pc.Universe, nil))
-		ec.MaxInstructions = budget
-		rc, errc := ec.Run(pc.Entry, nil)
+			pc := build()
+			ec := newEngine(pc, newThreadedDisp(pc.Universe, nil))
+			ec.MaxInstructions = budget
+			rc, errc := ec.Run(pc.Entry, nil)
 
-		if ri != rc {
-			t.Errorf("budget %d: result diverged: %v vs %v", budget, ri, rc)
+			if got := ec.FastMem() != nil; got != wantFast {
+				t.Fatalf("budget %d: fast lane pinned = %v, want %v", budget, got, wantFast)
+			}
+			if ri != rc {
+				t.Errorf("budget %d: result diverged: %v vs %v", budget, ri, rc)
+			}
+			diffErr(t, erri, errc)
+			diffStats(t, ei.S, ec.S)
+			if budget < full && !errors.Is(errc, interp.ErrBudget) {
+				t.Errorf("budget %d: err = %v, want ErrBudget", budget, errc)
+			}
+			if t.Failed() {
+				t.Fatalf("diverged at budget %d of %d", budget, full)
+			}
+			stats = append(stats, ec.S)
 		}
-		diffErr(t, erri, errc)
-		diffStats(t, ei.S, ec.S)
-		if budget < full && !errors.Is(errc, interp.ErrBudget) {
-			t.Errorf("budget %d: err = %v, want ErrBudget", budget, errc)
-		}
-		if t.Failed() {
-			t.Fatalf("diverged at budget %d of %d", budget, full)
+		return stats
+	}
+	var fast, slow []interp.Stats
+	t.Run("fastlane", func(t *testing.T) { fast = sweep(t, true) })
+	t.Run("slowlane", func(t *testing.T) {
+		t.Setenv("STRIDER_NO_FASTLANE", "1")
+		slow = sweep(t, false)
+	})
+	if t.Failed() {
+		return
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("budget %d: stats diverged across lanes:\n fast %+v\n slow %+v",
+				i+1, fast[i], slow[i])
 		}
 	}
 }

@@ -12,6 +12,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"strider/internal/classfile"
 	"strider/internal/heap"
 	"strider/internal/ir"
+	"strider/internal/memsim"
 	"strider/internal/telemetry"
 	"strider/internal/value"
 )
@@ -156,6 +158,17 @@ type Engine struct {
 	// reads it.
 	ExecScratch any
 
+	// fastMem pins Mem's concrete type when it is the standard simulator,
+	// enabling the devirtualized inline-probe hit lane at the engine's
+	// memory-access sites (and the compiled tier's, via FastMem): probe
+	// memsim.LoadHit/StoreHit inline, fall into the full access as a
+	// direct — not interface — call. nil routes every access through the
+	// MemModel interface: any other model (oracle taps, test doubles, flat
+	// memory), a configuration FastLaneOK excludes, or the
+	// STRIDER_NO_FASTLANE escape hatch. Derived by SetMem; the lane choice
+	// is made once at wiring, never per access.
+	fastMem *memsim.Memory
+
 	// frames is the activation stack. It is a value slice with capacity
 	// MaxFrames fixed at creation, so frame pointers handed to step stay
 	// valid across pushes and popped frames keep their register slices for
@@ -181,13 +194,40 @@ type siteAgg struct {
 
 // New creates an engine.
 func New(prog *ir.Program, h *heap.Heap, mem MemModel, disp Dispatcher, m *arch.Machine) *Engine {
-	return &Engine{
-		Prog: prog, Heap: h, Mem: mem, Disp: disp, Machine: m,
+	e := &Engine{
+		Prog: prog, Heap: h, Disp: disp, Machine: m,
 		MaxInstructions: DefaultMaxInstructions,
 		ChargeGC:        true,
 		frames:          make([]Frame, 0, MaxFrames),
 	}
+	e.SetMem(mem)
+	return e
 }
+
+// SetMem installs the memory model and re-derives the fast-lane pinning.
+// Every reassignment of the engine's memory model must go through here —
+// writing the Mem field directly would leave a previously pinned backend
+// receiving the hot-path accesses behind the new model's back.
+func (e *Engine) SetMem(m MemModel) {
+	e.Mem = m
+	e.fastMem = nil
+	if fm, ok := m.(*memsim.Memory); ok && fm.FastLaneOK() && !fastLaneDisabled() {
+		e.fastMem = fm
+	}
+}
+
+// FastMem returns the pinned concrete memory simulator, or nil when
+// accesses must take the MemModel interface path. The compiled tier
+// routes its memory micro-ops through it exactly like step does.
+func (e *Engine) FastMem() *memsim.Memory { return e.fastMem }
+
+// fastLaneDisabled reports the STRIDER_NO_FASTLANE escape hatch: any
+// non-empty value forces every access through the fully general interface
+// path. Read at SetMem time — once per engine wiring — so tests can flip
+// it with t.Setenv and CI can prove lane choice is unobservable by
+// diffing a forced-slow full experiments pass against the committed
+// outputs.
+func fastLaneDisabled() bool { return os.Getenv("STRIDER_NO_FASTLANE") != "" }
 
 // ResetStats clears the per-run statistics and the site attribution.
 func (e *Engine) ResetStats() {
@@ -347,12 +387,24 @@ func (e *Engine) allocArray(k value.Kind, n uint32) (uint32, error) {
 }
 
 // touchAlloc models the zeroing writes of allocation: one store per cache
-// line of the new object.
+// line of the new object. Line-stepping writes miss the single-line memo
+// on every step, so only the first store of each line can complete in the
+// hit lane — the probe still saves the interface dispatch on it.
 func (e *Engine) touchAlloc(addr, size uint32) {
 	e.S.AllocBytes += uint64(size)
 	line := e.lineBytes()
+	fm := e.fastMem
 	for off := uint32(0); off < size; off += line {
-		e.S.Cycles += e.Mem.Store(addr+off, 4, e.S.Cycles)
+		var stall uint64
+		if fm != nil {
+			var hit bool
+			if stall, hit = fm.StoreHit(addr+off, e.S.Cycles); !hit {
+				stall = fm.Store(addr+off, 4, e.S.Cycles)
+			}
+		} else {
+			stall = e.Mem.Store(addr+off, 4, e.S.Cycles)
+		}
+		e.S.Cycles += stall
 	}
 }
 
@@ -450,6 +502,10 @@ func (e *Engine) step(f *Frame) (value.Value, bool, error) {
 		perInstr += e.Machine.InterpPenalty
 	}
 	rec := e.Rec != nil
+	// fm != nil routes the memory ops below through the inline-probe hit
+	// lane with a devirtualized fallback; nil is the fully general
+	// interface path. See the fastMem field.
+	fm := e.fastMem
 
 	// fail synchronizes the faulting pc and returns the trap.
 	fail := func(err error) (value.Value, bool, error) {
@@ -580,7 +636,14 @@ func (e *Engine) step(f *Frame) (value.Value, bool, error) {
 				return fail(ErrNullDeref)
 			}
 			addr := obj.Ref() + in.Field.Offset
-			memStall = e.Mem.LoadAt(addr, in.Field.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+			if fm != nil {
+				var hit bool
+				if memStall, hit = fm.LoadHit(addr, e.S.Cycles); !hit {
+					memStall = fm.LoadAt(addr, in.Field.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+				}
+			} else {
+				memStall = e.Mem.LoadAt(addr, in.Field.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+			}
 			regs[in.Dst] = e.loadHeap(in.Field.Kind, addr)
 		case ir.OpPutField:
 			obj := regs[in.A]
@@ -591,7 +654,14 @@ func (e *Engine) step(f *Frame) (value.Value, bool, error) {
 				return fail(ErrNullDeref)
 			}
 			addr := obj.Ref() + in.Field.Offset
-			memStall = e.Mem.Store(addr, in.Field.Kind.Size(), e.S.Cycles)
+			if fm != nil {
+				var hit bool
+				if memStall, hit = fm.StoreHit(addr, e.S.Cycles); !hit {
+					memStall = fm.Store(addr, in.Field.Kind.Size(), e.S.Cycles)
+				}
+			} else {
+				memStall = e.Mem.Store(addr, in.Field.Kind.Size(), e.S.Cycles)
+			}
 			e.storeHeap(addr, regs[in.B])
 		case ir.OpGetStatic:
 			regs[in.Dst] = e.Prog.Universe.GetStatic(in.Field)
@@ -603,14 +673,28 @@ func (e *Engine) step(f *Frame) (value.Value, bool, error) {
 			if err != nil {
 				return fail(err)
 			}
-			memStall = e.Mem.LoadAt(addr, in.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+			if fm != nil {
+				var hit bool
+				if memStall, hit = fm.LoadHit(addr, e.S.Cycles); !hit {
+					memStall = fm.LoadAt(addr, in.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+				}
+			} else {
+				memStall = e.Mem.LoadAt(addr, in.Kind.Size(), e.S.Cycles, siteBase|uint64(pc))
+			}
 			regs[in.Dst] = e.loadHeap(in.Kind, addr)
 		case ir.OpArrayStore:
 			addr, err := e.elemAddr(regs[in.A], regs[in.B])
 			if err != nil {
 				return fail(err)
 			}
-			memStall = e.Mem.Store(addr, in.Kind.Size(), e.S.Cycles)
+			if fm != nil {
+				var hit bool
+				if memStall, hit = fm.StoreHit(addr, e.S.Cycles); !hit {
+					memStall = fm.Store(addr, in.Kind.Size(), e.S.Cycles)
+				}
+			} else {
+				memStall = e.Mem.Store(addr, in.Kind.Size(), e.S.Cycles)
+			}
 			e.storeHeap(addr, regs[in.C])
 		case ir.OpArrayLen:
 			arr := regs[in.A]
@@ -621,7 +705,14 @@ func (e *Engine) step(f *Frame) (value.Value, bool, error) {
 				return fail(ErrNullDeref)
 			}
 			addr := arr.Ref() + classfile.AuxOffset
-			memStall = e.Mem.LoadAt(addr, 4, e.S.Cycles, siteBase|uint64(pc))
+			if fm != nil {
+				var hit bool
+				if memStall, hit = fm.LoadHit(addr, e.S.Cycles); !hit {
+					memStall = fm.LoadAt(addr, 4, e.S.Cycles, siteBase|uint64(pc))
+				}
+			} else {
+				memStall = e.Mem.LoadAt(addr, 4, e.S.Cycles, siteBase|uint64(pc))
+			}
 			regs[in.Dst] = value.Int(int32(e.Heap.Load4(addr)))
 
 		case ir.OpNew:

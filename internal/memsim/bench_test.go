@@ -15,6 +15,21 @@ func BenchmarkLoadHit(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeHit drives the same steady single-line hit stream as
+// BenchmarkLoadHit through the inline hit lane (probe + full-path
+// fallback, the exact shape a specialized engine compiles) — the pair's
+// ratio is the per-access saving the fast lane buys on an L1 memo hit.
+func BenchmarkProbeHit(b *testing.B) {
+	m := New(arch.Pentium4())
+	m.Load(0x10000, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.LoadHit(0x10000, uint64(i)+1000); !ok {
+			m.LoadAt(0x10000, 4, uint64(i)+1000, 0)
+		}
+	}
+}
+
 func BenchmarkLoadStreamMiss(b *testing.B) {
 	m := New(arch.AthlonMP())
 	b.ResetTimer()

@@ -332,6 +332,9 @@ type Memory struct {
 	// pageShift is log2 of Arch.DTLB.PageSize — the page geometry every
 	// hardware prefetcher must respect.
 	pageShift uint
+	// l1Hit caches Arch.L1HitCycles one pointer hop closer for the inline
+	// hit lane (fastlane.go), which budgets every load it makes.
+	l1Hit uint64
 
 	// selfCheck enables fill-time structural invariant checking (see
 	// EnableSelfCheck). Off by default: zero cost, identical behaviour.
@@ -355,6 +358,7 @@ func New(m *arch.Machine) *Memory {
 		l2:       newCache(m.L2U),
 		tlb:      newCache(tlbParams),
 		inflight: make([]uint64, 0, m.PrefetchQueue),
+		l1Hit:    m.L1HitCycles,
 	}
 	for s := uint32(1); s < m.DTLB.PageSize; s <<= 1 {
 		mem.pageShift++
@@ -538,8 +542,13 @@ func extraWait(l *line, now uint64) uint64 {
 }
 
 // Load simulates a demand load with no load-site identity (pc 0); see
-// LoadAt. It exists for callers without a stable site — pc-indexed
-// hardware prefetchers ignore such references.
+// LoadAt. It exists for callers that have no static load instruction to
+// name — memsim's own tests and synthetic sweeps. pc 0 is not neutral: a
+// miss still trains the pc-blind hardware models (nextline, stream) and
+// still counts in HWStats.Trains under every model, but the pc-indexed
+// models (ipstride, tracker, multistride) cannot index the reference and
+// learn nothing from it. Engine-driven loads must go through LoadAt with
+// a real site pc, or those models silently under-train.
 func (mem *Memory) Load(addr uint32, size uint32, now uint64) uint64 {
 	return mem.LoadAt(addr, size, now, 0)
 }

@@ -238,17 +238,40 @@ func Verify(build func() *ir.Program, opts Options) (*Report, error) {
 // loadTap wraps the cell's memory model and digests the demand-load
 // address stream exactly as the oracle does. Prefetches pass through
 // untapped: they must be architecturally invisible.
+//
+// Installing the tap (via SetMem) unpins the engine's devirtualized fast
+// lane — the engine must dispatch through the tap so no load escapes the
+// digest. To keep the 68-cell matrix exercising the hit-lane probes
+// anyway, the tap carries the pinning the engine gave up: after recording,
+// it routes the access through LoadHit/StoreHit with the full call as
+// fallback, exactly like a specialized engine site. fast is nil when the
+// engine itself had none (foreign model, ineligible configuration, or
+// STRIDER_NO_FASTLANE), which is how the differ proves cells pass with
+// the lane on and off.
 type loadTap struct {
 	inner interp.MemModel
+	fast  *memsim.Memory
 	loads loadAccum
 }
 
 func (t *loadTap) LoadAt(addr, size uint32, now uint64, pc uint64) uint64 {
 	t.loads.record(addr, size)
+	if fm := t.fast; fm != nil {
+		if stall, hit := fm.LoadHit(addr, now); hit {
+			return stall
+		}
+		return fm.LoadAt(addr, size, now, pc)
+	}
 	return t.inner.LoadAt(addr, size, now, pc)
 }
 
 func (t *loadTap) Store(addr, size uint32, now uint64) uint64 {
+	if fm := t.fast; fm != nil {
+		if stall, hit := fm.StoreHit(addr, now); hit {
+			return stall
+		}
+		return fm.Store(addr, size, now)
+	}
 	return t.inner.Store(addr, size, now)
 }
 
@@ -279,8 +302,10 @@ func runCell(build func() *ir.Program, c Configuration, heapBytes uint32, gc hea
 		Machine: &m, Mode: c.Mode, HeapBytes: heapBytes, GC: gc, Exec: c.Exec, JIT: &jo,
 	})
 	v.Mem.EnableSelfCheck()
-	tap := &loadTap{inner: v.Engine.Mem}
-	v.Engine.Mem = tap
+	// Inherit the engine's fast-lane pinning (nil under the escape hatch or
+	// an ineligible configuration) before SetMem re-derives it away.
+	tap := &loadTap{inner: v.Engine.Mem, fast: v.Engine.FastMem()}
+	v.Engine.SetMem(tap)
 
 	stats, err := v.Run(nil)
 	if err == nil {
